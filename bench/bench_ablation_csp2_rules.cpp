@@ -1,0 +1,88 @@
+// Ablation A: contribution of the CSP2 search rules (§V-C) on the Table-I
+// workload.  The paper motivates rule 1 (idle only when nothing can run),
+// rule 2 (ascending symmetry, up to m! reduction per slot) and chronological
+// ordering qualitatively; this bench quantifies them: solved counts,
+// overruns and search nodes with each rule toggled.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/tables.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace mgrts;
+
+  const exp::BenchEnv env = exp::bench_env(/*instances=*/60,
+                                           /*limit_ms=*/300);
+  exp::BatchOptions options;
+  options.generator = bench::paper_workload_small();
+  options.instances = env.instances;
+  options.seed = env.seed;
+  options.workers = env.workers;
+
+  bench::print_banner("Ablation: CSP2 search rules (value order = D-C)", env,
+                      options.generator);
+
+  struct Variant {
+    const char* label;
+    bool idle_rule;
+    bool symmetry;
+    bool slack;
+    bool demand;
+  };
+  const Variant variants[] = {
+      {"all-rules", true, true, true, true},
+      {"no-idle-rule", false, true, true, true},
+      {"no-symmetry", true, false, true, true},
+      {"no-slack-prune", true, true, false, true},
+      {"no-demand-prune", true, true, true, false},
+      {"bare-backtracking", false, false, false, false},
+  };
+
+  std::vector<exp::SolverSpec> specs;
+  for (const auto& variant : variants) {
+    exp::SolverSpec spec =
+        exp::csp2_spec(csp2::ValueOrder::kDMinusC, env.time_limit_ms);
+    spec.label = variant.label;
+    spec.config.csp2.idle_rule = variant.idle_rule;
+    spec.config.csp2.symmetry_rule = variant.symmetry;
+    spec.config.csp2.slack_prune = variant.slack;
+    spec.config.csp2.tight_demand_prune = variant.demand;
+    specs.push_back(std::move(spec));
+  }
+
+  const exp::BatchResult batch = exp::run_batch(options, specs);
+
+  support::TextTable table(
+      {"variant", "solved", "proved-unsat", "overruns", "avg nodes",
+       "avg time(ms)"});
+  table.set_title("CSP2 rule ablation");
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::int64_t solved = 0;
+    std::int64_t unsat = 0;
+    std::int64_t overruns = 0;
+    double nodes = 0;
+    double ms = 0;
+    for (const auto& inst : batch.instances) {
+      const auto& run = inst.runs[s];
+      solved += run.found_schedule() ? 1 : 0;
+      unsat += run.proved_infeasible() ? 1 : 0;
+      overruns += run.overrun() ? 1 : 0;
+      nodes += static_cast<double>(run.nodes);
+      ms += run.seconds * 1000.0;
+    }
+    const auto count = static_cast<double>(batch.instances.size());
+    table.add_row({specs[s].label, support::TextTable::num(solved),
+                   support::TextTable::num(unsat),
+                   support::TextTable::num(overruns),
+                   support::TextTable::num(nodes / count, 0),
+                   support::TextTable::num(ms / count, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::maybe_write_csv("ablation_csp2_rules", table);
+  std::printf(
+      "expected: disabling the idle rule or symmetry inflates nodes and "
+      "overruns; the pruning toggles mostly affect infeasible proofs.\n");
+  return 0;
+}

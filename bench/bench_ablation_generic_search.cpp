@@ -1,0 +1,96 @@
+// Ablation B: generic-engine strategies across the two encodings.
+//
+// Separates the paper's two contributions — the *encoding* (CSP1 booleans
+// vs CSP2 multi-valued variables) and the *search* (generic vs dedicated):
+//   * CSP1 under lex / min-domain / dom-wdeg / dom-wdeg+restarts;
+//   * CSP2-generic with and without declarative symmetry chains;
+//   * the dedicated CSP2+(D-C) solver as the reference point.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/tables.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace mgrts;
+
+  const exp::BenchEnv env = exp::bench_env(/*instances=*/40,
+                                           /*limit_ms=*/300);
+  exp::BatchOptions options;
+  options.generator = bench::paper_workload_small();
+  options.generator.tasks = 8;   // slightly smaller than Table I so the
+  options.generator.processors = 4;  // weak strategies terminate sometimes
+  options.instances = env.instances;
+  options.seed = env.seed;
+  options.workers = env.workers;
+
+  bench::print_banner("Ablation: generic-solver strategies per encoding", env,
+                      options.generator);
+
+  auto generic_spec = [&](const char* label, core::Method method,
+                          csp::VarHeuristic var, bool restarts,
+                          bool chains) {
+    exp::SolverSpec spec;
+    spec.label = label;
+    spec.config.method = method;
+    spec.config.time_limit_ms = env.time_limit_ms;
+    spec.config.generic.var_heuristic = var;
+    spec.config.generic.val_heuristic = csp::ValHeuristic::kMin;
+    spec.config.generic.seed = env.seed;
+    if (restarts) {
+      spec.config.generic.val_heuristic = csp::ValHeuristic::kRandom;
+      spec.config.generic.random_var_ties = true;
+      spec.config.generic.restart = csp::RestartPolicy::kLuby;
+    }
+    spec.config.csp2_generic.symmetry_chains = chains;
+    return spec;
+  };
+
+  std::vector<exp::SolverSpec> specs;
+  specs.push_back(generic_spec("csp1/lex", core::Method::kCsp1Generic,
+                               csp::VarHeuristic::kLex, false, true));
+  specs.push_back(generic_spec("csp1/min-dom", core::Method::kCsp1Generic,
+                               csp::VarHeuristic::kMinDomain, false, true));
+  specs.push_back(generic_spec("csp1/dom-wdeg", core::Method::kCsp1Generic,
+                               csp::VarHeuristic::kDomWdeg, false, true));
+  specs.push_back(generic_spec("csp1/wdeg+restart", core::Method::kCsp1Generic,
+                               csp::VarHeuristic::kDomWdeg, true, true));
+  specs.push_back(generic_spec("csp2gen/chains", core::Method::kCsp2Generic,
+                               csp::VarHeuristic::kLex, false, true));
+  specs.push_back(generic_spec("csp2gen/no-chains",
+                               core::Method::kCsp2Generic,
+                               csp::VarHeuristic::kLex, false, false));
+  specs.push_back(
+      exp::csp2_spec(csp2::ValueOrder::kDMinusC, env.time_limit_ms));
+
+  const exp::BatchResult batch = exp::run_batch(options, specs);
+
+  support::TextTable table(
+      {"strategy", "solved", "proved-unsat", "overruns", "avg time(ms)"});
+  table.set_title("generic strategies vs dedicated search");
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::int64_t solved = 0;
+    std::int64_t unsat = 0;
+    std::int64_t overruns = 0;
+    double ms = 0;
+    for (const auto& inst : batch.instances) {
+      const auto& run = inst.runs[s];
+      solved += run.found_schedule() ? 1 : 0;
+      unsat += run.proved_infeasible() ? 1 : 0;
+      overruns += run.overrun() ? 1 : 0;
+      ms += run.seconds * 1000.0;
+    }
+    table.add_row({specs[s].label, support::TextTable::num(solved),
+                   support::TextTable::num(unsat),
+                   support::TextTable::num(overruns),
+                   support::TextTable::num(
+                       ms / static_cast<double>(batch.instances.size()), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expected: the multi-valued encoding beats the boolean one at any "
+      "fixed strategy, and the dedicated chronological search beats every "
+      "generic strategy — the paper's two headline effects.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared plumbing for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "exp/env.hpp"
+#include "exp/harness.hpp"
+#include "support/table.hpp"
+
+namespace mgrts::bench {
+
+inline void print_banner(const char* what, const exp::BenchEnv& env,
+                         const gen::GeneratorOptions& gen) {
+  std::printf("== %s ==\n", what);
+  std::printf(
+      "config: %lld instances, %lld ms/run limit, seed %llu, n=%d, Tmax=%lld"
+      "%s%s\n",
+      static_cast<long long>(env.instances),
+      static_cast<long long>(env.time_limit_ms),
+      static_cast<unsigned long long>(env.seed), gen.tasks,
+      static_cast<long long>(gen.t_max),
+      gen.rule == gen::ProcessorRule::kFixed ? ", m=" : ", m=m_min",
+      gen.rule == gen::ProcessorRule::kFixed
+          ? std::to_string(gen.processors).c_str()
+          : "");
+  if (!env.full) {
+    std::printf(
+        "note: scaled-down defaults; set MGRTS_FULL=1 for the paper-scale "
+        "run (500 instances, 30 s limit), or override via MGRTS_INSTANCES / "
+        "MGRTS_TIME_LIMIT_MS / MGRTS_SEED / MGRTS_WORKERS.\n");
+  }
+  std::printf("\n");
+}
+
+/// The Table I-III workload of §VII-C: m=5, n=10, Tmax=7, D-first sampling,
+/// unfiltered (r > 1 instances included).
+inline gen::GeneratorOptions paper_workload_small() {
+  gen::GeneratorOptions options;
+  options.tasks = 10;
+  options.processors = 5;
+  options.rule = gen::ProcessorRule::kFixed;
+  options.t_max = 7;
+  options.order = gen::ParamOrder::kDFirst;
+  return options;
+}
+
+/// When MGRTS_CSV_DIR is set, additionally dumps the table as
+/// $MGRTS_CSV_DIR/<name>.csv for downstream analysis.
+inline void maybe_write_csv(const char* name, const support::TextTable& table) {
+  const char* dir = std::getenv("MGRTS_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << table.to_csv();
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+}  // namespace mgrts::bench

@@ -1,0 +1,35 @@
+// Figure 1 reproduction: the availability-interval pattern of Example 1's
+// tasks over one hyperperiod (T = 12, O1 = O3 = 0, O2 = 1), plus — beyond
+// the figure — a feasible schedule realizing the pattern.
+#include <cstdio>
+
+#include "core/solve.hpp"
+#include "rt/gantt.hpp"
+
+int main() {
+  using namespace mgrts;
+
+  const rt::TaskSet tasks = rt::TaskSet::from_params({
+      {0, 1, 2, 2},  // tau1: D1 = T1 = 2
+      {1, 3, 4, 4},  // tau2: O2 = 1, D2 = T2 = 4
+      {0, 2, 2, 3},  // tau3: D3 = 2, T3 = 3
+  });
+
+  std::printf("== Figure 1: availability intervals of Example 1 ==\n");
+  std::printf("paper: m = 2, n = 3, hyperperiod T = lcm(2,4,3) = 12\n\n");
+  std::printf("%s\n", rt::render_windows(tasks).c_str());
+  std::printf(
+      "reading: '#' marks slots inside an availability interval\n"
+      "  tau1/tau2 cover every slot (tau2 via the window wrapping past T);\n"
+      "  tau3 leaves slots 2, 5, 8, 11 uncovered, matching the figure.\n\n");
+
+  const core::SolveReport report = core::solve_instance(
+      tasks, rt::Platform::identical(2));
+  if (report.schedule.has_value()) {
+    std::printf("a feasible schedule realizing the pattern (CSP2):\n%s",
+                rt::render_schedule(tasks, *report.schedule).c_str());
+    std::printf("\nwitness validated: %s\n",
+                report.witness_valid ? "yes" : "NO");
+  }
+  return 0;
+}

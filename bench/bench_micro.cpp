@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) for the solver internals: domain
+// operations, propagation, the dedicated CSP2 node rate, the flow oracle,
+// window arithmetic, and instance generation.  These guard the constant
+// factors the table benches depend on.
+#include <benchmark/benchmark.h>
+
+#include "csp/propagators.hpp"
+#include "csp/solver.hpp"
+#include "csp2/csp2.hpp"
+#include "encodings/csp1.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/jobs.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mgrts;
+
+rt::TaskSet example1() {
+  return rt::TaskSet::from_params({{0, 1, 2, 2}, {1, 3, 4, 4}, {0, 2, 2, 3}});
+}
+
+gen::Instance table1_instance(std::uint64_t index) {
+  gen::GeneratorOptions options;
+  options.tasks = 10;
+  options.processors = 5;
+  options.t_max = 7;
+  return gen::generate_indexed(options, 20090911, index);
+}
+
+void BM_DomainOps(benchmark::State& state) {
+  csp::Domain64 d(0, 40);
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    d = csp::Domain64(0, 40);
+    for (csp::Value v = 1; v < 40; v += 3) d.remove(v);
+    d.for_each([&](csp::Value v) { acc += v; });
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_DomainOps);
+
+void BM_WindowIndexHit(benchmark::State& state) {
+  const rt::TaskSet ts = example1();
+  const rt::WindowIndex windows(ts);
+  rt::Time t = 0;
+  for (auto _ : state) {
+    for (rt::TaskId i = 0; i < ts.size(); ++i) {
+      benchmark::DoNotOptimize(windows.hit(i, t));
+    }
+    t = (t + 1) % ts.hyperperiod();
+  }
+}
+BENCHMARK(BM_WindowIndexHit);
+
+void BM_GeneratorDraw(benchmark::State& state) {
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table1_instance(k++));
+  }
+}
+BENCHMARK(BM_GeneratorDraw);
+
+void BM_Csp2SolveExample1(benchmark::State& state) {
+  const rt::TaskSet ts = example1();
+  const rt::Platform platform = rt::Platform::identical(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csp2::solve(ts, platform));
+  }
+}
+BENCHMARK(BM_Csp2SolveExample1);
+
+void BM_Csp2SolveTable1Instance(benchmark::State& state) {
+  // A fixed mid-difficulty Table-I instance (r < 1, decided quickly).
+  const gen::Instance inst = table1_instance(3);
+  const rt::Platform platform = rt::Platform::identical(inst.processors);
+  csp2::Options options;
+  options.value_order = csp2::ValueOrder::kDMinusC;
+  options.max_nodes = 200'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csp2::solve(inst.tasks, platform, options));
+  }
+}
+BENCHMARK(BM_Csp2SolveTable1Instance);
+
+void BM_Csp1BuildExample1(benchmark::State& state) {
+  const rt::TaskSet ts = example1();
+  const rt::Platform platform = rt::Platform::identical(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc::build_csp1(ts, platform));
+  }
+}
+BENCHMARK(BM_Csp1BuildExample1);
+
+void BM_Csp1SolveExample1(benchmark::State& state) {
+  const rt::TaskSet ts = example1();
+  const rt::Platform platform = rt::Platform::identical(2);
+  for (auto _ : state) {
+    auto model = enc::build_csp1(ts, platform);
+    benchmark::DoNotOptimize(model.solver->solve({}));
+  }
+}
+BENCHMARK(BM_Csp1SolveExample1);
+
+void BM_FlowOracleExample1(benchmark::State& state) {
+  const rt::TaskSet ts = example1();
+  const rt::Platform platform = rt::Platform::identical(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::decide_feasibility(ts, platform));
+  }
+}
+BENCHMARK(BM_FlowOracleExample1);
+
+void BM_FlowOracleTable1Instance(benchmark::State& state) {
+  const gen::Instance inst = table1_instance(3);
+  const rt::Platform platform = rt::Platform::identical(inst.processors);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::decide_feasibility(inst.tasks, platform));
+  }
+}
+BENCHMARK(BM_FlowOracleTable1Instance);
+
+void BM_PropagationThroughput(benchmark::State& state) {
+  // Repeatedly solve a propagation-heavy but search-light model: a column
+  // of sum constraints that fix everything at the root.
+  for (auto _ : state) {
+    csp::Solver solver;
+    std::vector<csp::VarId> vars;
+    for (int k = 0; k < 64; ++k) vars.push_back(solver.add_variable(0, 1));
+    for (int c = 0; c < 16; ++c) {
+      std::vector<csp::VarId> scope(vars.begin() + c * 4,
+                                    vars.begin() + c * 4 + 4);
+      solver.add(csp::make_sum_eq(scope, 4));
+    }
+    benchmark::DoNotOptimize(solver.solve({}));
+  }
+}
+BENCHMARK(BM_PropagationThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Arbitrary-deadline systems (§VI-B): when D_i > T_i, consecutive jobs of
+// one task may be live simultaneously.  The paper's transformation creates
+// k_i = ceil(D_i/T_i) clones per task; the clone system is constrained-
+// deadline and is solved with the unchanged CSP machinery.
+//
+// Build & run:  ./arbitrary_deadline
+#include <cstdio>
+
+#include "core/solve.hpp"
+#include "rt/gantt.hpp"
+
+int main() {
+  using namespace mgrts;
+
+  // tau1 releases every 2 units but may finish up to 4 units after release:
+  // two of its jobs overlap, so they can run in parallel on two cores.
+  const rt::TaskSet tasks = rt::TaskSet::from_params(
+      {
+          {0, 3, 4, 2},  // tau1: D > T  -> 2 clones
+          {0, 1, 2, 2},  // tau2: constrained
+      },
+      rt::DeadlineModel::kArbitrary);
+
+  std::printf("== original (arbitrary-deadline) system ==\n");
+  for (rt::TaskId i = 0; i < tasks.size(); ++i) {
+    const auto& p = tasks[i].params;
+    std::printf("  %s: O=%lld C=%lld D=%lld T=%lld%s\n", tasks[i].name.c_str(),
+                static_cast<long long>(p.offset),
+                static_cast<long long>(p.wcet),
+                static_cast<long long>(p.deadline),
+                static_cast<long long>(p.period),
+                p.deadline > p.period ? "   (D > T!)" : "");
+  }
+
+  // Show the clone expansion explicitly (the facade would do this for us).
+  const rt::CloneExpansion expansion = tasks.expand_clones();
+  std::printf("\n== clone system (constrained) ==\n");
+  for (std::size_t c = 0; c < expansion.tasks.size(); ++c) {
+    const auto& clone = expansion.tasks[c];
+    std::printf("  %s  <- tau%d clone #%d:  O=%lld C=%lld D=%lld T=%lld\n",
+                clone.name.c_str(), expansion.origin[c].original + 1,
+                expansion.origin[c].clone + 1,
+                static_cast<long long>(clone.params.offset),
+                static_cast<long long>(clone.params.wcet),
+                static_cast<long long>(clone.params.deadline),
+                static_cast<long long>(clone.params.period));
+  }
+
+  const rt::Platform platform = rt::Platform::identical(2);
+  const core::SolveReport report = core::solve_instance(tasks, platform);
+  std::printf("\nverdict on m=2: %s (%.4fs)\n",
+              core::to_string(report.verdict), report.seconds);
+
+  if (report.schedule.has_value() && report.solved_tasks.has_value()) {
+    std::printf("witness over the clone system (validated: %s):\n%s",
+                report.witness_valid ? "yes" : "NO",
+                rt::render_schedule(*report.solved_tasks,
+                                    *report.schedule).c_str());
+    std::printf("%s",
+                rt::render_windows(*report.solved_tasks).c_str());
+    std::printf(
+        "\nSlots where both tau1 clones run at once are exactly the paper's "
+        "point: different jobs of one task execute in parallel.\n");
+  }
+
+  // The same system is infeasible on one processor: U > 1.
+  const core::SolveReport single =
+      core::solve_instance(tasks, rt::Platform::identical(1));
+  std::printf("verdict on m=1: %s (expected infeasible, U = %.2f)\n",
+              core::to_string(single.verdict),
+              tasks.utilization().to_double());
+  return report.verdict == core::Verdict::kFeasible ? 0 : 1;
+}

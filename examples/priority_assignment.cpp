@@ -1,0 +1,71 @@
+// Feasible priority assignment — the paper's §VIII future-work viewpoint:
+// instead of building the schedule table directly, search the n! priority
+// orders for one under which *global fixed-priority* scheduling meets all
+// deadlines, seeding the search with the (D-C) criterion that wins the
+// paper's experiments.
+//
+// The example uses the classic Dhall-effect instance to show:
+//   1. global EDF misses although the system is trivially feasible;
+//   2. the (D-C) seeded search immediately finds a working FP order;
+//   3. the CSP2 solver certifies feasibility independently.
+//
+// Build & run:  ./priority_assignment
+#include <cstdio>
+
+#include "core/solve.hpp"
+#include "priority/assignment.hpp"
+#include "rt/gantt.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace mgrts;
+
+  // Dhall-style instance: two light tasks + one processor-saturating task.
+  const rt::TaskSet tasks = rt::TaskSet::from_params({
+      {0, 1, 2, 2},  // tau1 light
+      {0, 1, 2, 2},  // tau2 light
+      {0, 2, 2, 2},  // tau3 heavy (needs a core to itself)
+  });
+  const rt::Platform platform = rt::Platform::identical(2);
+
+  // 1. Global EDF fails: both light tasks grab the processors at t=0.
+  const sim::SimResult edf = sim::simulate(tasks, platform);
+  std::printf("global EDF: %s", sim::to_string(edf.status));
+  if (edf.status == sim::SimStatus::kDeadlineMiss) {
+    std::printf(" (tau%d at t=%lld)", edf.miss_task + 1,
+                static_cast<long long>(edf.miss_time));
+  }
+  std::printf("\n");
+
+  // 2. Priority search, (D-C) first.
+  const prio::SearchResult search =
+      prio::find_feasible_priority(tasks, platform);
+  std::printf("priority search: %s after %lld order(s), source: %s\n",
+              prio::to_string(search.status),
+              static_cast<long long>(search.orders_tried), search.source);
+  if (search.status == prio::SearchStatus::kFound) {
+    std::printf("feasible priority order (high to low):");
+    for (const auto task : *search.order) std::printf(" tau%d", task + 1);
+    std::printf("\n");
+
+    sim::SimOptions fp;
+    fp.policy = sim::Policy::kFixedPriority;
+    fp.priority = *search.order;
+    const sim::SimResult run = sim::simulate(tasks, platform, fp);
+    if (run.schedule.has_value()) {
+      std::printf("\nglobal FP schedule under that order:\n%s\n",
+                  rt::render_schedule(tasks, *run.schedule).c_str());
+    }
+  }
+
+  // 3. Independent certification by the CSP2 solver.
+  const core::SolveReport csp = core::solve_instance(tasks, platform);
+  std::printf("CSP2 verdict: %s (witness valid: %s)\n",
+              core::to_string(csp.verdict),
+              csp.witness_valid ? "yes" : "no");
+
+  return search.status == prio::SearchStatus::kFound &&
+                 csp.verdict == core::Verdict::kFeasible
+             ? 0
+             : 1;
+}

@@ -1,0 +1,75 @@
+// Runtime dispatching of a CSP schedule with early completions.
+//
+// After Theorem 1 the paper notes that the CSP schedule budgets worst-case
+// execution; when a job finishes early "the processor is considered idled
+// in order to avoid scheduling anomalies".  This example solves an
+// instance, then replays the table for several hyperperiods with random
+// actual demands <= WCET and shows that no deadline is ever missed while
+// idle time appears exactly where jobs underran.
+//
+// Build & run:  ./runtime_dispatch [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/solve.hpp"
+#include "rt/dispatcher.hpp"
+#include "rt/gantt.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgrts;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  const rt::TaskSet tasks = rt::TaskSet::from_params({
+      {0, 1, 2, 2},
+      {1, 3, 4, 4},
+      {0, 2, 2, 3},
+  });
+  const rt::Platform platform = rt::Platform::identical(2);
+
+  const core::SolveReport report = core::solve_instance(tasks, platform);
+  if (report.verdict != core::Verdict::kFeasible) {
+    std::printf("unexpected: instance infeasible\n");
+    return 1;
+  }
+  std::printf("cyclic table (WCET budget):\n%s\n",
+              rt::render_schedule(tasks, *report.schedule).c_str());
+
+  support::Rng rng(seed);
+  const auto trace = rt::dispatch_table(
+      tasks, platform, *report.schedule,
+      [&](rt::TaskId i, std::int64_t) {
+        // Jobs use between 1 unit and their full WCET.
+        return rng.uniform(1, tasks[i].wcet());
+      },
+      /*hyperperiods=*/4);
+
+  std::printf("dispatched %zu jobs over 4 hyperperiods\n", trace.jobs.size());
+  std::printf("slots idled by early completion: %lld\n",
+              static_cast<long long>(trace.idle_injected));
+  long long misses = 0;
+  for (const auto& job : trace.jobs) {
+    if (!job.met()) ++misses;
+  }
+  std::printf("deadline misses: %lld (anomaly-avoidance guarantees 0)\n",
+              misses);
+
+  // A few sample completions.
+  std::printf("\nsample job outcomes:\n");
+  for (std::size_t k = 0; k < trace.jobs.size() && k < 8; ++k) {
+    const auto& job = trace.jobs[k];
+    std::printf(
+        "  tau%d job %lld: released %lld, demanded %lld/%lld, done at %lld, "
+        "deadline %lld -> %s\n",
+        job.task + 1, static_cast<long long>(job.job),
+        static_cast<long long>(job.release),
+        static_cast<long long>(job.actual),
+        static_cast<long long>(tasks[job.task].wcet()),
+        static_cast<long long>(job.completed_at),
+        static_cast<long long>(job.abs_deadline),
+        job.met() ? "met" : "MISS");
+  }
+  return misses == 0 ? 0 : 1;
+}

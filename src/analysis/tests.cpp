@@ -1,0 +1,163 @@
+#include "analysis/tests.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace mgrts::analysis {
+
+using rt::TaskId;
+using rt::Time;
+using support::Rational;
+
+const char* to_string(TestVerdict verdict) {
+  switch (verdict) {
+    case TestVerdict::kFeasible: return "feasible";
+    case TestVerdict::kInfeasible: return "infeasible";
+    case TestVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+void require_constrained(const rt::TaskSet& ts) {
+  if (!ts.is_constrained()) {
+    throw ValidationError(
+        "analysis tests expect a constrained-deadline system; expand clones "
+        "first (TaskSet::to_constrained)");
+  }
+}
+
+}  // namespace
+
+TestResult utilization_test(const rt::TaskSet& ts, std::int32_t processors) {
+  require_constrained(ts);
+  MGRTS_EXPECTS(processors >= 1);
+  TestResult result;
+  result.test = "utilization";
+  if (ts.exceeds_capacity(processors)) {
+    const Rational u = ts.utilization();
+    result.verdict = TestVerdict::kInfeasible;
+    result.detail = "U = " + std::to_string(u.num()) + "/" +
+                    std::to_string(u.den()) + " > m = " +
+                    std::to_string(processors);
+  }
+  return result;
+}
+
+TestResult window_fit_test(const rt::TaskSet& ts, std::int32_t processors) {
+  require_constrained(ts);
+  MGRTS_EXPECTS(processors >= 1);
+  TestResult result;
+  result.test = "window-fit";
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    if (ts[i].wcet() > ts[i].deadline()) {
+      result.verdict = TestVerdict::kInfeasible;
+      result.detail = ts[i].name + ": C = " + std::to_string(ts[i].wcet()) +
+                      " > D = " + std::to_string(ts[i].deadline()) +
+                      " cannot fit its window at unit speed";
+      return result;
+    }
+  }
+  return result;
+}
+
+TestResult forced_demand_test(const rt::TaskSet& ts, std::int32_t processors,
+                              std::int64_t max_events) {
+  require_constrained(ts);
+  MGRTS_EXPECTS(processors >= 1);
+  TestResult result;
+  result.test = "forced-demand";
+
+  // Jobs of task i end their windows at L = O_i + D_i + k*T_i.  Any job
+  // whose window lies inside [0, L) must receive its full C_i there, so
+  //     demand(L) = sum of C_i over window-ends <= L   must be <= m * L.
+  // Walk the event points in ascending order with a min-heap; demand is a
+  // step function, so checking at each event point is exact.
+  struct Event {
+    Time at;
+    TaskId task;
+  };
+  struct LaterFirst {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at > b.at;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, LaterFirst> heap;
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    heap.push(Event{ts[i].offset() + ts[i].deadline(), i});
+  }
+
+  const Time horizon = ts.hyperperiod();
+  Time demand = 0;
+  std::int64_t steps = 0;
+  while (!heap.empty() && steps < max_events) {
+    const Event event = heap.top();
+    heap.pop();
+    ++steps;
+    if (event.at > horizon) break;
+    demand += ts[event.task].wcet();
+    if (demand > static_cast<Time>(processors) * event.at) {
+      result.verdict = TestVerdict::kInfeasible;
+      result.detail = "demand(" + std::to_string(event.at) + ") = " +
+                      std::to_string(demand) + " > m*L = " +
+                      std::to_string(processors * event.at);
+      return result;
+    }
+    const Time next = event.at + ts[event.task].period();
+    if (next <= horizon) heap.push(Event{next, event.task});
+  }
+  return result;
+}
+
+TestResult density_test(const rt::TaskSet& ts, std::int32_t processors) {
+  require_constrained(ts);
+  MGRTS_EXPECTS(processors >= 1);
+  TestResult result;
+  result.test = "density";
+  // delta = sum C_i / D_i, exact.  C_i > D_i makes a single term exceed 1;
+  // the window-fit test reports those as infeasible, so bail out here.
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    if (ts[i].wcet() > ts[i].deadline()) return result;  // unknown
+  }
+  Rational density;
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    density += Rational(ts[i].wcet(), ts[i].deadline());
+  }
+  if (density <= processors) {
+    result.verdict = TestVerdict::kFeasible;
+    result.detail = "total density " + std::to_string(density.num()) + "/" +
+                    std::to_string(density.den()) + " <= m = " +
+                    std::to_string(processors);
+  }
+  return result;
+}
+
+TestResult quick_decide(const rt::TaskSet& ts, std::int32_t processors) {
+  // Cheapest first; the first decisive test wins.
+  if (auto r = window_fit_test(ts, processors);
+      r.verdict != TestVerdict::kUnknown) {
+    return r;
+  }
+  if (auto r = utilization_test(ts, processors);
+      r.verdict != TestVerdict::kUnknown) {
+    return r;
+  }
+  if (auto r = density_test(ts, processors);
+      r.verdict != TestVerdict::kUnknown) {
+    return r;
+  }
+  if (auto r = forced_demand_test(ts, processors);
+      r.verdict != TestVerdict::kUnknown) {
+    return r;
+  }
+  TestResult unknown;
+  unknown.test = "quick-decide";
+  return unknown;
+}
+
+}  // namespace mgrts::analysis

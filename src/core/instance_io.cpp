@@ -1,0 +1,155 @@
+#include "core/instance_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mgrts::core {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("instance line " + std::to_string(line) + ": " + message);
+}
+
+/// Reads the next content line (skipping blanks/comments); returns false at
+/// end of stream.
+bool next_line(std::istream& in, std::string& out, int& line_no) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos || raw[first] == '#') continue;
+    const auto last = raw.find_last_not_of(" \t\r");
+    out = raw.substr(first, last - first + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+InstanceFile read_instance(std::istream& in) {
+  int line_no = 0;
+  std::string line;
+
+  auto expect_keyword_value = [&](const std::string& text,
+                                  const std::string& keyword) {
+    std::istringstream ss(text);
+    std::string word;
+    ss >> word;
+    if (word != keyword) {
+      fail(line_no, "expected '" + keyword + " <value>', got '" + text + "'");
+    }
+    std::int64_t value = 0;
+    if (!(ss >> value)) fail(line_no, "expected an integer after " + keyword);
+    return value;
+  };
+
+  if (!next_line(in, line, line_no)) fail(line_no, "empty instance");
+  const auto n = expect_keyword_value(line, "tasks");
+  if (n < 1 || n > 1'000'000) fail(line_no, "unreasonable task count");
+
+  std::vector<rt::TaskParams> params;
+  params.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!next_line(in, line, line_no)) fail(line_no, "missing task line");
+    std::istringstream ss(line);
+    rt::TaskParams p;
+    if (!(ss >> p.offset >> p.wcet >> p.deadline >> p.period)) {
+      fail(line_no, "expected 'O C D T'");
+    }
+    std::string extra;
+    if (ss >> extra) fail(line_no, "trailing token '" + extra + "'");
+    params.push_back(p);
+  }
+
+  if (!next_line(in, line, line_no)) fail(line_no, "missing 'processors'");
+  const auto m = expect_keyword_value(line, "processors");
+  if (m < 1 || m > 1'000'000) fail(line_no, "unreasonable processor count");
+
+  rt::DeadlineModel model = rt::DeadlineModel::kConstrained;
+  bool have_rates = false;
+  std::vector<std::vector<rt::Rate>> rates;
+
+  while (next_line(in, line, line_no)) {
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word;
+    if (word == "deadline-model") {
+      std::string value;
+      ss >> value;
+      if (value == "constrained") {
+        model = rt::DeadlineModel::kConstrained;
+      } else if (value == "arbitrary") {
+        model = rt::DeadlineModel::kArbitrary;
+      } else {
+        fail(line_no, "unknown deadline-model '" + value + "'");
+      }
+    } else if (word == "rates") {
+      have_rates = true;
+      rates.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (!next_line(in, line, line_no)) fail(line_no, "missing rate row");
+        std::istringstream row(line);
+        std::vector<rt::Rate> r;
+        r.reserve(static_cast<std::size_t>(m));
+        for (std::int64_t j = 0; j < m; ++j) {
+          rt::Rate s = 0;
+          if (!(row >> s)) fail(line_no, "expected " + std::to_string(m) +
+                                             " rates in the row");
+          r.push_back(s);
+        }
+        rates.push_back(std::move(r));
+      }
+    } else {
+      fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+
+  InstanceFile file{rt::TaskSet::from_params(params, model),
+                    have_rates
+                        ? rt::Platform::heterogeneous(std::move(rates))
+                        : rt::Platform::identical(static_cast<std::int32_t>(m))};
+  return file;
+}
+
+InstanceFile read_instance_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_instance(in);
+}
+
+void write_instance(std::ostream& out, const rt::TaskSet& ts,
+                    const rt::Platform& platform) {
+  out << "# mgrts instance\n";
+  out << "tasks " << ts.size() << "\n";
+  out << "# O C D T\n";
+  for (const auto& task : ts.tasks()) {
+    out << task.offset() << ' ' << task.wcet() << ' ' << task.deadline() << ' '
+        << task.period() << "\n";
+  }
+  out << "processors " << platform.processors() << "\n";
+  if (!ts.is_constrained()) out << "deadline-model arbitrary\n";
+  if (!platform.is_identical()) {
+    out << "rates\n";
+    for (rt::TaskId i = 0; i < ts.size(); ++i) {
+      for (rt::ProcId j = 0; j < platform.processors(); ++j) {
+        if (j != 0) out << ' ';
+        out << platform.rate(i, j);
+      }
+      out << "\n";
+    }
+  }
+}
+
+std::string write_instance_string(const rt::TaskSet& ts,
+                                  const rt::Platform& platform) {
+  std::ostringstream out;
+  write_instance(out, ts, platform);
+  return out.str();
+}
+
+}  // namespace mgrts::core

@@ -1,0 +1,44 @@
+// Plain-text instance format, so examples and external tools can exchange
+// problems:
+//
+//     # comment lines start with '#'
+//     tasks 3
+//     # one line per task: O C D T
+//     0 1 2 2
+//     1 3 4 4
+//     0 2 2 3
+//     processors 2
+//     deadline-model constrained     # optional; or "arbitrary"
+//     rates                          # optional heterogeneous block:
+//     1 0                            #   n rows x m columns of s_{i,j}
+//     1 2
+//     0 1
+//
+// Without a `rates` block the platform is identical.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rt/platform.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::core {
+
+struct InstanceFile {
+  rt::TaskSet tasks;
+  rt::Platform platform = rt::Platform::identical(1);
+};
+
+/// Parses the format above; throws ParseError with a line reference on
+/// malformed input and ValidationError when the parsed system is invalid.
+[[nodiscard]] InstanceFile read_instance(std::istream& in);
+[[nodiscard]] InstanceFile read_instance_string(const std::string& text);
+
+/// Serializes an instance in the same format (round-trips through read).
+void write_instance(std::ostream& out, const rt::TaskSet& ts,
+                    const rt::Platform& platform);
+[[nodiscard]] std::string write_instance_string(const rt::TaskSet& ts,
+                                                const rt::Platform& platform);
+
+}  // namespace mgrts::core

@@ -1,0 +1,36 @@
+#include "core/min_processors.hpp"
+
+#include "rt/platform.hpp"
+#include "support/assert.hpp"
+
+namespace mgrts::core {
+
+MinProcessorsResult min_processors(const rt::TaskSet& ts,
+                                   const SolveConfig& config,
+                                   std::int32_t max_m) {
+  MinProcessorsResult result;
+  const rt::TaskSet constrained =
+      ts.is_constrained() ? ts : ts.to_constrained();
+  result.lower_bound = constrained.min_processors_bound();
+  if (max_m <= 0) max_m = constrained.size();
+
+  for (std::int32_t m = result.lower_bound; m <= max_m; ++m) {
+    SolveReport report =
+        solve_instance(constrained, rt::Platform::identical(m), config);
+    result.trail.push_back(report.verdict);
+    if (report.verdict == Verdict::kFeasible) {
+      result.found = true;
+      result.processors = m;
+      result.report = std::move(report);
+      return result;
+    }
+    if (report.verdict != Verdict::kInfeasible || !report.complete) {
+      // Undecided (timeout / limits / incomplete search): a larger m might
+      // still work, but we can no longer certify minimality; stop here.
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mgrts::core

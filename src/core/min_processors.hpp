@@ -1,0 +1,43 @@
+// Incremental minimum-processor search (§VII-E closes with: "It would be
+// interesting to use an algorithm which incrementally searches for the
+// smallest number of processors m required to schedule a given set of
+// tasks." — this module is that algorithm).
+//
+// Starts at the exact capacity lower bound m = max(1, ceil(U)) and
+// increments m until the configured solver proves feasibility.  Identical
+// platforms only (heterogeneous "add a processor" is ill-defined without a
+// rate column for it).  An upper bound of m = n always suffices on
+// identical platforms: with one processor per task, every job can run in
+// the first C_i slots of its window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::core {
+
+struct MinProcessorsResult {
+  /// True when a feasible m was certified within the bounds/budget.
+  bool found = false;
+  /// The certified minimum (valid iff found).
+  std::int32_t processors = 0;
+  /// The capacity lower bound ceil(U) the search started from.
+  std::int32_t lower_bound = 0;
+  /// Report of the successful run (valid iff found).
+  SolveReport report;
+  /// Per-m verdicts, parallel to m = lower_bound, lower_bound+1, ...
+  std::vector<Verdict> trail;
+};
+
+/// Searches m in [ceil(U), max_m].  `config.method` must be a complete
+/// decision procedure for the verdict to be a true minimum; incomplete
+/// methods (EDF) still yield an upper bound.  Stops early when a solver
+/// returns a non-decided verdict (timeout/limits) — `found` stays false.
+[[nodiscard]] MinProcessorsResult min_processors(const rt::TaskSet& ts,
+                                                 const SolveConfig& config = {},
+                                                 std::int32_t max_m = 0);
+
+}  // namespace mgrts::core

@@ -1,0 +1,188 @@
+#include "core/solve.hpp"
+
+#include <utility>
+
+#include "encodings/csp1.hpp"
+#include "flow/oracle.hpp"
+#include "rt/validate.hpp"
+#include "sim/simulator.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::core {
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kCsp1Generic: return "CSP1(generic)";
+    case Method::kCsp2Generic: return "CSP2(generic)";
+    case Method::kCsp2Dedicated: return "CSP2(dedicated)";
+    case Method::kFlowOracle: return "flow-oracle";
+    case Method::kEdfSimulation: return "EDF-sim";
+  }
+  return "?";
+}
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kFeasible: return "feasible";
+    case Verdict::kInfeasible: return "infeasible";
+    case Verdict::kTimeout: return "timeout";
+    case Verdict::kNodeLimit: return "node-limit";
+    case Verdict::kMemoryLimit: return "memory-limit";
+  }
+  return "?";
+}
+
+csp::SearchOptions choco_like_defaults(std::uint64_t seed) {
+  csp::SearchOptions options;
+  options.var_heuristic = csp::VarHeuristic::kDomWdeg;
+  options.val_heuristic = csp::ValHeuristic::kRandom;
+  options.random_var_ties = true;
+  options.restart = csp::RestartPolicy::kLuby;
+  options.restart_scale = 128;
+  options.seed = seed;
+  return options;
+}
+
+namespace {
+
+Verdict from_generic(csp::SolveStatus status) {
+  switch (status) {
+    case csp::SolveStatus::kSat: return Verdict::kFeasible;
+    case csp::SolveStatus::kUnsat: return Verdict::kInfeasible;
+    case csp::SolveStatus::kTimeout: return Verdict::kTimeout;
+    case csp::SolveStatus::kNodeLimit: return Verdict::kNodeLimit;
+    case csp::SolveStatus::kMemoryLimit: return Verdict::kMemoryLimit;
+  }
+  return Verdict::kInfeasible;
+}
+
+Verdict from_csp2(csp2::Status status) {
+  switch (status) {
+    case csp2::Status::kFeasible: return Verdict::kFeasible;
+    case csp2::Status::kInfeasible: return Verdict::kInfeasible;
+    case csp2::Status::kTimeout: return Verdict::kTimeout;
+    case csp2::Status::kNodeLimit: return Verdict::kNodeLimit;
+  }
+  return Verdict::kInfeasible;
+}
+
+}  // namespace
+
+SolveReport solve_instance(const rt::TaskSet& input,
+                           const rt::Platform& platform,
+                           const SolveConfig& config) {
+  support::Stopwatch watch;
+  SolveReport report;
+
+  // §VI-B: arbitrary-deadline systems are solved through their clone
+  // expansion; every downstream component expects constrained deadlines.
+  const bool cloned = !input.is_constrained();
+  const rt::TaskSet ts = cloned ? input.to_constrained() : input;
+  if (cloned) report.solved_tasks = ts;
+
+  const auto deadline = config.time_limit_ms < 0
+                            ? support::Deadline()
+                            : support::Deadline::after_ms(config.time_limit_ms);
+
+  try {
+    switch (config.method) {
+      case Method::kCsp1Generic: {
+        auto model = enc::build_csp1(ts, platform, config.limits);
+        csp::SearchOptions options = config.generic;
+        options.deadline = deadline;
+        options.max_nodes = config.max_nodes;
+        const csp::SolveOutcome outcome = model.solver->solve(options);
+        report.verdict = from_generic(outcome.status);
+        report.nodes = outcome.stats.nodes;
+        report.failures = outcome.stats.failures;
+        if (outcome.status == csp::SolveStatus::kSat) {
+          report.schedule = enc::decode_csp1(model, outcome.assignment);
+        }
+        break;
+      }
+      case Method::kCsp2Generic: {
+        auto model =
+            enc::build_csp2_generic(ts, platform, config.csp2_generic,
+                                    config.limits);
+        csp::SearchOptions options = config.generic;
+        options.deadline = deadline;
+        options.max_nodes = config.max_nodes;
+        const csp::SolveOutcome outcome = model.solver->solve(options);
+        report.verdict = from_generic(outcome.status);
+        report.nodes = outcome.stats.nodes;
+        report.failures = outcome.stats.failures;
+        if (outcome.status == csp::SolveStatus::kSat) {
+          report.schedule = enc::decode_csp2_generic(model, outcome.assignment);
+        }
+        break;
+      }
+      case Method::kCsp2Dedicated: {
+        csp2::Options options = config.csp2;
+        options.deadline = deadline;
+        options.max_nodes = config.max_nodes;
+        csp2::Result result = csp2::solve(ts, platform, options);
+        report.verdict = from_csp2(result.status);
+        report.complete = result.search_complete;
+        report.nodes = result.stats.nodes;
+        report.failures = result.stats.failures;
+        report.schedule = std::move(result.schedule);
+        break;
+      }
+      case Method::kFlowOracle: {
+        flow::OracleResult oracle = flow::decide_feasibility(ts, platform);
+        report.verdict = oracle.verdict == flow::OracleVerdict::kFeasible
+                             ? Verdict::kFeasible
+                             : Verdict::kInfeasible;
+        report.schedule = std::move(oracle.schedule);
+        break;
+      }
+      case Method::kEdfSimulation: {
+        sim::SimOptions options;
+        options.policy = sim::Policy::kEdf;
+        const sim::SimResult result = sim::simulate(ts, platform, options);
+        report.complete = false;  // EDF is not an optimal global policy
+        if (result.status == sim::SimStatus::kSchedulable) {
+          report.verdict = Verdict::kFeasible;
+          if (result.schedule.has_value()) {
+            report.schedule = result.schedule;
+          } else {
+            // Schedulable with a steady state longer than one hyperperiod:
+            // no compact witness to validate.
+            report.detail = "schedulable; steady state period exceeds T";
+          }
+        } else {
+          report.verdict = Verdict::kInfeasible;
+          report.detail = std::string("EDF ") + sim::to_string(result.status);
+        }
+        break;
+      }
+    }
+  } catch (const ResourceError& e) {
+    report.verdict = Verdict::kMemoryLimit;
+    report.detail = e.what();
+    report.seconds = watch.seconds();
+    return report;
+  }
+
+  if (report.schedule.has_value() && config.validate_witness) {
+    report.witness_valid =
+        rt::is_valid_schedule(ts, platform, *report.schedule);
+  } else if (report.schedule.has_value()) {
+    report.witness_valid = true;  // validation skipped by request
+  }
+
+  // A "feasible" claim without a checkable or valid witness is a solver bug;
+  // surface it loudly in the detail string rather than silently trusting it.
+  if (report.verdict == Verdict::kFeasible && report.schedule.has_value() &&
+      config.validate_witness && !report.witness_valid) {
+    report.detail = "INVALID WITNESS: " +
+                    rt::validate_schedule(ts, platform, *report.schedule)
+                        .to_string();
+  }
+
+  report.seconds = watch.seconds();
+  return report;
+}
+
+}  // namespace mgrts::core

@@ -1,0 +1,110 @@
+// Public facade: solve one MGRTS instance with a chosen method.
+//
+// Methods:
+//   kCsp1Generic    — the paper's CSP1 route: boolean encoding (§IV) handed
+//                     to the generic engine (src/csp) with a randomized
+//                     Choco-like default strategy;
+//   kCsp2Generic    — CSP2's multi-valued encoding (§V) on the generic
+//                     engine (ablation: encoding vs. dedicated search);
+//   kCsp2Dedicated  — the paper's CSP2 solver with hand-made search (§V-C);
+//   kFlowOracle     — exact polynomial feasibility via max-flow (identical
+//                     platforms; this repo's ground-truth baseline);
+//   kEdfSimulation  — global EDF baseline (incomplete: a deadline miss does
+//                     not prove infeasibility).
+//
+// Arbitrary-deadline task sets are clone-expanded (§VI-B) transparently;
+// the report then carries the constrained clone system the schedule refers
+// to.  All feasible witnesses are re-checked by the independent validator
+// unless `validate_witness` is disabled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "csp/options.hpp"
+#include "csp2/csp2.hpp"
+#include "encodings/csp2_generic.hpp"
+#include "rt/platform.hpp"
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::core {
+
+enum class Method {
+  kCsp1Generic,
+  kCsp2Generic,
+  kCsp2Dedicated,
+  kFlowOracle,
+  kEdfSimulation,
+};
+
+[[nodiscard]] const char* to_string(Method method);
+
+enum class Verdict {
+  kFeasible,
+  kInfeasible,
+  kTimeout,      ///< the paper's "overrun"
+  kNodeLimit,
+  kMemoryLimit,  ///< model exceeded the variable/memory budget (Table IV "-")
+};
+
+[[nodiscard]] const char* to_string(Verdict verdict);
+
+struct SolveConfig {
+  Method method = Method::kCsp2Dedicated;
+
+  /// Wall-clock budget for build + search; -1 = unlimited.
+  std::int64_t time_limit_ms = -1;
+  /// Node budget for the searching methods; -1 = unlimited.
+  std::int64_t max_nodes = -1;
+
+  /// Knobs for kCsp2Dedicated (deadline/max_nodes fields are overridden by
+  /// the budgets above).
+  csp2::Options csp2;
+  /// Knobs for the generic engine (kCsp1Generic / kCsp2Generic).
+  csp::SearchOptions generic;
+  /// Encoding options for kCsp2Generic.
+  enc::Csp2GenericOptions csp2_generic;
+  /// Variable budget for generic models (Choco-OOM stand-in).
+  csp::SolverLimits limits;
+
+  /// Re-check feasible witnesses with the independent validator.
+  bool validate_witness = true;
+};
+
+/// A Choco-like default line-up for CSP1: dom/wdeg, random value order and
+/// tie-breaking, Luby restarts.  §VII-B's observation that CSP1 runs vary
+/// between executions corresponds to varying `seed`.
+[[nodiscard]] csp::SearchOptions choco_like_defaults(std::uint64_t seed);
+
+struct SolveReport {
+  Verdict verdict = Verdict::kInfeasible;
+  std::optional<rt::Schedule> schedule;  ///< present iff kFeasible
+
+  /// The constrained-deadline system the schedule refers to (differs from
+  /// the input when clones were expanded).
+  std::optional<rt::TaskSet> solved_tasks;
+
+  /// True when the witness passed the independent validator (always true
+  /// for kFeasible results unless validation was disabled).
+  bool witness_valid = false;
+
+  /// For kInfeasible: whether the verdict is a proof.  False for the EDF
+  /// baseline and for rule-1 CSP2 searches on heterogeneous platforms
+  /// (csp2.hpp header discussion).
+  bool complete = true;
+
+  double seconds = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t failures = 0;
+  std::string detail;  ///< human-readable note (e.g. memory-limit reason)
+};
+
+/// Solves the instance.  Throws ValidationError for structurally invalid
+/// requests (e.g. the flow oracle on a heterogeneous platform).
+[[nodiscard]] SolveReport solve_instance(const rt::TaskSet& ts,
+                                         const rt::Platform& platform,
+                                         const SolveConfig& config = {});
+
+}  // namespace mgrts::core

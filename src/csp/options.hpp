@@ -1,0 +1,73 @@
+// Search configuration, limits, and result types of the generic solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csp/domain.hpp"
+#include "support/deadline.hpp"
+
+namespace mgrts::csp {
+
+/// Variable selection strategies.
+enum class VarHeuristic {
+  kLex,        ///< first unfixed variable in declaration order
+  kMinDomain,  ///< smallest current domain, ties by declaration order
+  kDomWdeg,    ///< dom/wdeg (Boussemart et al.), the "modern default"
+};
+
+/// Value selection strategies.
+enum class ValHeuristic {
+  kMin,     ///< ascending values
+  kMax,     ///< descending values
+  kRandom,  ///< random order per decision (Choco-like randomized search)
+};
+
+/// Restart schedules (restarting only makes sense with some randomization,
+/// otherwise the search repeats itself).
+enum class RestartPolicy {
+  kNone,
+  kLuby,       ///< Luby sequence scaled by `restart_scale` failures
+  kGeometric,  ///< restart_scale * 1.5^k failures
+};
+
+struct SearchOptions {
+  VarHeuristic var_heuristic = VarHeuristic::kDomWdeg;
+  ValHeuristic val_heuristic = ValHeuristic::kMin;
+  RestartPolicy restart = RestartPolicy::kNone;
+  std::int64_t restart_scale = 100;  ///< base failure budget between restarts
+  bool random_var_ties = false;      ///< break heuristic ties randomly
+  std::uint64_t seed = 1;            ///< stream for all randomized choices
+  std::int64_t max_nodes = -1;       ///< -1 = unlimited
+  support::Deadline deadline;        ///< default: unlimited
+};
+
+enum class SolveStatus {
+  kSat,         ///< a complete consistent assignment was found
+  kUnsat,       ///< search space exhausted, no solution exists
+  kTimeout,     ///< wall-clock deadline hit (paper's "overrun")
+  kNodeLimit,   ///< node budget hit
+  kMemoryLimit, ///< the model exceeded its variable budget at build time
+};
+
+[[nodiscard]] constexpr bool decided(SolveStatus s) noexcept {
+  return s == SolveStatus::kSat || s == SolveStatus::kUnsat;
+}
+
+struct SolveStats {
+  std::int64_t nodes = 0;         ///< decision nodes explored
+  std::int64_t failures = 0;      ///< dead ends (conflicts)
+  std::int64_t propagations = 0;  ///< propagator executions
+  std::int64_t restarts = 0;
+  std::int64_t max_depth = 0;
+  double seconds = 0.0;
+};
+
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kUnsat;
+  /// Value per variable, valid iff status == kSat.
+  std::vector<Value> assignment;
+  SolveStats stats;
+};
+
+}  // namespace mgrts::csp

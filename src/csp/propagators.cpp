@@ -1,0 +1,318 @@
+#include "csp/propagators.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace mgrts::csp {
+
+namespace {
+/// Sort key for SymmetryChain: idle compares as +infinity.
+constexpr std::int64_t kIdleKey = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t key_of(Value v, Value idle) noexcept {
+  return v == idle ? kIdleKey : static_cast<std::int64_t>(v);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- AtMostOne
+
+AtMostOneTrue::AtMostOneTrue(std::vector<VarId> vars)
+    : vars_(std::move(vars)) {
+  MGRTS_EXPECTS(!vars_.empty());
+}
+
+PropResult AtMostOneTrue::propagate(Solver& solver) {
+  VarId fixed_one = -1;
+  for (const VarId v : vars_) {
+    const Domain64& d = solver.domain(v);
+    if (d.is_fixed() && d.value() == 1) {
+      if (fixed_one >= 0) return PropResult::kFail;
+      fixed_one = v;
+    }
+  }
+  if (fixed_one < 0) return PropResult::kOk;
+  for (const VarId v : vars_) {
+    if (v == fixed_one) continue;
+    if (solver.remove(v, 1) == PropResult::kFail) return PropResult::kFail;
+  }
+  return PropResult::kOk;
+}
+
+// ----------------------------------------------------------- LinearBoolSumEq
+
+LinearBoolSumEq::LinearBoolSumEq(std::vector<VarId> vars,
+                                 std::vector<std::int64_t> weights,
+                                 std::int64_t target)
+    : vars_(std::move(vars)), weights_(std::move(weights)), target_(target) {
+  MGRTS_EXPECTS(vars_.size() == weights_.size());
+  MGRTS_EXPECTS(target_ >= 0);
+  for (const std::int64_t w : weights_) MGRTS_EXPECTS(w >= 0);
+}
+
+PropResult LinearBoolSumEq::propagate(Solver& solver) {
+  // Iterate to a local fixpoint: each forced assignment tightens the bounds.
+  for (;;) {
+    std::int64_t lb = 0;
+    std::int64_t ub = 0;
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (d.is_fixed()) {
+        if (d.value() == 1) {
+          lb += weights_[k];
+          ub += weights_[k];
+        }
+      } else {
+        ub += weights_[k];
+      }
+    }
+    if (target_ < lb || target_ > ub) return PropResult::kFail;
+
+    bool changed = false;
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (d.is_fixed()) continue;
+      if (lb + weights_[k] > target_) {
+        // Running this slot would overshoot the required amount.
+        if (solver.fix(vars_[k], 0) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+        changed = true;
+      } else if (ub - weights_[k] < target_) {
+        // Without this slot the amount can no longer be reached.
+        if (solver.fix(vars_[k], 1) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+        changed = true;
+      }
+    }
+    if (!changed) return PropResult::kOk;
+  }
+}
+
+// ------------------------------------------------------------------ CountEq
+
+CountEq::CountEq(std::vector<VarId> vars, Value value, std::int64_t target)
+    : vars_(std::move(vars)), value_(value), target_(target) {
+  MGRTS_EXPECTS(target_ >= 0);
+}
+
+PropResult CountEq::propagate(Solver& solver) {
+  std::int64_t lb = 0;  // variables already fixed to `value_`
+  std::int64_t ub = 0;  // variables that can still take `value_`
+  for (const VarId v : vars_) {
+    const Domain64& d = solver.domain(v);
+    if (!d.contains(value_)) continue;
+    ++ub;
+    if (d.is_fixed()) ++lb;
+  }
+  if (target_ < lb || target_ > ub) return PropResult::kFail;
+  if (lb == target_) {
+    // Quota reached: no one else may take the value.
+    for (const VarId v : vars_) {
+      const Domain64& d = solver.domain(v);
+      if (!d.is_fixed() && d.contains(value_)) {
+        if (solver.remove(v, value_) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+      }
+    }
+  } else if (ub == target_) {
+    // Every candidate is needed.
+    for (const VarId v : vars_) {
+      const Domain64& d = solver.domain(v);
+      if (!d.is_fixed() && d.contains(value_)) {
+        if (solver.fix(v, value_) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+      }
+    }
+  }
+  return PropResult::kOk;
+}
+
+// ---------------------------------------------------------- WeightedCountEq
+
+WeightedCountEq::WeightedCountEq(std::vector<VarId> vars,
+                                 std::vector<std::int64_t> weights,
+                                 Value value, std::int64_t target)
+    : vars_(std::move(vars)),
+      weights_(std::move(weights)),
+      value_(value),
+      target_(target) {
+  MGRTS_EXPECTS(vars_.size() == weights_.size());
+  MGRTS_EXPECTS(target_ >= 0);
+  for (const std::int64_t w : weights_) MGRTS_EXPECTS(w >= 0);
+}
+
+PropResult WeightedCountEq::propagate(Solver& solver) {
+  for (;;) {
+    std::int64_t lb = 0;
+    std::int64_t ub = 0;
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (!d.contains(value_)) continue;
+      if (d.is_fixed()) {
+        lb += weights_[k];
+        ub += weights_[k];
+      } else {
+        ub += weights_[k];
+      }
+    }
+    if (target_ < lb || target_ > ub) return PropResult::kFail;
+
+    bool changed = false;
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (d.is_fixed() || !d.contains(value_)) continue;
+      if (lb + weights_[k] > target_) {
+        if (solver.remove(vars_[k], value_) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+        changed = true;
+      } else if (ub - weights_[k] < target_) {
+        if (solver.fix(vars_[k], value_) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+        changed = true;
+      }
+    }
+    if (!changed) return PropResult::kOk;
+  }
+}
+
+// -------------------------------------------------------- AllDifferentExcept
+
+AllDifferentExcept::AllDifferentExcept(std::vector<VarId> vars, Value except)
+    : vars_(std::move(vars)), except_(except) {}
+
+PropResult AllDifferentExcept::propagate(Solver& solver) {
+  // Forward-checking strength: each fixed non-idle value is removed from the
+  // other variables.  With |scope| == m this quadratic pass is cheap.
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    const Domain64& d = solver.domain(vars_[k]);
+    if (!d.is_fixed()) continue;
+    const Value v = d.value();
+    if (v == except_) continue;
+    for (std::size_t other = 0; other < vars_.size(); ++other) {
+      if (other == k) continue;
+      if (solver.remove(vars_[other], v) == PropResult::kFail) {
+        return PropResult::kFail;
+      }
+    }
+  }
+  return PropResult::kOk;
+}
+
+// --------------------------------------------------------------- SymmetryChain
+
+SymmetryChain::SymmetryChain(std::vector<VarId> vars, Value idle)
+    : vars_(std::move(vars)), idle_(idle) {
+  MGRTS_EXPECTS(vars_.size() >= 2);
+}
+
+PropResult SymmetryChain::propagate(Solver& solver) {
+  // Pairwise rule between neighbours a = vars_[k], b = vars_[k+1]:
+  //   key(a) < key(b)  or  a == b == idle,
+  // where key(idle) = +infinity.  The relation is monotone in key, so
+  // bounds reasoning achieves arc consistency per pair; sweeping until
+  // stable achieves it along the chain.
+  for (;;) {
+    bool changed = false;
+    for (std::size_t k = 0; k + 1 < vars_.size(); ++k) {
+      const VarId a = vars_[k];
+      const VarId b = vars_[k + 1];
+
+      // Smallest key in dom(a).
+      std::int64_t a_min_key = kIdleKey;
+      solver.domain(a).for_each([&](Value v) {
+        a_min_key = std::min(a_min_key, key_of(v, idle_));
+      });
+
+      // Prune b: non-idle values must have key > a_min_key.
+      {
+        const Domain64& db = solver.domain(b);
+        std::vector<Value> to_remove;
+        db.for_each([&](Value v) {
+          if (v != idle_ && key_of(v, idle_) <= a_min_key) {
+            to_remove.push_back(v);
+          }
+        });
+        for (const Value v : to_remove) {
+          if (solver.remove(b, v) == PropResult::kFail) {
+            return PropResult::kFail;
+          }
+          changed = true;
+        }
+      }
+
+      // Prune a: if b cannot be idle, a cannot be idle and a's non-idle
+      // values must stay below b's largest non-idle value.
+      {
+        const Domain64& db = solver.domain(b);
+        if (!db.contains(idle_)) {
+          std::int64_t b_max_key = std::numeric_limits<std::int64_t>::min();
+          db.for_each([&](Value v) {
+            b_max_key = std::max(b_max_key, key_of(v, idle_));
+          });
+          std::vector<Value> to_remove;
+          solver.domain(a).for_each([&](Value v) {
+            if (key_of(v, idle_) >= b_max_key) to_remove.push_back(v);
+          });
+          for (const Value v : to_remove) {
+            if (solver.remove(a, v) == PropResult::kFail) {
+              return PropResult::kFail;
+            }
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) return PropResult::kOk;
+  }
+}
+
+// ------------------------------------------------------------------ factories
+
+std::unique_ptr<Propagator> make_at_most_one(std::vector<VarId> vars) {
+  return std::make_unique<AtMostOneTrue>(std::move(vars));
+}
+
+std::unique_ptr<Propagator> make_sum_eq(std::vector<VarId> vars,
+                                        std::int64_t target) {
+  std::vector<std::int64_t> unit(vars.size(), 1);
+  return std::make_unique<LinearBoolSumEq>(std::move(vars), std::move(unit),
+                                           target);
+}
+
+std::unique_ptr<Propagator> make_weighted_sum_eq(
+    std::vector<VarId> vars, std::vector<std::int64_t> weights,
+    std::int64_t target) {
+  return std::make_unique<LinearBoolSumEq>(std::move(vars), std::move(weights),
+                                           target);
+}
+
+std::unique_ptr<Propagator> make_count_eq(std::vector<VarId> vars, Value value,
+                                          std::int64_t target) {
+  return std::make_unique<CountEq>(std::move(vars), value, target);
+}
+
+std::unique_ptr<Propagator> make_weighted_count_eq(
+    std::vector<VarId> vars, std::vector<std::int64_t> weights, Value value,
+    std::int64_t target) {
+  return std::make_unique<WeightedCountEq>(std::move(vars), std::move(weights),
+                                           value, target);
+}
+
+std::unique_ptr<Propagator> make_all_different_except(std::vector<VarId> vars,
+                                                      Value except) {
+  return std::make_unique<AllDifferentExcept>(std::move(vars), except);
+}
+
+std::unique_ptr<Propagator> make_symmetry_chain(std::vector<VarId> vars,
+                                                Value idle) {
+  return std::make_unique<SymmetryChain>(std::move(vars), idle);
+}
+
+}  // namespace mgrts::csp

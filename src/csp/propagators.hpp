@@ -1,0 +1,145 @@
+// Concrete propagators for the MGRTS encodings.
+//
+// CSP1 (§IV) needs:   AtMostOneTrue        — constraints (3) and (4)
+//                     LinearBoolSumEq      — constraint (5) / weighted (11)
+// CSP2-as-generic-CSP (§V) needs:
+//                     CountEq              — constraint (9)
+//                     WeightedCountEq      — heterogeneous (12)
+//                     AllDifferentExcept   — constraint (8)
+//                     SymmetryChain        — search rule (10)/(13), encoded
+//                                            declaratively for the generic
+//                                            solver (idle sorts last; see
+//                                            DESIGN.md §3.4)
+// All propagators run to their own fixpoint per invocation and prune only
+// through Solver::fix/remove so changes are trailed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "csp/solver.hpp"
+
+namespace mgrts::csp {
+
+/// sum_i vars[i] <= 1 over boolean {0,1} variables.
+class AtMostOneTrue final : public Propagator {
+ public:
+  explicit AtMostOneTrue(std::vector<VarId> vars);
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return vars_;
+  }
+  [[nodiscard]] const char* name() const override { return "at-most-one"; }
+
+ private:
+  std::vector<VarId> vars_;
+};
+
+/// sum_i weights[i] * vars[i] == target over boolean {0,1} variables with
+/// non-negative weights.  Unit weights give the identical-platform (5);
+/// execution rates give the heterogeneous (11).
+class LinearBoolSumEq final : public Propagator {
+ public:
+  LinearBoolSumEq(std::vector<VarId> vars, std::vector<std::int64_t> weights,
+                  std::int64_t target);
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return vars_;
+  }
+  [[nodiscard]] const char* name() const override { return "lin-bool-sum-eq"; }
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<std::int64_t> weights_;
+  std::int64_t target_;
+};
+
+/// |{ i : vars[i] == value }| == target.
+class CountEq final : public Propagator {
+ public:
+  CountEq(std::vector<VarId> vars, Value value, std::int64_t target);
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return vars_;
+  }
+  [[nodiscard]] const char* name() const override { return "count-eq"; }
+
+ private:
+  std::vector<VarId> vars_;
+  Value value_;
+  std::int64_t target_;
+};
+
+/// sum_i weights[i] * [vars[i] == value] == target (heterogeneous (12)).
+class WeightedCountEq final : public Propagator {
+ public:
+  WeightedCountEq(std::vector<VarId> vars, std::vector<std::int64_t> weights,
+                  Value value, std::int64_t target);
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return vars_;
+  }
+  [[nodiscard]] const char* name() const override {
+    return "weighted-count-eq";
+  }
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<std::int64_t> weights_;
+  Value value_;
+  std::int64_t target_;
+};
+
+/// All variables taking a value != `except` take pairwise distinct values
+/// (constraint (8): a task occupies at most one processor per slot).
+class AllDifferentExcept final : public Propagator {
+ public:
+  AllDifferentExcept(std::vector<VarId> vars, Value except);
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return vars_;
+  }
+  [[nodiscard]] const char* name() const override {
+    return "all-different-except";
+  }
+
+ private:
+  std::vector<VarId> vars_;
+  Value except_;
+};
+
+/// Symmetry-breaking chain over one group of identical processors: the
+/// non-idle values along `vars` are strictly ascending and idle entries
+/// trail (idle compares as +infinity; equality is allowed at idle only).
+class SymmetryChain final : public Propagator {
+ public:
+  SymmetryChain(std::vector<VarId> vars, Value idle);
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return vars_;
+  }
+  [[nodiscard]] const char* name() const override { return "symmetry-chain"; }
+
+ private:
+  std::vector<VarId> vars_;
+  Value idle_;
+};
+
+// Factory helpers (keep encoding code terse).
+std::unique_ptr<Propagator> make_at_most_one(std::vector<VarId> vars);
+std::unique_ptr<Propagator> make_sum_eq(std::vector<VarId> vars,
+                                        std::int64_t target);
+std::unique_ptr<Propagator> make_weighted_sum_eq(
+    std::vector<VarId> vars, std::vector<std::int64_t> weights,
+    std::int64_t target);
+std::unique_ptr<Propagator> make_count_eq(std::vector<VarId> vars, Value value,
+                                          std::int64_t target);
+std::unique_ptr<Propagator> make_weighted_count_eq(
+    std::vector<VarId> vars, std::vector<std::int64_t> weights, Value value,
+    std::int64_t target);
+std::unique_ptr<Propagator> make_all_different_except(std::vector<VarId> vars,
+                                                      Value except);
+std::unique_ptr<Propagator> make_symmetry_chain(std::vector<VarId> vars,
+                                                Value idle);
+
+}  // namespace mgrts::csp

@@ -1,0 +1,429 @@
+#include "csp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/deadline.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::csp {
+
+namespace {
+
+/// Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::int64_t luby(std::int64_t i) {
+  // Find k with 2^k - 1 == i  =>  luby = 2^(k-1); otherwise recurse.
+  std::int64_t k = 1;
+  while ((std::int64_t{1} << k) - 1 < i) ++k;
+  if ((std::int64_t{1} << k) - 1 == i) return std::int64_t{1} << (k - 1);
+  return luby(i - ((std::int64_t{1} << (k - 1)) - 1));
+}
+
+}  // namespace
+
+Solver::Solver(SolverLimits limits) : limits_(limits) {}
+Solver::~Solver() = default;
+
+VarId Solver::add_variable(Value lo, Value hi) {
+  MGRTS_EXPECTS(!frozen_);
+  if (variable_count() >= limits_.max_variables) {
+    throw ResourceError("CSP model exceeds the variable budget (" +
+                        std::to_string(limits_.max_variables) + ")");
+  }
+  domains_.emplace_back(lo, hi);
+  const auto v = static_cast<VarId>(domains_.size() - 1);
+  unfixed_pos_.push_back(-1);
+  var_wdeg_.push_back(0);
+  return v;
+}
+
+void Solver::add(std::unique_ptr<Propagator> propagator) {
+  MGRTS_EXPECTS(!frozen_);
+  MGRTS_EXPECTS(propagator != nullptr);
+  propagator->id_ = static_cast<std::int32_t>(propagators_.size());
+  propagators_.push_back(std::move(propagator));
+}
+
+bool Solver::post_fix(VarId v, Value a) {
+  MGRTS_EXPECTS(!frozen_);
+  Domain64& d = domains_[static_cast<std::size_t>(v)];
+  if (!d.contains(a)) return false;
+  d.fix(a);
+  return true;
+}
+
+bool Solver::post_remove(VarId v, Value a) {
+  MGRTS_EXPECTS(!frozen_);
+  Domain64& d = domains_[static_cast<std::size_t>(v)];
+  d.remove(a);
+  return !d.empty();
+}
+
+void Solver::trail_push(VarId v, std::uint64_t old_mask) {
+  trail_.push_back(TrailEntry{v, old_mask});
+}
+
+void Solver::sync_membership(VarId v) {
+  const bool want = domains_[static_cast<std::size_t>(v)].size() > 1;
+  auto& pos = unfixed_pos_[static_cast<std::size_t>(v)];
+  const bool have = pos >= 0;
+  if (want == have) return;
+  if (want) {
+    // Insert: either extend or reuse slack capacity of the list.
+    if (static_cast<std::size_t>(unfixed_size_) == unfixed_list_.size()) {
+      unfixed_list_.push_back(v);
+    } else {
+      unfixed_list_[static_cast<std::size_t>(unfixed_size_)] = v;
+    }
+    pos = static_cast<std::int32_t>(unfixed_size_);
+    ++unfixed_size_;
+  } else {
+    // Swap-remove.
+    const auto last_idx = static_cast<std::size_t>(unfixed_size_ - 1);
+    const VarId moved = unfixed_list_[last_idx];
+    unfixed_list_[static_cast<std::size_t>(pos)] = moved;
+    unfixed_pos_[static_cast<std::size_t>(moved)] = pos;
+    unfixed_list_[last_idx] = v;
+    pos = -1;
+    --unfixed_size_;
+  }
+}
+
+void Solver::schedule_watchers(VarId v) {
+  const auto begin = watch_offset_[static_cast<std::size_t>(v)];
+  const auto end = watch_offset_[static_cast<std::size_t>(v) + 1];
+  for (std::int32_t k = begin; k < end; ++k) {
+    Propagator& p = *propagators_[static_cast<std::size_t>(watch_data_[
+        static_cast<std::size_t>(k)])];
+    if (!p.queued_) {
+      p.queued_ = true;
+      queue_.push_back(p.id_);
+    }
+  }
+}
+
+PropResult Solver::remove(VarId v, Value a) {
+  Domain64& d = domains_[static_cast<std::size_t>(v)];
+  if (!d.contains(a)) return PropResult::kOk;
+  trail_push(v, d.raw_mask());
+  d.remove(a);
+  sync_membership(v);
+  if (d.empty()) return PropResult::kFail;
+  schedule_watchers(v);
+  return PropResult::kOk;
+}
+
+PropResult Solver::fix(VarId v, Value a) {
+  Domain64& d = domains_[static_cast<std::size_t>(v)];
+  if (!d.contains(a)) return PropResult::kFail;
+  if (d.is_fixed()) return PropResult::kOk;
+  trail_push(v, d.raw_mask());
+  d.fix(a);
+  sync_membership(v);
+  schedule_watchers(v);
+  return PropResult::kOk;
+}
+
+void Solver::backtrack_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    const TrailEntry entry = trail_.back();
+    trail_.pop_back();
+    domains_[static_cast<std::size_t>(entry.var)].set_raw_mask(entry.old_mask);
+    sync_membership(entry.var);
+  }
+}
+
+void Solver::clear_queue() {
+  for (std::size_t k = queue_head_; k < queue_.size(); ++k) {
+    propagators_[static_cast<std::size_t>(queue_[k])]->queued_ = false;
+  }
+  queue_.clear();
+  queue_head_ = 0;
+}
+
+void Solver::bump_failure(std::int32_t prop_id) {
+  if (prop_id < 0) return;
+  Propagator& p = *propagators_[static_cast<std::size_t>(prop_id)];
+  ++p.weight_;
+  for (const VarId v : p.scope()) {
+    ++var_wdeg_[static_cast<std::size_t>(v)];
+  }
+}
+
+bool Solver::propagate_queue() {
+  while (queue_head_ < queue_.size()) {
+    const std::int32_t id = queue_[queue_head_++];
+    Propagator& p = *propagators_[static_cast<std::size_t>(id)];
+    p.queued_ = false;
+    ++stats_.propagations;
+    if (p.propagate(*this) == PropResult::kFail) {
+      failing_prop_ = id;
+      clear_queue();
+      return false;
+    }
+    // Compact the queue occasionally so it does not grow without bound.
+    if (queue_head_ > 4096 && queue_head_ * 2 > queue_.size()) {
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+      queue_head_ = 0;
+    }
+  }
+  queue_.clear();
+  queue_head_ = 0;
+  return true;
+}
+
+void Solver::build_watch_lists() {
+  const std::size_t n = domains_.size();
+  std::vector<std::int32_t> counts(n + 1, 0);
+  for (const auto& p : propagators_) {
+    for (const VarId v : p->scope()) {
+      ++counts[static_cast<std::size_t>(v) + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
+  watch_offset_ = counts;
+  watch_data_.assign(static_cast<std::size_t>(counts[n]), 0);
+  std::vector<std::int32_t> cursor = watch_offset_;
+  for (const auto& p : propagators_) {
+    for (const VarId v : p->scope()) {
+      watch_data_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+          p->id_;
+    }
+  }
+  // Initialize wdeg: every constraint contributes its base weight 1.
+  for (const auto& p : propagators_) {
+    for (const VarId v : p->scope()) {
+      ++var_wdeg_[static_cast<std::size_t>(v)];
+    }
+  }
+  frozen_ = true;
+}
+
+VarId Solver::select_variable(const SearchOptions& options, VarId lex_hint,
+                              support::Rng& rng) const {
+  if (options.var_heuristic == VarHeuristic::kLex) {
+    for (VarId v = lex_hint; v < static_cast<VarId>(domains_.size()); ++v) {
+      if (domains_[static_cast<std::size_t>(v)].size() > 1) return v;
+    }
+    // The hint only moves forward on a branch; a restart may leave earlier
+    // variables unfixed, so fall back to a full scan.
+    for (VarId v = 0; v < lex_hint; ++v) {
+      if (domains_[static_cast<std::size_t>(v)].size() > 1) return v;
+    }
+    return -1;
+  }
+
+  VarId best = -1;
+  std::int64_t best_size = 0;
+  std::int64_t best_wdeg = 1;
+  std::int64_t ties = 0;
+  for (std::int64_t k = 0; k < unfixed_size_; ++k) {
+    const VarId v = unfixed_list_[static_cast<std::size_t>(k)];
+    const auto size =
+        static_cast<std::int64_t>(domains_[static_cast<std::size_t>(v)].size());
+    const std::int64_t wdeg =
+        options.var_heuristic == VarHeuristic::kDomWdeg
+            ? std::max<std::int64_t>(1, var_wdeg_[static_cast<std::size_t>(v)])
+            : 1;
+    // Compare size/wdeg < best_size/best_wdeg via cross multiplication.
+    bool better;
+    bool tie;
+    if (best < 0) {
+      better = true;
+      tie = false;
+    } else {
+      const std::int64_t lhs = size * best_wdeg;
+      const std::int64_t rhs = best_size * wdeg;
+      better = lhs < rhs;
+      tie = lhs == rhs;
+    }
+    if (better) {
+      best = v;
+      best_size = size;
+      best_wdeg = wdeg;
+      ties = 1;
+    } else if (tie) {
+      if (options.random_var_ties) {
+        // Reservoir sampling keeps each tied candidate equally likely.
+        ++ties;
+        if (rng.uniform(1, ties) == 1) {
+          best = v;
+          best_size = size;
+          best_wdeg = wdeg;
+        }
+      } else if (v < best) {
+        best = v;
+        best_size = size;
+        best_wdeg = wdeg;
+      }
+    }
+  }
+  return best;
+}
+
+Value Solver::select_value(const SearchOptions& options, VarId var,
+                           std::uint64_t tried, support::Rng& rng) const {
+  const Domain64& d = domains_[static_cast<std::size_t>(var)];
+  std::uint64_t candidates = d.raw_mask() & ~tried;
+  MGRTS_ASSERT(candidates != 0);
+  switch (options.val_heuristic) {
+    case ValHeuristic::kMin:
+      return d.base() + std::countr_zero(candidates);
+    case ValHeuristic::kMax:
+      return d.base() + (63 - std::countl_zero(candidates));
+    case ValHeuristic::kRandom: {
+      const int count = std::popcount(candidates);
+      int pick = static_cast<int>(rng.uniform(0, count - 1));
+      while (pick-- > 0) candidates &= candidates - 1;
+      return d.base() + std::countr_zero(candidates);
+    }
+  }
+  return d.base() + std::countr_zero(candidates);
+}
+
+SolveOutcome Solver::solve(const SearchOptions& options) {
+  support::Stopwatch watch;
+  stats_ = SolveStats{};
+  support::Rng rng(options.seed);
+
+  SolveOutcome outcome;
+  auto finish = [&](SolveStatus status) {
+    stats_.seconds = watch.seconds();
+    outcome.status = status;
+    outcome.stats = stats_;
+    if (status == SolveStatus::kSat) {
+      outcome.assignment.reserve(domains_.size());
+      for (const Domain64& d : domains_) outcome.assignment.push_back(d.value());
+    }
+    return outcome;
+  };
+
+  if (!frozen_) {
+    build_watch_lists();
+    // Populate the unfixed sparse set.
+    for (VarId v = 0; v < static_cast<VarId>(domains_.size()); ++v) {
+      if (domains_[static_cast<std::size_t>(v)].empty()) {
+        return finish(SolveStatus::kUnsat);
+      }
+      sync_membership(v);
+    }
+  }
+
+  // Root propagation: schedule everything once.
+  for (const auto& p : propagators_) {
+    p->queued_ = true;
+    queue_.push_back(p->id_);
+  }
+  if (!propagate_queue()) {
+    bump_failure(failing_prop_);
+    return finish(SolveStatus::kUnsat);
+  }
+  const std::size_t root_mark = trail_.size();
+
+  std::int64_t restart_index = 0;
+  std::int64_t failures_until_restart = -1;  // -1 = no budget
+  auto reset_restart_budget = [&] {
+    switch (options.restart) {
+      case RestartPolicy::kNone:
+        failures_until_restart = -1;
+        break;
+      case RestartPolicy::kLuby:
+        failures_until_restart = options.restart_scale * luby(restart_index + 1);
+        break;
+      case RestartPolicy::kGeometric:
+        failures_until_restart = static_cast<std::int64_t>(
+            static_cast<double>(options.restart_scale) *
+            std::pow(1.5, static_cast<double>(restart_index)));
+        break;
+    }
+  };
+  reset_restart_budget();
+
+  std::vector<Frame> frames;
+
+  for (;;) {  // restart loop
+    bool restart_requested = false;
+
+    // Depth-first search with an explicit frame stack.
+    while (!restart_requested) {
+      if (all_assigned()) {
+        return finish(SolveStatus::kSat);
+      }
+
+      // Periodic limit checks.
+      if ((stats_.nodes & 0x3f) == 0) {
+        if (options.deadline.expired()) return finish(SolveStatus::kTimeout);
+      }
+      if (options.max_nodes >= 0 && stats_.nodes >= options.max_nodes) {
+        return finish(SolveStatus::kNodeLimit);
+      }
+
+      // Open a decision on a fresh variable.
+      const VarId lex_hint = frames.empty() ? 0 : frames.back().lex_hint;
+      const VarId var = select_variable(options, lex_hint, rng);
+      MGRTS_ASSERT(var >= 0);
+      Frame frame;
+      frame.var = var;
+      frame.trail_mark = trail_.size();
+      frame.lex_hint = std::max(lex_hint, var);
+      frames.push_back(frame);
+      stats_.max_depth = std::max(stats_.max_depth,
+                                  static_cast<std::int64_t>(frames.size()));
+
+      // Try values until one propagates, backtracking frames as they
+      // exhaust.
+      for (;;) {
+        Frame& top = frames.back();
+        const Domain64& d = domains_[static_cast<std::size_t>(top.var)];
+        const std::uint64_t candidates = d.raw_mask() & ~top.tried;
+        if (candidates == 0) {
+          // Frame exhausted: undo and propagate the failure upward.
+          frames.pop_back();
+          if (frames.empty()) {
+            return finish(SolveStatus::kUnsat);
+          }
+          backtrack_to(frames.back().trail_mark);
+          continue;
+        }
+
+        const Value value = select_value(options, top.var, top.tried, rng);
+        top.tried |= std::uint64_t{1}
+                     << static_cast<unsigned>(value - d.base());
+        ++stats_.nodes;
+        if ((stats_.nodes & 0x3f) == 0 && options.deadline.expired()) {
+          return finish(SolveStatus::kTimeout);
+        }
+        if (options.max_nodes >= 0 && stats_.nodes > options.max_nodes) {
+          return finish(SolveStatus::kNodeLimit);
+        }
+
+        const PropResult fixed = fix(top.var, value);
+        const bool ok = fixed == PropResult::kOk && propagate_queue();
+        if (ok) break;  // descend
+
+        ++stats_.failures;
+        bump_failure(failing_prop_);
+        failing_prop_ = -1;
+        backtrack_to(top.trail_mark);
+
+        if (failures_until_restart > 0 && --failures_until_restart == 0) {
+          restart_requested = true;
+          break;
+        }
+      }
+    }
+
+    // Restart: rewind to the root state and search again (the rng state
+    // advances, so randomized heuristics explore a different tree).
+    frames.clear();
+    backtrack_to(root_mark);
+    ++restart_index;
+    ++stats_.restarts;
+    reset_restart_budget();
+    if (options.deadline.expired()) return finish(SolveStatus::kTimeout);
+  }
+}
+
+}  // namespace mgrts::csp

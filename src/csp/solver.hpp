@@ -1,0 +1,165 @@
+// Generic finite-domain CSP solver: trail-based backtracking search with
+// event-driven constraint propagation.
+//
+// This is the repo's stand-in for the Choco solver the paper uses for CSP1
+// (§VII): a *generic* engine that consumes a declarative model — variables,
+// domains, propagators — and searches with configurable variable/value
+// heuristics, randomized tie-breaking and Luby restarts (Choco's default
+// search is randomized, which the paper observes as run-to-run variance in
+// §VII-B; seed the options to reproduce any particular run).
+//
+// Architecture:
+//   * Domain64 per variable (<= 64 values, 16 bytes);
+//   * a trail of (variable, previous mask) pairs for O(1) backtracking;
+//   * propagators subscribe to their scope; domain changes push them onto a
+//     FIFO queue; propagation runs to fixpoint or failure;
+//   * dom/wdeg failure weights are maintained incrementally;
+//   * search is iterative (explicit frame stack), so model size — not
+//     recursion depth — is the only memory bound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "csp/domain.hpp"
+#include "csp/options.hpp"
+#include "support/rng.hpp"
+
+namespace mgrts::csp {
+
+using VarId = std::int32_t;
+
+class Solver;
+
+enum class PropResult { kOk, kFail };
+
+/// Base class for constraint propagators.  Propagators are stateless with
+/// respect to the search (they may precompute static data at construction):
+/// `propagate` must prune only through Solver::fix / Solver::remove so every
+/// change is trailed.
+class Propagator {
+ public:
+  virtual ~Propagator() = default;
+
+  /// Runs the propagator to its fixpoint; kFail signals a conflict.
+  virtual PropResult propagate(Solver& solver) = 0;
+
+  /// Variables whose domain changes wake this propagator.
+  [[nodiscard]] virtual const std::vector<VarId>& scope() const = 0;
+
+  /// Human-readable kind, for debugging and stats.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ private:
+  friend class Solver;
+  std::int32_t id_ = -1;
+  bool queued_ = false;
+  std::int64_t weight_ = 1;  ///< wdeg failure weight
+};
+
+struct SolverLimits {
+  /// Hard cap on variable count; exceeding it throws ResourceError.  This is
+  /// the explicit analogue of Choco running out of memory on large CSP1
+  /// models (Table IV); adapters report it as SolveStatus::kMemoryLimit.
+  std::int64_t max_variables = 4'000'000;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverLimits limits = {});
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // ---- model building -----------------------------------------------
+
+  /// New variable with domain {lo..hi} (hi - lo < 64).
+  VarId add_variable(Value lo, Value hi);
+
+  [[nodiscard]] std::int64_t variable_count() const noexcept {
+    return static_cast<std::int64_t>(domains_.size());
+  }
+
+  [[nodiscard]] const Domain64& domain(VarId v) const {
+    return domains_[static_cast<std::size_t>(v)];
+  }
+
+  /// Takes ownership of a propagator.  Call before solve().
+  void add(std::unique_ptr<Propagator> propagator);
+
+  /// Root-level pruning while building the model (e.g. CSP1 constraint (2),
+  /// out-of-window zeroing).  Returns false when the model becomes
+  /// trivially inconsistent.
+  bool post_fix(VarId v, Value a);
+  bool post_remove(VarId v, Value a);
+
+  // ---- propagator API (valid during propagation) ----------------------
+
+  PropResult fix(VarId v, Value a);
+  PropResult remove(VarId v, Value a);
+
+  // ---- solving ---------------------------------------------------------
+
+  /// Runs the search.  May be called once per Solver instance.
+  [[nodiscard]] SolveOutcome solve(const SearchOptions& options);
+
+ private:
+  struct Frame {
+    VarId var = -1;
+    std::size_t trail_mark = 0;
+    std::uint64_t tried = 0;  ///< mask of value offsets already attempted
+    VarId lex_hint = 0;       ///< scan start for the lex heuristic
+  };
+
+  void trail_push(VarId v, std::uint64_t old_mask);
+  void backtrack_to(std::size_t mark);
+  void sync_membership(VarId v);
+  void schedule_watchers(VarId v);
+  bool propagate_queue();         // false on conflict
+  void clear_queue();
+  void bump_failure(std::int32_t prop_id);
+
+  [[nodiscard]] VarId select_variable(const SearchOptions& options,
+                                      VarId lex_hint, support::Rng& rng) const;
+  [[nodiscard]] Value select_value(const SearchOptions& options, VarId var,
+                                   std::uint64_t tried,
+                                   support::Rng& rng) const;
+  [[nodiscard]] bool all_assigned() const noexcept {
+    return unfixed_size_ == 0;
+  }
+
+  void build_watch_lists();
+
+  SolverLimits limits_;
+  std::vector<Domain64> domains_;
+  std::vector<std::unique_ptr<Propagator>> propagators_;
+
+  // CSR watch lists: watchers of var v live in
+  // watch_data_[watch_offset_[v] .. watch_offset_[v+1]).
+  std::vector<std::int32_t> watch_offset_;
+  std::vector<std::int32_t> watch_data_;
+  bool frozen_ = false;
+
+  // Sparse set of variables with domain size > 1.
+  std::vector<VarId> unfixed_list_;
+  std::vector<std::int32_t> unfixed_pos_;
+  std::int64_t unfixed_size_ = 0;
+
+  std::vector<std::int64_t> var_wdeg_;
+
+  struct TrailEntry {
+    VarId var;
+    std::uint64_t old_mask;
+  };
+  std::vector<TrailEntry> trail_;
+
+  std::vector<std::int32_t> queue_;
+  std::size_t queue_head_ = 0;
+
+  SolveStats stats_;
+  std::int32_t failing_prop_ = -1;
+};
+
+}  // namespace mgrts::csp

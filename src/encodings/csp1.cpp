@@ -1,0 +1,129 @@
+#include "encodings/csp1.hpp"
+
+#include <string>
+
+#include "csp/propagators.hpp"
+#include "rt/jobs.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::enc {
+
+using csp::VarId;
+using rt::ProcId;
+using rt::TaskId;
+using rt::Time;
+
+Csp1Model build_csp1(const rt::TaskSet& ts, const rt::Platform& platform,
+                     csp::SolverLimits limits) {
+  if (!ts.is_constrained()) {
+    throw ValidationError(
+        "CSP1 expects a constrained-deadline system; expand clones first");
+  }
+  const Time T = ts.hyperperiod();
+  const std::int32_t n = ts.size();
+  const std::int32_t m = platform.processors();
+
+  const auto var_count = static_cast<std::int64_t>(n) * m * T;
+  if (var_count > limits.max_variables) {
+    throw ResourceError("CSP1 model needs " + std::to_string(var_count) +
+                        " variables, budget is " +
+                        std::to_string(limits.max_variables));
+  }
+
+  Csp1Model model;
+  model.hyperperiod = T;
+  model.tasks = n;
+  model.processors = m;
+  model.solver = std::make_unique<csp::Solver>(limits);
+  csp::Solver& solver = *model.solver;
+
+  for (std::int64_t k = 0; k < var_count; ++k) {
+    static_cast<void>(solver.add_variable(0, 1));
+  }
+
+  const rt::WindowIndex windows(ts);
+
+  // (2) + heterogeneous domain rule: fix out-of-window and zero-rate
+  // variables to 0 at the root.
+  for (TaskId i = 0; i < n; ++i) {
+    for (ProcId j = 0; j < m; ++j) {
+      const bool runnable = platform.can_run(i, j);
+      for (Time t = 0; t < T; ++t) {
+        if (!runnable || !windows.in_window(i, t)) {
+          const bool ok = solver.post_fix(model.var(i, j, t), 0);
+          MGRTS_ASSERT(ok);
+        }
+      }
+    }
+  }
+
+  // (3): at most one task per processor per slot.
+  for (ProcId j = 0; j < m; ++j) {
+    for (Time t = 0; t < T; ++t) {
+      std::vector<VarId> column;
+      column.reserve(static_cast<std::size_t>(n));
+      for (TaskId i = 0; i < n; ++i) column.push_back(model.var(i, j, t));
+      solver.add(csp::make_at_most_one(std::move(column)));
+    }
+  }
+
+  // (4): each task on at most one processor per slot.  Only slots inside a
+  // window matter; elsewhere all variables are already 0.
+  for (TaskId i = 0; i < n; ++i) {
+    for (Time t = 0; t < T; ++t) {
+      if (!windows.in_window(i, t)) continue;
+      std::vector<VarId> row;
+      row.reserve(static_cast<std::size_t>(m));
+      for (ProcId j = 0; j < m; ++j) row.push_back(model.var(i, j, t));
+      solver.add(csp::make_at_most_one(std::move(row)));
+    }
+  }
+
+  // (5) / (11): per-job execution amount.
+  const rt::JobTable jobs(ts);
+  for (const rt::Job& job : jobs.jobs()) {
+    std::vector<VarId> vars;
+    std::vector<std::int64_t> weights;
+    vars.reserve(job.slots.size() * static_cast<std::size_t>(m));
+    bool weighted = false;
+    for (const Time t : job.slots) {
+      for (ProcId j = 0; j < m; ++j) {
+        const rt::Rate rate = platform.rate(job.task, j);
+        if (rate == 0) continue;  // variable is fixed to 0 anyway
+        vars.push_back(model.var(job.task, j, t));
+        weights.push_back(rate);
+        weighted = weighted || rate != 1;
+      }
+    }
+    if (weighted) {
+      solver.add(csp::make_weighted_sum_eq(std::move(vars), std::move(weights),
+                                           job.wcet));
+    } else {
+      solver.add(csp::make_sum_eq(std::move(vars), job.wcet));
+    }
+  }
+
+  return model;
+}
+
+rt::Schedule decode_csp1(const Csp1Model& model,
+                         const std::vector<csp::Value>& values) {
+  MGRTS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                static_cast<std::int64_t>(model.tasks) * model.processors *
+                    model.hyperperiod);
+  rt::Schedule schedule(model.hyperperiod, model.processors);
+  for (TaskId i = 0; i < model.tasks; ++i) {
+    for (ProcId j = 0; j < model.processors; ++j) {
+      for (Time t = 0; t < model.hyperperiod; ++t) {
+        if (values[static_cast<std::size_t>(model.var(i, j, t))] == 1) {
+          MGRTS_ASSERT(schedule.at(t, j) == rt::kIdle);
+          schedule.set(t, j, i);
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace mgrts::enc

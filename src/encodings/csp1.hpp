@@ -1,0 +1,49 @@
+// CSP encoding #1 (§IV): one boolean variable x_{i,j}(t) per task,
+// processor and slot, solved by the *generic* engine (the paper's Choco
+// role).  Constraints:
+//   (2)  x_{i,j}(t) = 0 outside every availability window of i
+//        (root-level fixing, exactly the paper's propagation remark);
+//   (3)  sum_i x_{i,j}(t) <= 1           per (processor, slot);
+//   (4)  sum_j x_{i,j}(t) <= 1           per (task, slot);
+//   (5)  sum_{t in I_{i,k}} sum_j x_{i,j}(t) = C_i    per job, or the
+//   (11) weighted variant sum s_{i,j} x_{i,j}(t) = C_i on heterogeneous
+//        platforms (then additionally D_{i,j}(t) = {0} where s_{i,j} = 0).
+//
+// Model size is n*m*T booleans; the SolverLimits variable budget plays the
+// part of Choco's out-of-memory failures on large instances (Table IV).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "csp/solver.hpp"
+#include "rt/platform.hpp"
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::enc {
+
+struct Csp1Model {
+  std::unique_ptr<csp::Solver> solver;
+  rt::Time hyperperiod = 0;
+  std::int32_t tasks = 0;
+  std::int32_t processors = 0;
+
+  /// Variable id of x_{i,j}(t).
+  [[nodiscard]] csp::VarId var(rt::TaskId i, rt::ProcId j, rt::Time t) const {
+    return static_cast<csp::VarId>(
+        (static_cast<std::int64_t>(i) * processors + j) * hyperperiod + t);
+  }
+};
+
+/// Builds the CSP1 model.  Throws ResourceError when n*m*T exceeds the
+/// solver's variable budget (callers map this to SolveStatus::kMemoryLimit).
+[[nodiscard]] Csp1Model build_csp1(const rt::TaskSet& ts,
+                                   const rt::Platform& platform,
+                                   csp::SolverLimits limits = {});
+
+/// Decodes a satisfying assignment into a schedule (Theorem 1 direction).
+[[nodiscard]] rt::Schedule decode_csp1(const Csp1Model& model,
+                                       const std::vector<csp::Value>& values);
+
+}  // namespace mgrts::enc

@@ -1,0 +1,134 @@
+#include "encodings/csp2_generic.hpp"
+
+#include <string>
+
+#include "csp/propagators.hpp"
+#include "rt/jobs.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::enc {
+
+using csp::VarId;
+using rt::ProcId;
+using rt::TaskId;
+using rt::Time;
+
+Csp2GenericModel build_csp2_generic(const rt::TaskSet& ts,
+                                    const rt::Platform& platform,
+                                    const Csp2GenericOptions& options,
+                                    csp::SolverLimits limits) {
+  if (!ts.is_constrained()) {
+    throw ValidationError(
+        "CSP2 expects a constrained-deadline system; expand clones first");
+  }
+  const Time T = ts.hyperperiod();
+  const std::int32_t n = ts.size();
+  const std::int32_t m = platform.processors();
+  if (n + 1 > csp::Domain64::kMaxSpan) {
+    throw ResourceError(
+        "generic CSP2 encoding supports at most 63 tasks (domain width); use "
+        "the dedicated solver for larger systems");
+  }
+  const auto var_count = static_cast<std::int64_t>(m) * T;
+  if (var_count > limits.max_variables) {
+    throw ResourceError("CSP2 model needs " + std::to_string(var_count) +
+                        " variables, budget is " +
+                        std::to_string(limits.max_variables));
+  }
+
+  Csp2GenericModel model;
+  model.hyperperiod = T;
+  model.tasks = n;
+  model.processors = m;
+  model.solver = std::make_unique<csp::Solver>(limits);
+  csp::Solver& solver = *model.solver;
+  const csp::Value idle = model.idle_value();
+
+  for (std::int64_t k = 0; k < var_count; ++k) {
+    static_cast<void>(solver.add_variable(0, idle));
+  }
+
+  const rt::WindowIndex windows(ts);
+
+  // (7) + §VI-A domain rule: remove task values outside their windows and on
+  // processors that cannot serve them.
+  for (Time t = 0; t < T; ++t) {
+    for (ProcId j = 0; j < m; ++j) {
+      const VarId x = model.var(j, t);
+      for (TaskId i = 0; i < n; ++i) {
+        if (!windows.in_window(i, t) || !platform.can_run(i, j)) {
+          const bool ok = solver.post_remove(x, i);
+          MGRTS_ASSERT(ok);  // idle keeps every domain non-empty
+        }
+      }
+    }
+  }
+
+  // (8): one processor per task per slot.
+  for (Time t = 0; t < T; ++t) {
+    std::vector<VarId> column;
+    column.reserve(static_cast<std::size_t>(m));
+    for (ProcId j = 0; j < m; ++j) column.push_back(model.var(j, t));
+    solver.add(csp::make_all_different_except(std::move(column), idle));
+  }
+
+  // (9) / (12): per-job execution amount.
+  const rt::JobTable jobs(ts);
+  for (const rt::Job& job : jobs.jobs()) {
+    std::vector<VarId> vars;
+    std::vector<std::int64_t> weights;
+    bool weighted = false;
+    for (const Time t : job.slots) {
+      for (ProcId j = 0; j < m; ++j) {
+        const rt::Rate rate = platform.rate(job.task, j);
+        if (rate == 0) continue;  // value i was removed from this variable
+        vars.push_back(model.var(j, t));
+        weights.push_back(rate);
+        weighted = weighted || rate != 1;
+      }
+    }
+    if (weighted) {
+      solver.add(csp::make_weighted_count_eq(std::move(vars),
+                                             std::move(weights), job.task,
+                                             job.wcet));
+    } else {
+      solver.add(csp::make_count_eq(std::move(vars), job.task, job.wcet));
+    }
+  }
+
+  // (10)/(13): optional symmetry chains per identical group and slot.
+  if (options.symmetry_chains) {
+    for (const auto& group : platform.identical_groups(n)) {
+      if (group.size() < 2) continue;
+      for (Time t = 0; t < T; ++t) {
+        std::vector<VarId> chain;
+        chain.reserve(group.size());
+        for (const ProcId j : group) chain.push_back(model.var(j, t));
+        solver.add(csp::make_symmetry_chain(std::move(chain), idle));
+      }
+    }
+  }
+
+  return model;
+}
+
+rt::Schedule decode_csp2_generic(const Csp2GenericModel& model,
+                                 const std::vector<csp::Value>& values) {
+  MGRTS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                static_cast<std::int64_t>(model.processors) *
+                    model.hyperperiod);
+  rt::Schedule schedule(model.hyperperiod, model.processors);
+  for (Time t = 0; t < model.hyperperiod; ++t) {
+    for (ProcId j = 0; j < model.processors; ++j) {
+      const csp::Value v =
+          values[static_cast<std::size_t>(model.var(j, t))];
+      if (v != model.idle_value()) {
+        schedule.set(t, j, static_cast<TaskId>(v));
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace mgrts::enc

@@ -1,0 +1,45 @@
+#include "exp/env.hpp"
+
+#include <cstdlib>
+
+namespace mgrts::exp {
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && raw[0] == '1';
+}
+
+BenchEnv bench_env(std::int64_t default_instances,
+                   std::int64_t default_limit_ms,
+                   std::int64_t full_instances, std::int64_t full_limit_ms) {
+  BenchEnv env{};
+  env.full = env_flag("MGRTS_FULL");
+  env.instances = env_int64("MGRTS_INSTANCES",
+                            env.full ? full_instances : default_instances);
+  env.time_limit_ms = env_int64("MGRTS_TIME_LIMIT_MS",
+                                env.full ? full_limit_ms : default_limit_ms);
+  env.seed = env_u64("MGRTS_SEED", 20090911);  // ICPP 2009 vintage
+  env.workers =
+      static_cast<std::size_t>(env_int64("MGRTS_WORKERS", 0));
+  return env;
+}
+
+}  // namespace mgrts::exp

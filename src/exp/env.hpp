@@ -1,0 +1,37 @@
+// Environment-variable configuration for the bench binaries.
+//
+// Every reproduction bench accepts the same knobs:
+//   MGRTS_INSTANCES      instance count per batch
+//   MGRTS_TIME_LIMIT_MS  per-run wall-clock budget in milliseconds
+//   MGRTS_SEED           generator / randomized-search seed
+//   MGRTS_WORKERS        harness worker threads (1 = fully deterministic)
+//   MGRTS_FULL=1         paper-scale run (500 instances, 30 s limit)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mgrts::exp {
+
+[[nodiscard]] std::int64_t env_int64(const char* name, std::int64_t fallback);
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+[[nodiscard]] bool env_flag(const char* name);
+
+/// Common bench configuration resolved from the environment.
+struct BenchEnv {
+  std::int64_t instances;
+  std::int64_t time_limit_ms;
+  std::uint64_t seed;
+  std::size_t workers;
+  bool full;  ///< MGRTS_FULL: paper-scale (overrides instances/time limit)
+};
+
+/// `default_instances`/`default_limit_ms` are the scaled-down defaults; a
+/// MGRTS_FULL run switches to the paper's 500 instances / 30 s unless the
+/// specific bench overrides those too.
+[[nodiscard]] BenchEnv bench_env(std::int64_t default_instances,
+                                 std::int64_t default_limit_ms,
+                                 std::int64_t full_instances = 500,
+                                 std::int64_t full_limit_ms = 30'000);
+
+}  // namespace mgrts::exp

@@ -1,0 +1,107 @@
+// Batch experiment harness: run a line-up of solvers over a stream of
+// random instances and record verdicts/timings, reproducing the paper's
+// §VII methodology (every solver sees every instance; runs are independent;
+// a wall-clock limit turns long runs into "overruns").
+//
+// Parallelism: the harness fans the (instance, solver) runs out over a
+// thread pool; each run itself stays single-threaded and deterministic,
+// mirroring the paper's one-core-per-run setup.  Verdicts under a time
+// limit are inherently timing-sensitive (true of the paper's 30 s budget as
+// well); fix MGRTS_WORKERS=1 for maximum run-to-run stability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "gen/generator.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::exp {
+
+struct SolverSpec {
+  std::string label;
+  core::SolveConfig config;
+};
+
+/// The six solvers of Tables I-III: CSP1 on the generic engine with a
+/// randomized Choco-like strategy, and the dedicated CSP2 solver with the
+/// plain/RM/DM/(T-C)/(D-C) value orders.
+[[nodiscard]] std::vector<SolverSpec> paper_lineup(
+    std::int64_t time_limit_ms, std::uint64_t seed,
+    csp::SolverLimits limits = {});
+
+/// A single line-up entry for the dedicated CSP2 solver.  `paper_faithful`
+/// configures the solver exactly as §V-C describes it — chronological
+/// backtracking, value-order heuristic, rules 1 and 2, window-closure
+/// checks, and nothing else.  Passing false additionally enables this
+/// repo's slack/demand pruning extensions (see bench_ablation_csp2_rules
+/// for their effect).
+[[nodiscard]] SolverSpec csp2_spec(csp2::ValueOrder order,
+                                   std::int64_t time_limit_ms,
+                                   bool paper_faithful = true);
+
+struct RunRecord {
+  core::Verdict verdict = core::Verdict::kInfeasible;
+  double seconds = 0.0;
+  bool witness_ok = false;
+  bool complete = true;
+  std::int64_t nodes = 0;
+
+  /// The paper's "overrun": the run did not decide within its budget.
+  [[nodiscard]] bool overrun() const noexcept {
+    return verdict == core::Verdict::kTimeout ||
+           verdict == core::Verdict::kNodeLimit ||
+           verdict == core::Verdict::kMemoryLimit;
+  }
+  [[nodiscard]] bool found_schedule() const noexcept {
+    return verdict == core::Verdict::kFeasible;
+  }
+  /// Proved infeasibility (Table II's "provably unsolvable").
+  [[nodiscard]] bool proved_infeasible() const noexcept {
+    return verdict == core::Verdict::kInfeasible && complete;
+  }
+};
+
+struct InstanceRecord {
+  std::int32_t tasks = 0;
+  std::int32_t processors = 0;
+  rt::Time hyperperiod = 0;
+  double ratio = 0.0;            ///< r = U / m
+  bool exceeds_capacity = false; ///< exact r > 1 (the §VII-C filter)
+  std::vector<RunRecord> runs;   ///< parallel to the solver line-up
+
+  /// "Solved" in the paper's Table I sense: some solver found a schedule.
+  [[nodiscard]] bool solved_by_any() const noexcept {
+    for (const auto& run : runs) {
+      if (run.found_schedule()) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool proved_unsolvable_by_any() const noexcept {
+    for (const auto& run : runs) {
+      if (run.proved_infeasible()) return true;
+    }
+    return false;
+  }
+};
+
+struct BatchResult {
+  std::vector<std::string> labels;
+  std::vector<InstanceRecord> instances;
+};
+
+struct BatchOptions {
+  gen::GeneratorOptions generator;
+  std::int64_t instances = 100;
+  std::uint64_t seed = 42;
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+};
+
+/// Generates `options.instances` instances (reproducible from the seed,
+/// independent of worker count) and runs every spec on every instance.
+[[nodiscard]] BatchResult run_batch(const BatchOptions& options,
+                                    const std::vector<SolverSpec>& specs);
+
+}  // namespace mgrts::exp

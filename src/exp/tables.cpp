@@ -1,0 +1,208 @@
+#include "exp/tables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace mgrts::exp {
+
+using support::TextTable;
+
+namespace {
+
+std::vector<std::string> header_with_labels(const BatchResult& batch,
+                                            const std::string& first) {
+  std::vector<std::string> header{first};
+  header.insert(header.end(), batch.labels.begin(), batch.labels.end());
+  header.push_back("Total");
+  return header;
+}
+
+std::vector<std::string> overrun_row(const BatchResult& batch,
+                                     const std::string& name,
+                                     const std::vector<bool>& in_class) {
+  std::vector<std::string> row{name};
+  std::int64_t class_size = 0;
+  for (std::size_t k = 0; k < batch.instances.size(); ++k) {
+    if (in_class[k]) ++class_size;
+  }
+  for (std::size_t s = 0; s < batch.labels.size(); ++s) {
+    std::int64_t overruns = 0;
+    for (std::size_t k = 0; k < batch.instances.size(); ++k) {
+      if (in_class[k] && batch.instances[k].runs[s].overrun()) ++overruns;
+    }
+    row.push_back(TextTable::num(overruns));
+  }
+  row.push_back(TextTable::num(class_size));
+  return row;
+}
+
+}  // namespace
+
+TextTable table1_overruns(const BatchResult& batch) {
+  TextTable table(header_with_labels(batch, "# overruns"));
+  table.set_title("Table I: number of runs reaching the time limit");
+
+  const std::size_t count = batch.instances.size();
+  std::vector<bool> solved(count);
+  std::vector<bool> unsolved(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    solved[k] = batch.instances[k].solved_by_any();
+    unsolved[k] = !solved[k];
+  }
+  table.add_row(overrun_row(batch, "solved", solved));
+  table.add_row(overrun_row(batch, "unsolved", unsolved));
+  return table;
+}
+
+TextTable table2_unsolved(const BatchResult& batch) {
+  TextTable table(header_with_labels(batch, "# overruns"));
+  table.set_title(
+      "Table II: unsolved runs reaching the time limit (r>1-filterable vs "
+      "not)");
+
+  const std::size_t count = batch.instances.size();
+  std::vector<bool> filtered(count);
+  std::vector<bool> unfiltered(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const InstanceRecord& inst = batch.instances[k];
+    const bool unsolved = !inst.solved_by_any();
+    filtered[k] = unsolved && inst.exceeds_capacity;
+    unfiltered[k] = unsolved && !inst.exceeds_capacity;
+  }
+  table.add_row(overrun_row(batch, "filtered", filtered));
+  table.add_row(overrun_row(batch, "unfiltered", unfiltered));
+  return table;
+}
+
+UnsolvedSummary summarize_unsolved(const BatchResult& batch) {
+  UnsolvedSummary summary;
+  for (const auto& inst : batch.instances) {
+    if (inst.solved_by_any()) continue;
+    ++summary.unsolved;
+    if (inst.exceeds_capacity) {
+      ++summary.filtered;
+    } else {
+      ++summary.unfiltered;
+      if (inst.proved_unsolvable_by_any()) ++summary.provably_unsolvable;
+    }
+  }
+  return summary;
+}
+
+TextTable table3_difficulty(const BatchResult& batch, double limit_seconds) {
+  TextTable table({"rmin-rmax", "#instances", "tres"});
+  table.set_title(
+      "Table III: instance count and mean resolution time per utilization "
+      "ratio");
+
+  // Paper buckets: [0, 0.4), width 0.1 through 1.7, then [1.7, 2.0), plus a
+  // catch-all for anything beyond.
+  std::vector<double> edges{0.0, 0.4};
+  for (double e = 0.5; e <= 1.7001; e += 0.1) edges.push_back(e);
+  edges.push_back(2.0);
+
+  for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+    const double lo = edges[b];
+    const double hi = edges[b + 1];
+    std::int64_t count = 0;
+    double total_seconds = 0.0;
+    std::int64_t total_runs = 0;
+    for (const auto& inst : batch.instances) {
+      if (inst.ratio < lo || inst.ratio >= hi) continue;
+      ++count;
+      for (const auto& run : inst.runs) {
+        total_seconds += run.overrun() ? limit_seconds : run.seconds;
+        ++total_runs;
+      }
+    }
+    char range[64];
+    std::snprintf(range, sizeof range, "%.1f-%.1f", lo, hi);
+    table.add_row({range, TextTable::num(count),
+                   total_runs == 0
+                       ? "-"
+                       : TextTable::num(total_seconds /
+                                            static_cast<double>(total_runs),
+                                        3)});
+  }
+
+  std::int64_t beyond = 0;
+  for (const auto& inst : batch.instances) {
+    if (inst.ratio >= 2.0) ++beyond;
+  }
+  if (beyond > 0) {
+    table.add_row({">=2.0", TextTable::num(beyond), "-"});
+  }
+  return table;
+}
+
+ScalingRow scaling_row(const BatchResult& batch, std::int32_t tasks,
+                       double limit_seconds) {
+  ScalingRow row;
+  row.tasks = tasks;
+  row.instances = static_cast<std::int64_t>(batch.instances.size());
+  const auto count = static_cast<double>(batch.instances.size());
+  MGRTS_EXPECTS(!batch.instances.empty());
+
+  for (const auto& inst : batch.instances) {
+    row.avg_ratio += inst.ratio / count;
+    row.avg_processors += static_cast<double>(inst.processors) / count;
+    row.avg_hyperperiod +=
+        static_cast<double>(inst.hyperperiod) / 1000.0 / count;
+  }
+
+  row.solved_fraction.assign(batch.labels.size(), 0.0);
+  row.avg_seconds.assign(batch.labels.size(), 0.0);
+  row.memory_limited.assign(batch.labels.size(), 0);
+  for (std::size_t s = 0; s < batch.labels.size(); ++s) {
+    std::int64_t solved = 0;
+    std::int64_t memory = 0;
+    double seconds = 0.0;
+    for (const auto& inst : batch.instances) {
+      const RunRecord& run = inst.runs[s];
+      if (run.found_schedule()) ++solved;
+      if (run.verdict == core::Verdict::kMemoryLimit) ++memory;
+      seconds += run.overrun() ? limit_seconds : run.seconds;
+    }
+    row.solved_fraction[s] = static_cast<double>(solved) / count;
+    row.avg_seconds[s] = seconds / count;
+    row.memory_limited[s] = memory;
+  }
+  return row;
+}
+
+TextTable table4_scaling(const std::vector<ScalingRow>& rows,
+                         const std::vector<std::string>& labels) {
+  std::vector<std::string> header{"n", "r", "m", "T(1000)"};
+  for (const auto& label : labels) {
+    header.push_back(label + " solved");
+    header.push_back(label + " tres");
+  }
+  TextTable table(std::move(header));
+  table.set_title("Table IV: scaling with a growing number of tasks");
+
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{
+        TextTable::num(static_cast<std::int64_t>(row.tasks)),
+        TextTable::num(row.avg_ratio, 2),
+        TextTable::num(row.avg_processors, 2),
+        TextTable::num(row.avg_hyperperiod, 2),
+    };
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      // A solver whose every run hit the memory guard corresponds to the
+      // paper's "-" entries (Choco running out of memory, §VII-E).
+      if (row.instances > 0 && row.memory_limited[s] == row.instances) {
+        cells.emplace_back("-");
+        cells.emplace_back("-");
+      } else {
+        cells.push_back(TextTable::percent(row.solved_fraction[s]));
+        cells.push_back(TextTable::num(row.avg_seconds[s], 2));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace mgrts::exp

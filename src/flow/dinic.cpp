@@ -1,0 +1,93 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace mgrts::flow {
+
+Dinic::Dinic(NodeId nodes) : adj_(static_cast<std::size_t>(nodes)) {
+  MGRTS_EXPECTS(nodes >= 2);
+}
+
+std::int32_t Dinic::add_edge(NodeId u, NodeId v, Capacity cap) {
+  MGRTS_EXPECTS(u >= 0 && u < node_count() && v >= 0 && v < node_count());
+  MGRTS_EXPECTS(cap >= 0);
+  auto& fwd_list = adj_[static_cast<std::size_t>(u)];
+  auto& rev_list = adj_[static_cast<std::size_t>(v)];
+  const auto fwd_pos = static_cast<std::int32_t>(fwd_list.size());
+  const auto rev_pos = static_cast<std::int32_t>(rev_list.size());
+  fwd_list.push_back(Edge{v, cap, rev_pos});
+  rev_list.push_back(Edge{u, 0, fwd_pos});
+  edge_index_.emplace_back(u, fwd_pos);
+  initial_cap_.push_back(cap);
+  return static_cast<std::int32_t>(edge_index_.size()) - 1;
+}
+
+bool Dinic::bfs(NodeId source, NodeId sink) {
+  level_.assign(adj_.size(), -1);
+  std::queue<NodeId> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+Capacity Dinic::dfs(NodeId u, NodeId sink, Capacity pushed) {
+  if (u == sink) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(u)];
+  auto& edges = adj_[static_cast<std::size_t>(u)];
+  for (; it < static_cast<std::int32_t>(edges.size()); ++it) {
+    Edge& e = edges[static_cast<std::size_t>(it)];
+    if (e.cap <= 0 ||
+        level_[static_cast<std::size_t>(e.to)] !=
+            level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const Capacity got = dfs(e.to, sink, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+Capacity Dinic::max_flow(NodeId source, NodeId sink) {
+  MGRTS_EXPECTS(source != sink);
+  Capacity total = 0;
+  while (bfs(source, sink)) {
+    iter_.assign(adj_.size(), 0);
+    for (;;) {
+      const Capacity pushed =
+          dfs(source, sink, std::numeric_limits<Capacity>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+Capacity Dinic::flow_on(std::int32_t id) const {
+  MGRTS_EXPECTS(id >= 0 && id < static_cast<std::int32_t>(edge_index_.size()));
+  const auto [u, pos] = edge_index_[static_cast<std::size_t>(id)];
+  const Edge& e =
+      adj_[static_cast<std::size_t>(u)][static_cast<std::size_t>(pos)];
+  return initial_cap_[static_cast<std::size_t>(id)] - e.cap;
+}
+
+}  // namespace mgrts::flow

@@ -1,0 +1,53 @@
+// Dinic's maximum-flow algorithm on integer capacities.
+//
+// Used by the feasibility oracle (flow/oracle.hpp): preemptive scheduling of
+// jobs with release times and deadlines on m identical processors reduces to
+// a bipartite transportation problem, so max-flow decides MGRTS-ID
+// feasibility in polynomial time.  This gives the test suite an exact,
+// solver-independent ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mgrts::flow {
+
+using NodeId = std::int32_t;
+using Capacity = std::int64_t;
+
+class Dinic {
+ public:
+  explicit Dinic(NodeId nodes);
+
+  /// Adds a directed edge u -> v with capacity `cap` (and an implicit
+  /// residual reverse edge).  Returns the edge id for later flow queries.
+  std::int32_t add_edge(NodeId u, NodeId v, Capacity cap);
+
+  /// Runs the algorithm; callable once per instance.
+  Capacity max_flow(NodeId source, NodeId sink);
+
+  /// Flow pushed through edge `id` (as returned by add_edge).
+  [[nodiscard]] Capacity flow_on(std::int32_t id) const;
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+
+ private:
+  struct Edge {
+    NodeId to;
+    Capacity cap;       // remaining capacity
+    std::int32_t rev;   // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(NodeId source, NodeId sink);
+  Capacity dfs(NodeId u, NodeId sink, Capacity pushed);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<NodeId, std::int32_t>> edge_index_;  // id -> (u, pos)
+  std::vector<Capacity> initial_cap_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::int32_t> iter_;
+};
+
+}  // namespace mgrts::flow

@@ -1,0 +1,106 @@
+#include "flow/oracle.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "flow/dinic.hpp"
+#include "rt/jobs.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::flow {
+
+using rt::ProcId;
+using rt::Schedule;
+using rt::TaskId;
+using rt::Time;
+
+OracleResult decide_feasibility(const rt::TaskSet& ts,
+                                const rt::Platform& platform) {
+  if (!platform.is_identical()) {
+    throw ValidationError(
+        "flow oracle supports identical platforms only (see oracle.hpp)");
+  }
+  if (!ts.is_constrained()) {
+    throw ValidationError(
+        "flow oracle expects a constrained-deadline system; expand clones "
+        "first");
+  }
+
+  const Time T = ts.hyperperiod();
+  const std::int32_t m = platform.processors();
+  const rt::JobTable jobs(ts);
+
+  // Node layout: 0 = source, 1..J = jobs, J+1..J+T = slots, last = sink.
+  const auto job_count = static_cast<std::int64_t>(jobs.size());
+  const std::int64_t node_count = 2 + job_count + T;
+  if (node_count > (std::int64_t{1} << 30)) {
+    throw ResourceError("flow network too large");
+  }
+  const auto source = NodeId{0};
+  const auto sink = static_cast<NodeId>(node_count - 1);
+  auto job_node = [&](std::int64_t idx) {
+    return static_cast<NodeId>(1 + idx);
+  };
+  auto slot_node = [&](Time t) {
+    return static_cast<NodeId>(1 + job_count + t);
+  };
+
+  Dinic net(static_cast<NodeId>(node_count));
+
+  std::int64_t demand = 0;
+  std::vector<std::int32_t> source_edge(jobs.size());
+  // job -> slot edge ids, parallel to each job's slot list.
+  std::vector<std::vector<std::int32_t>> slot_edges(jobs.size());
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const rt::Job& job = jobs.jobs()[idx];
+    demand += job.wcet;
+    source_edge[idx] = net.add_edge(source, job_node(
+        static_cast<std::int64_t>(idx)), job.wcet);
+    slot_edges[idx].reserve(job.slots.size());
+    for (const Time t : job.slots) {
+      slot_edges[idx].push_back(
+          net.add_edge(job_node(static_cast<std::int64_t>(idx)),
+                       slot_node(t), 1));
+    }
+  }
+  for (Time t = 0; t < T; ++t) {
+    net.add_edge(slot_node(t), sink, m);
+  }
+
+  OracleResult result;
+  result.demand = demand;
+  result.flow = net.max_flow(source, sink);
+  MGRTS_ASSERT(result.flow <= demand);
+  if (result.flow != demand) {
+    result.verdict = OracleVerdict::kInfeasible;
+    return result;
+  }
+
+  result.verdict = OracleVerdict::kFeasible;
+
+  // Extract the witness: collect the tasks pushing flow through each slot,
+  // then assign processors in ascending task order.
+  std::vector<std::vector<TaskId>> slot_tasks(static_cast<std::size_t>(T));
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const rt::Job& job = jobs.jobs()[idx];
+    for (std::size_t p = 0; p < job.slots.size(); ++p) {
+      if (net.flow_on(slot_edges[idx][p]) > 0) {
+        slot_tasks[static_cast<std::size_t>(job.slots[p])].push_back(job.task);
+      }
+    }
+  }
+  Schedule schedule(T, m);
+  for (Time t = 0; t < T; ++t) {
+    auto& tasks = slot_tasks[static_cast<std::size_t>(t)];
+    MGRTS_ASSERT(static_cast<std::int32_t>(tasks.size()) <= m);
+    std::sort(tasks.begin(), tasks.end());
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      schedule.set(t, static_cast<ProcId>(j), tasks[j]);
+    }
+  }
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace mgrts::flow

@@ -1,0 +1,58 @@
+// Exact polynomial feasibility oracle for identical platforms.
+//
+// Construction (classic preemptive-scheduling reduction):
+//   source --C_i--> job(i,k) --1--> slot(t in window)  --m--> sink
+// A feasible cyclic schedule exists iff max-flow equals the total demand
+// sum_i C_i * T/T_i:
+//   * job->slot capacity 1 encodes C3 (a task on at most one processor per
+//     slot; distinct jobs of one task never share a slot because constrained
+//     deadline windows are disjoint modulo T);
+//   * slot->sink capacity m encodes C2 (at most m busy processors);
+//   * saturation of the source edges encodes C1 + C4.
+// Converting a flow into an actual processor assignment is trivial: at most
+// m tasks occupy any slot, so hand them processors in ascending task order
+// (the same canonical representative the CSP2 symmetry rule picks).
+//
+// The oracle is the ground truth for solver tests and doubles as the
+// fastest feasibility decision procedure for identical platforms; it does
+// NOT extend to heterogeneous rates (the per-pair rates make the problem an
+// unrelated-machines one, which the flow model cannot capture).
+#pragma once
+
+#include <optional>
+
+#include "rt/platform.hpp"
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::flow {
+
+enum class OracleVerdict {
+  kFeasible,
+  kInfeasible,
+};
+
+struct OracleResult {
+  OracleVerdict verdict = OracleVerdict::kInfeasible;
+  /// Present iff feasible: a witness schedule (already canonical in the
+  /// ascending-task-order sense).
+  std::optional<rt::Schedule> schedule;
+  /// Max-flow value vs. required demand, for diagnostics.
+  std::int64_t flow = 0;
+  std::int64_t demand = 0;
+};
+
+/// Decides feasibility of `ts` (constrained deadlines) on m identical
+/// processors.  Throws ValidationError for non-identical platforms or
+/// non-constrained task sets, ResourceError when the job table would
+/// exceed the memory budget.
+[[nodiscard]] OracleResult decide_feasibility(const rt::TaskSet& ts,
+                                              const rt::Platform& platform);
+
+/// Convenience wrapper returning just the boolean verdict.
+[[nodiscard]] inline bool is_feasible(const rt::TaskSet& ts,
+                                      const rt::Platform& platform) {
+  return decide_feasibility(ts, platform).verdict == OracleVerdict::kFeasible;
+}
+
+}  // namespace mgrts::flow

@@ -1,0 +1,155 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/oracle.hpp"
+#include "rt/jobs.hpp"
+#include "rt/platform.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::partition {
+
+using rt::ProcId;
+using rt::TaskId;
+using rt::Time;
+
+const char* to_string(FitHeuristic heuristic) {
+  switch (heuristic) {
+    case FitHeuristic::kFirstFit: return "first-fit";
+    case FitHeuristic::kBestFit: return "best-fit";
+    case FitHeuristic::kWorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+const char* to_string(SortOrder order) {
+  switch (order) {
+    case SortOrder::kInput: return "input";
+    case SortOrder::kDecreasingUtilization: return "util-desc";
+    case SortOrder::kDecreasingDensity: return "density-desc";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds the sub-TaskSet of one bin (task parameters pass through
+/// unchanged, so windows and hyperperiods are the per-bin ones).
+rt::TaskSet subset(const rt::TaskSet& ts, const std::vector<TaskId>& bin) {
+  std::vector<rt::Task> tasks;
+  tasks.reserve(bin.size());
+  for (const TaskId i : bin) tasks.push_back(ts[i]);
+  return rt::TaskSet(std::move(tasks));
+}
+
+/// Exact uniprocessor feasibility of a bin.
+bool bin_feasible(const rt::TaskSet& ts, const std::vector<TaskId>& bin,
+                  std::int64_t& checks) {
+  ++checks;
+  return flow::is_feasible(subset(ts, bin), rt::Platform::identical(1));
+}
+
+double bin_load(const rt::TaskSet& ts, const std::vector<TaskId>& bin) {
+  double load = 0;
+  for (const TaskId i : bin) {
+    load += static_cast<double>(ts[i].wcet()) /
+            static_cast<double>(ts[i].period());
+  }
+  return load;
+}
+
+}  // namespace
+
+Result partition_tasks(const rt::TaskSet& ts, std::int32_t processors,
+                       const Options& options) {
+  if (!ts.is_constrained()) {
+    throw ValidationError(
+        "partitioning expects a constrained-deadline system; expand clones "
+        "first");
+  }
+  MGRTS_EXPECTS(processors >= 1);
+
+  Result result;
+  result.assignment.assign(static_cast<std::size_t>(processors), {});
+
+  // Placement order.
+  std::vector<TaskId> order(static_cast<std::size_t>(ts.size()));
+  std::iota(order.begin(), order.end(), 0);
+  auto key = [&](TaskId i) -> double {
+    switch (options.sort) {
+      case SortOrder::kInput:
+        return 0.0;
+      case SortOrder::kDecreasingUtilization:
+        return -static_cast<double>(ts[i].wcet()) /
+               static_cast<double>(ts[i].period());
+      case SortOrder::kDecreasingDensity:
+        return -static_cast<double>(ts[i].wcet()) /
+               static_cast<double>(ts[i].deadline());
+    }
+    return 0.0;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const double ka = key(a);
+    const double kb = key(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  for (const TaskId task : order) {
+    ProcId chosen = -1;
+    double chosen_load = 0;
+    for (ProcId j = 0; j < processors; ++j) {
+      auto& bin = result.assignment[static_cast<std::size_t>(j)];
+      bin.push_back(task);
+      const bool fits = bin_feasible(ts, bin, result.feasibility_checks);
+      const double load = bin_load(ts, bin);
+      bin.pop_back();
+      if (!fits) continue;
+      if (options.fit == FitHeuristic::kFirstFit) {
+        chosen = j;
+        break;
+      }
+      const bool better =
+          chosen < 0 ||
+          (options.fit == FitHeuristic::kBestFit ? load > chosen_load
+                                                 : load < chosen_load);
+      if (better) {
+        chosen = j;
+        chosen_load = load;
+      }
+    }
+    if (chosen < 0) {
+      result.failed_task = task;
+      return result;  // found == false
+    }
+    result.assignment[static_cast<std::size_t>(chosen)].push_back(task);
+  }
+
+  // Assemble the combined cyclic schedule: solve each bin exactly on one
+  // processor and tile its (shorter) hyperperiod across the global one.
+  rt::Schedule schedule(ts.hyperperiod(), processors);
+  for (ProcId j = 0; j < processors; ++j) {
+    const auto& bin = result.assignment[static_cast<std::size_t>(j)];
+    if (bin.empty()) continue;
+    const rt::TaskSet sub = subset(ts, bin);
+    const flow::OracleResult oracle =
+        flow::decide_feasibility(sub, rt::Platform::identical(1));
+    MGRTS_ASSERT(oracle.verdict == flow::OracleVerdict::kFeasible);
+    MGRTS_ASSERT(oracle.schedule.has_value());
+    const Time sub_period = sub.hyperperiod();
+    MGRTS_ASSERT(ts.hyperperiod() % sub_period == 0);
+    for (Time t = 0; t < ts.hyperperiod(); ++t) {
+      const TaskId local = oracle.schedule->at(t % sub_period, 0);
+      if (local != rt::kIdle) {
+        schedule.set(t, j, bin[static_cast<std::size_t>(local)]);
+      }
+    }
+  }
+  result.schedule = std::move(schedule);
+  result.found = true;
+  return result;
+}
+
+}  // namespace mgrts::partition

@@ -1,0 +1,70 @@
+// Partitioned scheduling baseline (§VIII: "looking at partitioning or
+// mixed approaches"; related work [5] solves the partitioned problem with
+// constraint programming).
+//
+// Partitioned scheduling statically assigns every task to one processor —
+// no migration ever.  That turns the multiprocessor problem into m
+// uniprocessor problems, each decided *exactly* here with the flow oracle
+// on a single processor.  Task-to-processor assignment is bin packing
+// (NP-hard), approached with the classical fit heuristics.
+//
+// The gap between this baseline and the global CSP solvers is the paper's
+// raison d'être: instances exist (tests + bench) that global scheduling
+// fits but no partition can, because partitioning wastes the fractional
+// capacity that migration exploits.
+//
+// A successful partition yields a global cyclic schedule (each task runs
+// only on its processor) that passes the same independent validator as
+// every other witness in this repo.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::partition {
+
+enum class FitHeuristic {
+  kFirstFit,  ///< first processor that accepts the task
+  kBestFit,   ///< feasible processor with the highest resulting load
+  kWorstFit,  ///< feasible processor with the lowest resulting load
+};
+
+[[nodiscard]] const char* to_string(FitHeuristic heuristic);
+
+enum class SortOrder {
+  kInput,                  ///< task id order
+  kDecreasingUtilization,  ///< C/T descending (classic FFD)
+  kDecreasingDensity,      ///< C/D descending (tight windows first)
+};
+
+[[nodiscard]] const char* to_string(SortOrder order);
+
+struct Options {
+  FitHeuristic fit = FitHeuristic::kFirstFit;
+  SortOrder sort = SortOrder::kDecreasingUtilization;
+};
+
+struct Result {
+  /// True when every task was placed.  False proves nothing (bin packing
+  /// heuristics are incomplete) — that asymmetry is the point of the bench.
+  bool found = false;
+  /// Task ids per processor (valid iff found; empty bins allowed).
+  std::vector<std::vector<rt::TaskId>> assignment;
+  /// Combined global schedule over the full hyperperiod (iff found).
+  std::optional<rt::Schedule> schedule;
+  /// Number of exact uniprocessor feasibility checks performed.
+  std::int64_t feasibility_checks = 0;
+  /// Task that could not be placed (valid iff !found).
+  rt::TaskId failed_task = -1;
+};
+
+/// Partitions `ts` (constrained deadlines) onto m identical processors.
+[[nodiscard]] Result partition_tasks(const rt::TaskSet& ts,
+                                     std::int32_t processors,
+                                     const Options& options = {});
+
+}  // namespace mgrts::partition

@@ -1,0 +1,104 @@
+#include "priority/assignment.hpp"
+
+#include <algorithm>
+
+#include "csp2/csp2.hpp"
+#include "support/assert.hpp"
+
+namespace mgrts::prio {
+
+using rt::TaskId;
+
+const char* to_string(SearchStatus status) {
+  switch (status) {
+    case SearchStatus::kFound: return "found";
+    case SearchStatus::kExhausted: return "exhausted";
+    case SearchStatus::kBudget: return "budget";
+  }
+  return "?";
+}
+
+namespace {
+
+bool order_works(const rt::TaskSet& ts, const rt::Platform& platform,
+                 const std::vector<TaskId>& order) {
+  sim::SimOptions sim_options;
+  sim_options.policy = sim::Policy::kFixedPriority;
+  sim_options.priority = order;
+  const sim::SimResult result = sim::simulate(ts, platform, sim_options);
+  return result.status == sim::SimStatus::kSchedulable;
+}
+
+}  // namespace
+
+SearchResult find_feasible_priority(const rt::TaskSet& ts,
+                                    const rt::Platform& platform,
+                                    const SearchOptions& options) {
+  SearchResult result;
+  auto budget_left = [&] {
+    if (options.deadline.expired()) return false;
+    return options.max_orders < 0 || result.orders_tried < options.max_orders;
+  };
+
+  if (options.heuristics_first) {
+    // The ladder starts with (D-C) per the paper's closing discussion.
+    const std::pair<csp2::ValueOrder, const char*> ladder[] = {
+        {csp2::ValueOrder::kDMinusC, "D-C"},
+        {csp2::ValueOrder::kDeadlineMonotonic, "DM"},
+        {csp2::ValueOrder::kRateMonotonic, "RM"},
+        {csp2::ValueOrder::kTMinusC, "T-C"},
+        {csp2::ValueOrder::kInput, "input"},
+    };
+    for (const auto& [heuristic, name] : ladder) {
+      if (!budget_left()) return result;
+      auto order = csp2::value_order_tasks(ts, heuristic);
+      ++result.orders_tried;
+      if (order_works(ts, platform, order)) {
+        result.status = SearchStatus::kFound;
+        result.order = std::move(order);
+        result.source = name;
+        return result;
+      }
+    }
+  }
+
+  if (!options.exhaustive) {
+    result.status = SearchStatus::kBudget;
+    return result;
+  }
+
+  // Exhaustive pass: permutations of the (D-C) order in lexicographic
+  // order, so the earliest permutations are the ones the paper's criterion
+  // considers most promising.
+  std::vector<TaskId> base =
+      csp2::value_order_tasks(ts, csp2::ValueOrder::kDMinusC);
+  // std::next_permutation needs the comparator under which `base` is the
+  // smallest arrangement: compare positions in the (D-C) order.
+  std::vector<std::int32_t> pos(base.size());
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    pos[static_cast<std::size_t>(base[k])] = static_cast<std::int32_t>(k);
+  }
+  const auto by_dc = [&](TaskId a, TaskId b) {
+    return pos[static_cast<std::size_t>(a)] < pos[static_cast<std::size_t>(b)];
+  };
+
+  std::vector<TaskId> order = base;
+  do {
+    if (!budget_left()) {
+      result.status = SearchStatus::kBudget;
+      return result;
+    }
+    ++result.orders_tried;
+    if (order_works(ts, platform, order)) {
+      result.status = SearchStatus::kFound;
+      result.order = order;
+      result.source = "search";
+      return result;
+    }
+  } while (std::next_permutation(order.begin(), order.end(), by_dc));
+
+  result.status = SearchStatus::kExhausted;
+  return result;
+}
+
+}  // namespace mgrts::prio

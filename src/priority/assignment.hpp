@@ -1,0 +1,64 @@
+// Feasible global fixed-priority assignment search.
+//
+// §VIII of the paper proposes "considering the problem from a different
+// viewpoint, e.g. searching for a feasible priority assignment among the n!
+// possible orderings of n tasks", and notes that since CSP2+(D-C) wins the
+// experiments, "an optimal priority assignment algorithm could be built
+// starting from a first ordering based on a (D-C) criterion".  This module
+// implements that idea:
+//   1. try a ladder of heuristic orders — (D-C) first, then DM, RM, (T-C),
+//      input order — each checked with the global-FP simulator;
+//   2. fall back to enumerating all n! orders depth-first (still seeded by
+//      the (D-C) order at every level), subject to order/time budgets.
+//
+// Global FP is not an optimal scheduling policy, so "no feasible priority
+// order" does NOT imply MGRTS infeasibility — the CSP solvers decide that.
+// The test suite checks the converse containment: whenever some priority
+// order works, CSP2 finds a schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rt/platform.hpp"
+#include "rt/task_set.hpp"
+#include "sim/simulator.hpp"
+#include "support/deadline.hpp"
+
+namespace mgrts::prio {
+
+struct SearchOptions {
+  /// Try the heuristic ladder before enumerating.
+  bool heuristics_first = true;
+  /// Enumerate permutations exhaustively after the ladder (n! worst case).
+  bool exhaustive = true;
+  /// Stop after this many simulated orders (-1 = unlimited).
+  std::int64_t max_orders = -1;
+  support::Deadline deadline;
+};
+
+enum class SearchStatus {
+  kFound,        ///< a feasible priority order was found
+  kExhausted,    ///< every order fails under global FP
+  kBudget,       ///< order budget / deadline hit before a decision
+};
+
+[[nodiscard]] const char* to_string(SearchStatus status);
+
+struct SearchResult {
+  SearchStatus status = SearchStatus::kBudget;
+  /// Highest-to-lowest priority order; present iff kFound.
+  std::optional<std::vector<rt::TaskId>> order;
+  /// Name of the heuristic that produced the winning order, or "search".
+  const char* source = "";
+  std::int64_t orders_tried = 0;
+};
+
+/// Searches for a priority order under which global FP schedules `ts` on
+/// the identical platform.
+[[nodiscard]] SearchResult find_feasible_priority(
+    const rt::TaskSet& ts, const rt::Platform& platform,
+    const SearchOptions& options = {});
+
+}  // namespace mgrts::prio

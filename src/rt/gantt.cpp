@@ -1,0 +1,88 @@
+#include "rt/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rt/jobs.hpp"
+
+namespace mgrts::rt {
+
+namespace {
+
+// Time ruler with a tick label every 5 slots: "0    5    10 ...".
+std::string ruler(Time T, std::size_t label_width) {
+  std::string line(label_width, ' ');
+  std::string marks;
+  for (Time t = 0; t < T; ++t) {
+    if (t % 5 == 0) {
+      const std::string label = std::to_string(t);
+      marks += label;
+      // Skip slots covered by the label, minus the one we are on.
+      Time skip = static_cast<Time>(label.size()) - 1;
+      t += skip;
+    } else {
+      marks += ' ';
+    }
+  }
+  return line + marks;
+}
+
+char task_glyph(TaskId i, std::int32_t n) {
+  if (n <= 9) return static_cast<char>('1' + i);
+  // Tasks 1..9 then a..z then '#'.
+  if (i < 9) return static_cast<char>('1' + i);
+  if (i < 9 + 26) return static_cast<char>('a' + (i - 9));
+  return '#';
+}
+
+}  // namespace
+
+std::string render_windows(const TaskSet& ts) {
+  const Time T = ts.hyperperiod();
+  const WindowIndex windows(ts);
+
+  std::size_t label_width = 0;
+  for (const auto& task : ts.tasks()) {
+    label_width = std::max(label_width, task.name.size());
+  }
+  label_width += 2;  // "name: "
+
+  std::ostringstream os;
+  os << "availability windows over one hyperperiod T=" << T << "\n";
+  os << ruler(T, label_width) << '\n';
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    std::string row = ts[i].name + ": ";
+    row.resize(label_width, ' ');
+    for (Time t = 0; t < T; ++t) {
+      row += windows.in_window(i, t) ? '#' : '.';
+    }
+    const auto& p = ts[i].params;
+    os << row << "   (O=" << p.offset << " C=" << p.wcet << " D=" << p.deadline
+       << " T=" << p.period << ")\n";
+  }
+  return os.str();
+}
+
+std::string render_schedule(const TaskSet& ts, const Schedule& schedule) {
+  const Time T = schedule.hyperperiod();
+  const std::int32_t m = schedule.processors();
+  const std::size_t label_width = 4 + std::to_string(m).size();
+
+  std::ostringstream os;
+  os << ruler(T, label_width) << '\n';
+  for (ProcId j = 0; j < m; ++j) {
+    std::string row = "P" + std::to_string(j + 1) + ": ";
+    row.resize(label_width, ' ');
+    for (Time t = 0; t < T; ++t) {
+      const TaskId i = schedule.at(t, j);
+      row += i == kIdle ? '.' : task_glyph(i, ts.size());
+    }
+    os << row << '\n';
+  }
+  if (ts.size() > 9) {
+    os << "legend: 1-9 = tau1..tau9, a-z = tau10..tau35, # = higher\n";
+  }
+  return os.str();
+}
+
+}  // namespace mgrts::rt

@@ -1,0 +1,23 @@
+// ASCII rendering of availability windows (the paper's Figure 1) and of
+// schedules as per-processor Gantt rows.
+#pragma once
+
+#include <string>
+
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::rt {
+
+/// Figure-1-style chart: one row per task, '#' where a slot belongs to an
+/// availability window, '.' elsewhere, with a time ruler.  Wrapped windows
+/// (offsets > 0) show up naturally because membership is cyclic.
+[[nodiscard]] std::string render_windows(const TaskSet& ts);
+
+/// Gantt chart of a cyclic schedule: one row per processor; busy slots show
+/// the 1-based task number (single char when n <= 9, else '#' plus legend),
+/// '.' for idle.
+[[nodiscard]] std::string render_schedule(const TaskSet& ts,
+                                          const Schedule& schedule);
+
+}  // namespace mgrts::rt

@@ -1,0 +1,141 @@
+#include "rt/platform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "rt/task_set.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace mgrts::rt {
+
+Platform Platform::identical(std::int32_t m) {
+  if (m < 1) throw ValidationError("platform needs at least one processor");
+  Platform p;
+  p.m_ = m;
+  p.identical_ = true;
+  return p;
+}
+
+Platform Platform::uniform(std::vector<Rate> speeds) {
+  if (speeds.empty()) {
+    throw ValidationError("platform needs at least one processor");
+  }
+  for (const Rate s : speeds) {
+    if (s < 0) throw ValidationError("uniform speeds must be non-negative");
+  }
+  if (std::all_of(speeds.begin(), speeds.end(),
+                  [](Rate s) { return s == 1; })) {
+    return identical(static_cast<std::int32_t>(speeds.size()));
+  }
+  Platform p;
+  p.m_ = static_cast<std::int32_t>(speeds.size());
+  p.uniform_ = true;
+  p.speeds_ = std::move(speeds);
+  return p;
+}
+
+Platform Platform::heterogeneous(std::vector<std::vector<Rate>> rates) {
+  if (rates.empty() || rates.front().empty()) {
+    throw ValidationError("heterogeneous platform needs a non-empty matrix");
+  }
+  const std::size_t m = rates.front().size();
+  for (const auto& row : rates) {
+    if (row.size() != m) {
+      throw ValidationError("rate matrix rows must have equal length");
+    }
+    for (const Rate s : row) {
+      if (s < 0) throw ValidationError("rates must be non-negative");
+    }
+  }
+  Platform p;
+  p.m_ = static_cast<std::int32_t>(m);
+  p.rates_ = std::move(rates);
+  return p;
+}
+
+Rate Platform::rate(TaskId i, ProcId j) const {
+  MGRTS_EXPECTS(j >= 0 && j < m_);
+  if (identical_) return 1;
+  if (uniform_) return speeds_[static_cast<std::size_t>(j)];
+  MGRTS_EXPECTS(i >= 0 && i < static_cast<TaskId>(rates_.size()));
+  return rates_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+}
+
+double Platform::quality(ProcId j, const TaskSet& ts) const {
+  double q = 0;
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    q += static_cast<double>(rate(i, j)) *
+         static_cast<double>(ts[i].wcet()) /
+         static_cast<double>(ts[i].period());
+  }
+  return q;
+}
+
+std::vector<ProcId> Platform::processors_by_quality(const TaskSet& ts) const {
+  std::vector<ProcId> order(static_cast<std::size_t>(m_));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> q(static_cast<std::size_t>(m_));
+  for (ProcId j = 0; j < m_; ++j) {
+    q[static_cast<std::size_t>(j)] = quality(j, ts);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](ProcId a, ProcId b) {
+    const double qa = q[static_cast<std::size_t>(a)];
+    const double qb = q[static_cast<std::size_t>(b)];
+    if (qa != qb) return qa < qb;
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<std::vector<ProcId>> Platform::identical_groups(
+    std::int32_t task_count) const {
+  // Key each processor by its full rate column; identical columns may be
+  // permuted freely (rule 13).
+  std::map<std::vector<Rate>, std::vector<ProcId>> buckets;
+  for (ProcId j = 0; j < m_; ++j) {
+    std::vector<Rate> column;
+    column.reserve(static_cast<std::size_t>(task_count));
+    for (TaskId i = 0; i < task_count; ++i) column.push_back(rate(i, j));
+    buckets[std::move(column)].push_back(j);
+  }
+  std::vector<std::vector<ProcId>> groups;
+  groups.reserve(buckets.size());
+  for (auto& [column, procs] : buckets) groups.push_back(std::move(procs));
+  // Deterministic order: by smallest member id.
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return groups;
+}
+
+std::vector<std::int32_t> Platform::group_of(std::int32_t task_count) const {
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(m_), 0);
+  const auto groups = identical_groups(task_count);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const ProcId j : groups[g]) {
+      ids[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(g);
+    }
+  }
+  return ids;
+}
+
+std::string Platform::describe() const {
+  std::ostringstream os;
+  if (identical_) {
+    os << m_ << " identical processors";
+  } else if (uniform_) {
+    os << m_ << " uniform processors, speeds [";
+    for (std::size_t j = 0; j < speeds_.size(); ++j) {
+      os << (j ? ", " : "") << speeds_[j];
+    }
+    os << "]";
+  } else {
+    os << m_ << " heterogeneous processors (" << rates_.size()
+       << "-task rate matrix)";
+  }
+  return os.str();
+}
+
+}  // namespace mgrts::rt

@@ -1,0 +1,91 @@
+// Processor platform model of §II / §VI-A.
+//
+// Three platform classes, from least to most general:
+//   * identical   — every processor has unit speed for every task;
+//   * uniform     — processor j has speed s_j for every task;
+//   * heterogeneous — an execution-rate s_{i,j} per (task, processor) pair;
+//     s_{i,j} = 0 models a dedicated processor that cannot serve task i.
+//
+// Rates are non-negative integers (multiples of a base speed; pre-scale
+// rationals).  A task running one slot on processor j completes s_{i,j}
+// units of its C_i, per the paper's heterogeneous C4 (equations 11/12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/task.hpp"
+
+namespace mgrts::rt {
+
+class TaskSet;
+
+/// Integer execution rate (units of work completed per slot).
+using Rate = std::int32_t;
+
+class Platform {
+ public:
+  /// m identical unit-speed processors.
+  static Platform identical(std::int32_t m);
+
+  /// Uniform platform: processor j runs every task at rate `speeds[j]`.
+  static Platform uniform(std::vector<Rate> speeds);
+
+  /// Fully heterogeneous platform; rates[i][j] = s_{i,j} for task i on
+  /// processor j.  All rows must have equal length m >= 1.
+  static Platform heterogeneous(std::vector<std::vector<Rate>> rates);
+
+  [[nodiscard]] std::int32_t processors() const noexcept { return m_; }
+
+  /// True when every (task, processor) rate is 1 — the MGRTS-ID setting of
+  /// sections III-V where the fast dedicated-solver paths apply.
+  [[nodiscard]] bool is_identical() const noexcept { return identical_; }
+
+  /// s_{i,j}; identical platforms report 1 for every pair.  Heterogeneous
+  /// platforms require i < rate-matrix row count.
+  [[nodiscard]] Rate rate(TaskId i, ProcId j) const;
+
+  /// s_{i,j} > 0.
+  [[nodiscard]] bool can_run(TaskId i, ProcId j) const {
+    return rate(i, j) > 0;
+  }
+
+  /// Number of task rows the rate matrix was built for (0 for identical /
+  /// uniform platforms, which work with any task count).
+  [[nodiscard]] std::int32_t rate_rows() const noexcept {
+    return uniform_ || identical_ ? 0
+                                  : static_cast<std::int32_t>(rates_.size());
+  }
+
+  /// §VI-A processor quality Q(P_j) = sum_i s_{i,j} * C_i / T_i.
+  [[nodiscard]] double quality(ProcId j, const TaskSet& ts) const;
+
+  /// Processor ids ordered by ascending quality ("less capable processors
+  /// first", §VI-A); quality ties broken by id for determinism.
+  [[nodiscard]] std::vector<ProcId> processors_by_quality(
+      const TaskSet& ts) const;
+
+  /// Partition of processors into maximal groups with identical rate
+  /// columns; the symmetry-breaking rule (13) applies within each group.
+  /// Groups preserve the given processor order.
+  [[nodiscard]] std::vector<std::vector<ProcId>> identical_groups(
+      std::int32_t task_count) const;
+
+  /// group id per processor (same partition as identical_groups).
+  [[nodiscard]] std::vector<std::int32_t> group_of(
+      std::int32_t task_count) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Platform() = default;
+
+  std::int32_t m_ = 0;
+  bool identical_ = false;
+  bool uniform_ = false;
+  std::vector<Rate> speeds_;                // uniform platforms
+  std::vector<std::vector<Rate>> rates_;    // heterogeneous platforms
+};
+
+}  // namespace mgrts::rt

@@ -1,0 +1,44 @@
+#include "rt/schedule.hpp"
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace mgrts::rt {
+
+Schedule::Schedule(Time hyperperiod, std::int32_t processors)
+    : T_(hyperperiod), m_(processors) {
+  MGRTS_EXPECTS(hyperperiod >= 1 && processors >= 1);
+  const auto cells = support::checked_mul(hyperperiod, processors);
+  if (!cells || *cells > (std::int64_t{1} << 31)) {
+    throw ResourceError("schedule table T*m too large to materialize");
+  }
+  table_.assign(static_cast<std::size_t>(*cells), kIdle);
+}
+
+Time Schedule::units_of(TaskId task) const noexcept {
+  Time units = 0;
+  for (const TaskId cell : table_) {
+    if (cell == task) ++units;
+  }
+  return units;
+}
+
+Time Schedule::busy_cells() const noexcept {
+  Time busy = 0;
+  for (const TaskId cell : table_) {
+    if (cell != kIdle) ++busy;
+  }
+  return busy;
+}
+
+std::vector<TaskId> Schedule::running_at(Time t) const {
+  std::vector<TaskId> out;
+  for (ProcId j = 0; j < m_; ++j) {
+    const TaskId v = at(t, j);
+    if (v != kIdle) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace mgrts::rt

@@ -1,0 +1,83 @@
+#include "rt/stats.hpp"
+
+#include <algorithm>
+
+#include "rt/jobs.hpp"
+#include "support/assert.hpp"
+
+namespace mgrts::rt {
+
+std::vector<JobStats> ScheduleStats::of_task(TaskId task) const {
+  std::vector<JobStats> out;
+  for (const JobStats& job : jobs) {
+    if (job.task == task) out.push_back(job);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobStats& a, const JobStats& b) { return a.job < b.job; });
+  return out;
+}
+
+ScheduleStats analyze_schedule(const TaskSet& ts, const Schedule& schedule) {
+  ScheduleStats stats;
+  const Time T = ts.hyperperiod();
+  const std::int32_t m = schedule.processors();
+  const JobTable jobs(ts);
+
+  stats.jobs.reserve(jobs.size());
+  for (const Job& job : jobs.jobs()) {
+    JobStats js;
+    js.task = job.task;
+    js.job = job.index;
+
+    // Walk the job's window in temporal order (job.slots is already the
+    // release-to-deadline order; wrapped slots reduced mod T).
+    ProcId last_proc = -1;
+    bool running_gap = false;  // saw a pause since the last busy slot
+    Time units = 0;
+    const Time wcet = job.wcet;
+    for (std::size_t d = 0; d < job.slots.size(); ++d) {
+      const Time slot = job.slots[d];
+      ProcId on = -1;
+      for (ProcId j = 0; j < m; ++j) {
+        if (schedule.at(slot, j) == job.task) {
+          on = j;
+          break;
+        }
+      }
+      if (on < 0) {
+        if (units > 0 && units < wcet) running_gap = true;
+        continue;
+      }
+      ++units;
+      if (last_proc >= 0) {
+        if (running_gap) ++js.preemptions;
+        if (on != last_proc) ++js.migrations;
+      }
+      running_gap = false;
+      last_proc = on;
+      if (units == wcet) {
+        js.completion = static_cast<Time>(d) + 1;
+      }
+    }
+    js.slack = ts[job.task].deadline() - js.completion;
+    stats.total_migrations += js.migrations;
+    stats.total_preemptions += js.preemptions;
+    stats.jobs.push_back(js);
+  }
+
+  if (!stats.jobs.empty()) {
+    stats.min_slack = stats.jobs.front().slack;
+    double total = 0;
+    for (const JobStats& js : stats.jobs) {
+      stats.min_slack = std::min(stats.min_slack, js.slack);
+      total += static_cast<double>(js.slack);
+    }
+    stats.avg_slack = total / static_cast<double>(stats.jobs.size());
+  }
+  stats.platform_load =
+      static_cast<double>(schedule.busy_cells()) /
+      (static_cast<double>(m) * static_cast<double>(T));
+  return stats;
+}
+
+}  // namespace mgrts::rt

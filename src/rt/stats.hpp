@@ -1,0 +1,47 @@
+// Schedule metrics: the observable costs of *global* scheduling.
+//
+// The paper's model allows task- and job-level migration for free (§I);
+// real platforms pay for every migration and preemption in cache misses
+// and context switches.  This module measures what a produced table
+// actually does — per-job slack, migrations (a job resuming on a different
+// processor) and preemptions (a job pausing while its window continues) —
+// so users can compare witnesses beyond mere feasibility (e.g. CSP2's
+// canonical-ascending schedules vs. the flow oracle's).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::rt {
+
+struct JobStats {
+  TaskId task = 0;
+  std::int64_t job = 0;      ///< k within the hyperperiod
+  Time completion = 0;       ///< slots after release until the last unit
+  Time slack = 0;            ///< D_i - completion (>= 0 in a valid table)
+  std::int32_t migrations = 0;
+  std::int32_t preemptions = 0;
+};
+
+struct ScheduleStats {
+  std::vector<JobStats> jobs;
+  std::int64_t total_migrations = 0;
+  std::int64_t total_preemptions = 0;
+  Time min_slack = 0;
+  double avg_slack = 0.0;
+  /// Busy cells / (m * T).
+  double platform_load = 0.0;
+
+  /// Jobs of one task, in release order.
+  [[nodiscard]] std::vector<JobStats> of_task(TaskId task) const;
+};
+
+/// Analyzes one hyperperiod of a *valid* schedule (run the validator
+/// first; behaviour on invalid tables is unspecified but non-crashing).
+[[nodiscard]] ScheduleStats analyze_schedule(const TaskSet& ts,
+                                             const Schedule& schedule);
+
+}  // namespace mgrts::rt

@@ -1,0 +1,51 @@
+// Periodic task model of §II: each task is a 4-tuple (O, C, D, T).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mgrts::rt {
+
+/// Discrete time; one unit == one schedule slot.
+using Time = std::int64_t;
+
+/// 0-based task index within a TaskSet.  The paper numbers tasks 1..n; all
+/// rendering adds 1 back for display.
+using TaskId = std::int32_t;
+
+/// Processor index 0..m-1.
+using ProcId = std::int32_t;
+
+/// Sentinel for "no task" (the paper's -1 value in CSP2).
+inline constexpr TaskId kIdle = -1;
+
+/// The 4-tuple (O_i, C_i, D_i, T_i) of §II.
+struct TaskParams {
+  Time offset = 0;    ///< O_i: release of the first job.
+  Time wcet = 0;      ///< C_i: worst-case execution time.
+  Time deadline = 0;  ///< D_i: relative deadline.
+  Time period = 0;    ///< T_i: inter-release separation.
+
+  friend bool operator==(const TaskParams&, const TaskParams&) = default;
+};
+
+/// A task as stored inside a TaskSet: parameters plus a display name.
+struct Task {
+  TaskParams params;
+  std::string name;  ///< defaults to "tau<k>"; clones get "tau<k>.<c>".
+
+  [[nodiscard]] Time offset() const noexcept { return params.offset; }
+  [[nodiscard]] Time wcet() const noexcept { return params.wcet; }
+  [[nodiscard]] Time deadline() const noexcept { return params.deadline; }
+  [[nodiscard]] Time period() const noexcept { return params.period; }
+
+  /// Laxity-style quantities used by the CSP2 value-ordering heuristics.
+  [[nodiscard]] Time t_minus_c() const noexcept {
+    return params.period - params.wcet;
+  }
+  [[nodiscard]] Time d_minus_c() const noexcept {
+    return params.deadline - params.wcet;
+  }
+};
+
+}  // namespace mgrts::rt

@@ -1,0 +1,121 @@
+// TaskSet: a validated collection of periodic tasks with the derived
+// quantities used throughout the paper — hyperperiod T = lcm(T_i),
+// utilization U = sum C_i/T_i, and the clone expansion of §VI-B that turns
+// an arbitrary-deadline system into an equivalent constrained-deadline one.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "support/math.hpp"
+
+namespace mgrts::rt {
+
+/// Which structural rules a TaskSet must satisfy.
+enum class DeadlineModel {
+  kConstrained,  ///< D_i <= T_i for all i (sections II-V).
+  kArbitrary,    ///< D_i may exceed T_i (section VI-B; handled via clones).
+};
+
+/// Per-clone provenance recorded by `expand_clones`.
+struct CloneInfo {
+  TaskId original = 0;    ///< index into the source TaskSet
+  std::int32_t clone = 0; ///< i' in tau_{i,i'}, 0-based
+};
+
+class TaskSet;
+
+/// Result of the §VI-B transformation.
+struct CloneExpansion {
+  /// The constrained-deadline clone system (k_i clones per original task).
+  std::vector<Task> tasks;
+  /// tasks[c] corresponds to origin[c] in the source system.
+  std::vector<CloneInfo> origin;
+};
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+
+  /// Validates and stores the tasks; throws ValidationError when a task
+  /// violates `model` (see rules below) and OverflowError when the
+  /// hyperperiod does not fit in 64 bits.
+  ///
+  /// Rules enforced:
+  ///  * T_i >= 1, C_i >= 1, D_i >= C_i
+  ///  * 0 <= O_i < T_i      (offsets are normalized phases; see DESIGN.md §3)
+  ///  * kConstrained additionally requires D_i <= T_i.
+  explicit TaskSet(std::vector<Task> tasks,
+                   DeadlineModel model = DeadlineModel::kConstrained);
+
+  /// Convenience: builds tasks named tau1..taun from raw 4-tuples.
+  static TaskSet from_params(std::initializer_list<TaskParams> params,
+                             DeadlineModel model = DeadlineModel::kConstrained);
+  static TaskSet from_params(const std::vector<TaskParams>& params,
+                             DeadlineModel model = DeadlineModel::kConstrained);
+
+  [[nodiscard]] std::int32_t size() const noexcept {
+    return static_cast<std::int32_t>(tasks_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task& operator[](TaskId i) const {
+    return tasks_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] DeadlineModel model() const noexcept { return model_; }
+  [[nodiscard]] bool is_constrained() const noexcept {
+    return model_ == DeadlineModel::kConstrained;
+  }
+
+  /// Hyperperiod T = lcm(T_1..T_n); cached at construction.
+  [[nodiscard]] Time hyperperiod() const noexcept { return hyperperiod_; }
+
+  /// Exact utilization U = sum C_i / T_i.
+  [[nodiscard]] support::Rational utilization() const;
+
+  /// Utilization ratio r = U / m as a double (display / histograms only;
+  /// use `exceeds_capacity` for the exact r > 1 filter).
+  [[nodiscard]] double utilization_ratio(std::int32_t m) const;
+
+  /// Exact version of the paper's necessary-condition filter r > 1 (§VII-C).
+  [[nodiscard]] bool exceeds_capacity(std::int32_t m) const;
+
+  /// ceil(U): the smallest processor count not excluded by the necessary
+  /// condition; the paper's m_min of §VII-E.
+  [[nodiscard]] std::int32_t min_processors_bound() const;
+
+  /// Largest offset; relevant for simulator warm-up intervals.
+  [[nodiscard]] Time max_offset() const noexcept;
+
+  /// Number of jobs task i releases per hyperperiod (T / T_i).
+  [[nodiscard]] Time jobs_per_hyperperiod(TaskId i) const {
+    return hyperperiod_ / (*this)[i].period();
+  }
+
+  /// Total job count per hyperperiod across tasks; throws OverflowError.
+  [[nodiscard]] Time total_jobs() const;
+
+  /// Total execution demand per hyperperiod: sum_i C_i * T / T_i;
+  /// throws OverflowError when not representable.
+  [[nodiscard]] Time total_demand() const;
+
+  /// §VI-B: expands every task into k_i = ceil(D_i / T_i) clones
+  /// (O + (i'-1)T, C, D, k_i T).  For constrained-deadline tasks k_i = 1 and
+  /// the task is passed through unchanged.  The result is always a
+  /// constrained-deadline system.
+  [[nodiscard]] CloneExpansion expand_clones() const;
+
+  /// Builds the constrained TaskSet from `expand_clones` in one call.
+  [[nodiscard]] TaskSet to_constrained() const;
+
+ private:
+  std::vector<Task> tasks_;
+  DeadlineModel model_ = DeadlineModel::kConstrained;
+  Time hyperperiod_ = 1;
+};
+
+}  // namespace mgrts::rt

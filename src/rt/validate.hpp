@@ -1,0 +1,64 @@
+// Independent schedule validator for the MGRTS conditions of §III-C:
+//   C1  every unit of task i executes inside one of its availability windows
+//   C2  a processor runs at most one task per slot (structural in Schedule)
+//   C3  a task runs on at most one processor per slot
+//   C4  each job receives exactly C_i units of work per window; on
+//       heterogeneous platforms "units" are weighted by s_{i,j} (eq. 11/12)
+//   plus: a task never runs on a processor with s_{i,j} = 0.
+//
+// The validator shares no code with any solver; it recomputes everything
+// from the task set, so it acts as the referee for the Theorem 1/2
+// equivalence tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/platform.hpp"
+#include "rt/schedule.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::rt {
+
+enum class ViolationKind {
+  kShape,          ///< schedule dimensions do not match the instance
+  kOutsideWindow,  ///< C1
+  kParallelism,    ///< C3
+  kWrongAmount,    ///< C4
+  kZeroRateProc,   ///< task on a processor that cannot serve it
+  kBadTaskId,      ///< cell holds an id outside {kIdle, 0..n-1}
+};
+
+[[nodiscard]] std::string_view to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  Time slot = -1;        ///< -1 when not slot-specific
+  ProcId processor = -1; ///< -1 when not processor-specific
+  TaskId task = -1;
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validates one cyclic hyperperiod of `schedule` against the instance.
+/// `ts` must be constrained-deadline (run arbitrary-deadline systems through
+/// TaskSet::to_constrained first and validate the clone system; this is the
+/// paper's §VI-B route).
+[[nodiscard]] ValidationReport validate_schedule(const TaskSet& ts,
+                                                 const Platform& platform,
+                                                 const Schedule& schedule);
+
+/// Shorthand for "is feasible witness".
+[[nodiscard]] inline bool is_valid_schedule(const TaskSet& ts,
+                                            const Platform& platform,
+                                            const Schedule& schedule) {
+  return validate_schedule(ts, platform, schedule).ok();
+}
+
+}  // namespace mgrts::rt

@@ -1,0 +1,33 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures).  Violations indicate programmer error, so
+// they abort with a message rather than throwing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgrts::support {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "mgrts: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mgrts::support
+
+#define MGRTS_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::mgrts::support::contract_failure("precondition", #cond,     \
+                                               __FILE__, __LINE__))
+
+#define MGRTS_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::mgrts::support::contract_failure("postcondition", #cond,    \
+                                               __FILE__, __LINE__))
+
+#define MGRTS_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::mgrts::support::contract_failure("invariant", #cond,        \
+                                               __FILE__, __LINE__))

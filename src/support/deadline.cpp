@@ -1,0 +1,4 @@
+#include "support/deadline.hpp"
+
+// Header-only today; the translation unit anchors the library and keeps the
+// build layout uniform (every module ships a .cpp per public header group).

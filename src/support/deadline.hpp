@@ -1,0 +1,63 @@
+// Wall-clock budgets for solver runs.
+//
+// The paper imposes a 30 s resolution-time limit per run (§VII-C).  Solvers
+// poll a Deadline at a coarse granularity (every few thousand search nodes)
+// so the steady_clock read does not dominate the node rate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mgrts::support {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that never expires.
+  Deadline() = default;
+
+  /// A deadline `budget` from now; a non-positive budget expires immediately.
+  static Deadline after(std::chrono::nanoseconds budget) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.end_ = Clock::now() + budget;
+    return d;
+  }
+
+  static Deadline after_ms(std::int64_t ms) {
+    return after(std::chrono::milliseconds(ms));
+  }
+
+  [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return !unlimited_ && Clock::now() >= end_;
+  }
+
+ private:
+  bool unlimited_ = true;
+  Clock::time_point end_{};
+};
+
+/// Monotonic stopwatch used for reported resolution times.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Deadline::Clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Deadline::Clock::now() - start_)
+        .count();
+  }
+
+  [[nodiscard]] std::int64_t micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Deadline::Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Deadline::Clock::time_point start_;
+};
+
+}  // namespace mgrts::support

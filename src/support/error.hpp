@@ -1,0 +1,42 @@
+// Exception hierarchy for recoverable errors (malformed models, overflow,
+// resource limits during model *construction*).  Expected solver outcomes
+// (infeasible / timeout) are reported through result enums, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mgrts {
+
+/// Base class of all mgrts exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A task set / platform / schedule violates a structural requirement.
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An arithmetic quantity (hyperperiod, demand, variable count) does not fit
+/// in the chosen integer representation.
+class OverflowError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Building a model would exceed a configured memory budget.
+class ResourceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed textual instance input.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace mgrts

@@ -1,0 +1,52 @@
+#include "support/math.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace mgrts::support {
+
+std::optional<std::int64_t> checked_mul(std::int64_t a,
+                                        std::int64_t b) noexcept {
+  MGRTS_EXPECTS(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<std::int64_t>::max() / b) return std::nullopt;
+  return a * b;
+}
+
+std::optional<std::int64_t> checked_add(std::int64_t a,
+                                        std::int64_t b) noexcept {
+  MGRTS_EXPECTS(a >= 0 && b >= 0);
+  if (a > std::numeric_limits<std::int64_t>::max() - b) return std::nullopt;
+  return a + b;
+}
+
+std::optional<std::int64_t> checked_lcm(std::int64_t a,
+                                        std::int64_t b) noexcept {
+  MGRTS_EXPECTS(a > 0 && b > 0);
+  const std::int64_t g = std::gcd(a, b);
+  return checked_mul(a / g, b);
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den)
+    : num_(num), den_(den) {
+  MGRTS_EXPECTS(den > 0 && num >= 0);
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  // a/b + c/d = (a*d + c*b) / (b*d); reduce through gcd(b, d) first to keep
+  // intermediates small.  Task-set utilizations stay far below the 64-bit
+  // range because periods are bounded by the checked hyperperiod.
+  const std::int64_t g = std::gcd(den_, other.den_);
+  const std::int64_t den = den_ / g * other.den_;
+  const std::int64_t num = num_ * (other.den_ / g) + other.num_ * (den_ / g);
+  *this = Rational(num, den);
+  return *this;
+}
+
+}  // namespace mgrts::support

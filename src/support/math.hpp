@@ -1,0 +1,79 @@
+// Overflow-checked integer arithmetic used throughout the task model.
+// Hyperperiods are lcm's of user-supplied periods and can overflow 64-bit
+// integers for adversarial inputs; every path that computes them must go
+// through the checked helpers here (Core Guidelines ES.103: don't overflow).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace mgrts::support {
+
+/// Multiplies two non-negative 64-bit integers, returning nullopt on
+/// overflow instead of wrapping.
+[[nodiscard]] std::optional<std::int64_t> checked_mul(std::int64_t a,
+                                                      std::int64_t b) noexcept;
+
+/// Adds two non-negative 64-bit integers, returning nullopt on overflow.
+[[nodiscard]] std::optional<std::int64_t> checked_add(std::int64_t a,
+                                                      std::int64_t b) noexcept;
+
+/// lcm(a, b) for positive arguments; nullopt on overflow.
+[[nodiscard]] std::optional<std::int64_t> checked_lcm(std::int64_t a,
+                                                      std::int64_t b) noexcept;
+
+/// ceil(a / b) for a >= 0, b > 0.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Floored modulus that is always in [0, m) even for negative a.
+[[nodiscard]] constexpr std::int64_t floor_mod(std::int64_t a,
+                                               std::int64_t m) noexcept {
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Exact rational value p/q kept in lowest terms; used for utilizations so
+/// that the r <= 1 necessary-condition filter is exact (no floating error
+/// when U == m, which the paper's generator produces frequently).
+class Rational {
+ public:
+  Rational() = default;
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+
+  Rational& operator+=(const Rational& other);
+  [[nodiscard]] friend Rational operator+(Rational a, const Rational& b) {
+    a += b;
+    return a;
+  }
+
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Compares against the integer `v` exactly.
+  [[nodiscard]] bool operator>(std::int64_t v) const noexcept {
+    return num_ > v * den_;
+  }
+  [[nodiscard]] bool operator<=(std::int64_t v) const noexcept {
+    return !(*this > v);
+  }
+  [[nodiscard]] friend bool operator==(const Rational& a,
+                                       const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace mgrts::support

@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation.
+//
+// The paper's experiments hinge on reproducible random instance streams
+// (500 instances, §VII-A) and on a *seeded* randomized search emulating
+// Choco's behaviour (§VII-B).  std::mt19937 is avoided because its
+// distributions are not specified portably; xoshiro256** plus explicit
+// rejection sampling gives bit-identical streams on every platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mgrts::support {
+
+/// SplitMix64; used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi] (rejection sampling,
+  /// no modulo bias).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream; used to give every instance /
+  /// every restart its own reproducible stream.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace mgrts::support

@@ -1,0 +1,46 @@
+// Console table / CSV rendering for the experiment harness.  The bench
+// binaries print tables in the same row/column layout as the paper's
+// Tables I-IV, so output formatting is part of the reproduction surface.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgrts::support {
+
+/// Column-aligned text table with a header row and an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells via std::to_string-like rules.
+  static std::string num(std::int64_t v);
+  static std::string num(double v, int precision = 2);
+  /// "42%" style cell.
+  static std::string percent(double fraction, int precision = 0);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Renders with single-space padding and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace mgrts::support

@@ -1,0 +1,76 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace mgrts::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  MGRTS_EXPECTS(job != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_index(std::size_t count, std::size_t workers,
+                        const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([i, &fn] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace mgrts::support

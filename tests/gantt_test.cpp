@@ -1,0 +1,78 @@
+#include "rt/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing.hpp"
+
+namespace mgrts::rt {
+namespace {
+
+using mgrts::testing::example1;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Gantt, WindowChartMatchesFigure1) {
+  // Figure 1 of the paper: availability intervals over T = 12 with
+  // O1 = O3 = 0 and O2 = 1.  tau1 and tau2 cover every slot (tau2 through
+  // the wrapped third window); tau3 has gaps at 2, 5, 8, 11.
+  const std::string chart = render_windows(example1());
+  EXPECT_NE(chart.find("T=12"), std::string::npos);
+  EXPECT_NE(chart.find("tau1: ############"), std::string::npos);
+  EXPECT_NE(chart.find("tau2: ############"), std::string::npos);
+  EXPECT_NE(chart.find("tau3: ##.##.##.##."), std::string::npos);
+}
+
+TEST(Gantt, WindowChartShowsParameters) {
+  const std::string chart = render_windows(example1());
+  EXPECT_NE(chart.find("O=1 C=3 D=4 T=4"), std::string::npos);
+}
+
+TEST(Gantt, WindowChartGapsForSparseTask) {
+  // D=1, T=4: exactly one '#' every 4 slots.
+  const TaskSet ts = TaskSet::from_params({{0, 1, 1, 4}});
+  const std::string chart = render_windows(ts);
+  EXPECT_NE(chart.find("#..."), std::string::npos);
+}
+
+TEST(Gantt, ScheduleRenderShowsTasksAndIdle) {
+  const TaskSet ts = example1();
+  Schedule s(12, 2);
+  s.set(0, 0, 0);
+  s.set(1, 1, 2);
+  const std::string out = render_schedule(ts, s);
+  const auto lines = lines_of(out);
+  ASSERT_GE(lines.size(), 3u);  // ruler + 2 processors
+  EXPECT_NE(out.find("P1: "), std::string::npos);
+  EXPECT_NE(out.find("P2: "), std::string::npos);
+  // P1 slot 0 shows '1' (tau1), everything else '.'.
+  EXPECT_NE(lines[1].find("1..........."), std::string::npos);
+  EXPECT_NE(lines[2].find(".3.........."), std::string::npos);
+}
+
+TEST(Gantt, LegendAppearsForManyTasks) {
+  std::vector<TaskParams> params;
+  for (int k = 0; k < 12; ++k) params.push_back({0, 1, 2, 2});
+  const TaskSet ts = TaskSet::from_params(params);
+  const Schedule s(2, 1);
+  EXPECT_NE(render_schedule(ts, s).find("legend"), std::string::npos);
+}
+
+TEST(Gantt, RulerHasTicks) {
+  const std::string chart = render_windows(example1());
+  const auto lines = lines_of(chart);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[1].find('0'), std::string::npos);
+  EXPECT_NE(lines[1].find('5'), std::string::npos);
+  EXPECT_NE(lines[1].find("10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgrts::rt

@@ -1,0 +1,127 @@
+#include "rt/jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::rt {
+namespace {
+
+using mgrts::testing::example1;
+
+TEST(WindowIndex, Example1Membership) {
+  const TaskSet ts = example1();
+  const WindowIndex w(ts);
+
+  // tau1: O=0 C=1 D=2 T=2 -> every slot is in a window.
+  for (Time t = 0; t < 12; ++t) EXPECT_TRUE(w.in_window(0, t)) << t;
+
+  // tau3: O=0 D=2 T=3 -> slots {0,1, 3,4, 6,7, 9,10}; gaps at 2,5,8,11.
+  const std::set<Time> tau3{0, 1, 3, 4, 6, 7, 9, 10};
+  for (Time t = 0; t < 12; ++t) {
+    EXPECT_EQ(w.in_window(2, t), tau3.count(t) == 1) << t;
+  }
+}
+
+TEST(WindowIndex, WrappedWindowOfOffsetTask) {
+  // tau2: O=1 D=4 T=4 over T=12: windows [1..4],[5..8],[9..12] where slot 12
+  // wraps to 0.  Every slot is covered, and slot 0 belongs to job k=2.
+  const TaskSet ts = example1();
+  const WindowIndex w(ts);
+  for (Time t = 0; t < 12; ++t) EXPECT_TRUE(w.in_window(1, t)) << t;
+  const auto hit0 = w.hit(1, 0);
+  ASSERT_TRUE(hit0.has_value());
+  EXPECT_EQ(hit0->job, 2);
+  EXPECT_EQ(hit0->depth, 3);  // last slot of the wrapped window
+  const auto hit1 = w.hit(1, 1);
+  ASSERT_TRUE(hit1.has_value());
+  EXPECT_EQ(hit1->job, 0);
+  EXPECT_EQ(hit1->depth, 0);
+}
+
+TEST(WindowIndex, JobAndDepthArithmetic) {
+  const TaskSet ts = TaskSet::from_params({{0, 1, 2, 4}});
+  const WindowIndex w(ts);
+  EXPECT_EQ(w.hyperperiod(), 4);
+  ASSERT_TRUE(w.hit(0, 0).has_value());
+  EXPECT_EQ(w.hit(0, 0)->job, 0);
+  EXPECT_EQ(w.hit(0, 1)->depth, 1);
+  EXPECT_FALSE(w.hit(0, 2).has_value());
+  EXPECT_FALSE(w.hit(0, 3).has_value());
+}
+
+TEST(WindowIndex, SlotsLeft) {
+  const TaskSet ts = TaskSet::from_params({{0, 2, 3, 5}});
+  const WindowIndex w(ts);
+  EXPECT_EQ(w.slots_left(0, 0), 3);
+  EXPECT_EQ(w.slots_left(0, 1), 2);
+  EXPECT_EQ(w.slots_left(0, 2), 1);
+  EXPECT_EQ(w.slots_left(0, 3), 0);  // outside
+}
+
+TEST(WindowIndex, TaskWindowsDisjointModT) {
+  // Property: for a constrained task, each slot belongs to at most one job,
+  // and the per-job slot counts equal D.
+  const TaskSet ts = TaskSet::from_params({{3, 2, 4, 5}, {2, 1, 3, 3}});
+  const WindowIndex w(ts);
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    std::map<std::int64_t, int> per_job;
+    for (Time t = 0; t < ts.hyperperiod(); ++t) {
+      if (const auto hit = w.hit(i, t)) ++per_job[hit->job];
+    }
+    EXPECT_EQ(per_job.size(),
+              static_cast<std::size_t>(ts.jobs_per_hyperperiod(i)));
+    for (const auto& [job, count] : per_job) {
+      EXPECT_EQ(count, ts[i].deadline()) << "task " << i << " job " << job;
+    }
+  }
+}
+
+TEST(JobTable, Example1Materialization) {
+  const TaskSet ts = example1();
+  const JobTable jobs(ts);
+  EXPECT_EQ(jobs.size(), 13u);  // 6 + 3 + 4
+  EXPECT_EQ(jobs.first_job_of(0), 0);
+  EXPECT_EQ(jobs.first_job_of(1), 6);
+  EXPECT_EQ(jobs.first_job_of(2), 9);
+}
+
+TEST(JobTable, WrappedSlotsAreReducedModT) {
+  const TaskSet ts = example1();
+  const JobTable jobs(ts);
+  // tau2's third job: release 9, window slots {9, 10, 11, 0}.
+  const Job& job = jobs.jobs()[static_cast<std::size_t>(jobs.first_job_of(1) + 2)];
+  EXPECT_EQ(job.release, 9);
+  EXPECT_EQ(job.abs_deadline, 13);
+  EXPECT_EQ(job.slots, (std::vector<Time>{9, 10, 11, 0}));
+}
+
+TEST(JobTable, JobAtAgreesWithWindowIndex) {
+  const TaskSet ts = example1();
+  const JobTable jobs(ts);
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    for (Time t = 0; t < ts.hyperperiod(); ++t) {
+      const auto idx = jobs.job_at(i, t);
+      const auto hit = jobs.windows().hit(i, t);
+      EXPECT_EQ(idx >= 0, hit.has_value());
+      if (idx >= 0) {
+        const Job& job = jobs.jobs()[static_cast<std::size_t>(idx)];
+        EXPECT_EQ(job.task, i);
+        EXPECT_EQ(job.index, hit->job);
+      }
+    }
+  }
+}
+
+TEST(JobTable, BudgetGuard) {
+  const TaskSet ts = example1();
+  EXPECT_THROW(JobTable(ts, 5), ResourceError);  // needs 6*2+3*4+4*2 slots
+  EXPECT_NO_THROW(JobTable(ts, 1000));
+}
+
+}  // namespace
+}  // namespace mgrts::rt

@@ -1,0 +1,135 @@
+#include "localsearch/min_conflicts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/validate.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::ls {
+namespace {
+
+using mgrts::testing::example1;
+using rt::Platform;
+using rt::TaskSet;
+
+TEST(MinConflicts, SolvesExample1) {
+  const TaskSet ts = example1();
+  const Platform p = Platform::identical(2);
+  const Result result = solve(ts, p);
+  ASSERT_EQ(result.status, Status::kFeasible);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_TRUE(rt::is_valid_schedule(ts, p, *result.schedule));
+  EXPECT_EQ(result.stats.best_cost, 0);
+}
+
+TEST(MinConflicts, NeverClaimsFeasibleOnInfeasible) {
+  // U > m: cost can never reach 0; budget must run out with kUnknown.
+  Options options;
+  options.iterations_per_restart = 2'000;
+  options.restarts = 3;
+  const Result result =
+      solve(mgrts::testing::overloaded1(), Platform::identical(1), options);
+  EXPECT_EQ(result.status, Status::kUnknown);
+  EXPECT_GT(result.stats.best_cost, 0);
+  EXPECT_FALSE(result.schedule.has_value());
+}
+
+TEST(MinConflicts, DeterministicPerSeed) {
+  const TaskSet ts = example1();
+  const Platform p = Platform::identical(2);
+  Options options;
+  options.seed = 99;
+  const Result a = solve(ts, p, options);
+  const Result b = solve(ts, p, options);
+  ASSERT_EQ(a.status, Status::kFeasible);
+  ASSERT_EQ(b.status, Status::kFeasible);
+  EXPECT_EQ(*a.schedule, *b.schedule);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+}
+
+TEST(MinConflicts, TimeoutReported) {
+  Options options;
+  options.deadline = support::Deadline::after_ms(0);
+  options.iterations_per_restart = 100'000'000;
+  // An infeasible instance keeps it busy until the (expired) deadline.
+  const Result result =
+      solve(mgrts::testing::overloaded1(), Platform::identical(1), options);
+  EXPECT_EQ(result.status, Status::kTimeout);
+}
+
+TEST(MinConflicts, WcetBeyondDeadlineGivesUnknownImmediately) {
+  const TaskSet ts = TaskSet::from_params({{0, 3, 2, 5}});
+  const Result result = solve(ts, Platform::identical(2));
+  EXPECT_EQ(result.status, Status::kUnknown);
+  EXPECT_EQ(result.stats.iterations, 0);
+}
+
+TEST(MinConflicts, RejectsHeterogeneousPlatforms) {
+  EXPECT_THROW(
+      static_cast<void>(solve(example1(),
+                              Platform::heterogeneous({{1}, {1}, {1}}))),
+      ValidationError);
+}
+
+TEST(MinConflicts, RejectsArbitraryDeadlines) {
+  const TaskSet ts =
+      TaskSet::from_params({{0, 1, 5, 4}}, rt::DeadlineModel::kArbitrary);
+  EXPECT_THROW(static_cast<void>(solve(ts, Platform::identical(1))),
+               ValidationError);
+}
+
+TEST(MinConflicts, ZeroFreedomInstanceSolvedAtConstruction) {
+  // C == D for every task: each job must use its whole window; the greedy
+  // initialization is the only assignment.  Feasible iff the oracle agrees.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 2}, {0, 2, 2, 2}});
+  const Result result = solve(ts, Platform::identical(2));
+  ASSERT_EQ(result.status, Status::kFeasible);
+  EXPECT_TRUE(
+      rt::is_valid_schedule(ts, Platform::identical(2), *result.schedule));
+}
+
+TEST(MinConflicts, FindsSolutionsOnFeasibleSweep) {
+  // On oracle-feasible instances the search should succeed essentially
+  // always at this size; require a high hit rate, validate every witness.
+  int feasible = 0;
+  int found = 0;
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 5;
+    gopt.processors = 3;
+    gopt.t_max = 6;
+    gopt.with_offsets = (k % 2 == 1);
+    const auto inst = gen::generate_indexed(gopt, 4321, k);
+    const Platform p = Platform::identical(inst.processors);
+    if (!flow::is_feasible(inst.tasks, p)) continue;
+    ++feasible;
+    Options options;
+    options.seed = k;
+    const Result result = solve(inst.tasks, p, options);
+    if (result.status == Status::kFeasible) {
+      ++found;
+      EXPECT_TRUE(rt::is_valid_schedule(inst.tasks, p, *result.schedule))
+          << "instance " << k;
+    }
+  }
+  ASSERT_GT(feasible, 10);
+  // Min-conflicts is incomplete; demand at least 80% coverage here.
+  EXPECT_GE(found * 10, feasible * 8);
+}
+
+TEST(MinConflicts, RestartsAreUsedWhenStuck) {
+  Options options;
+  options.iterations_per_restart = 50;
+  options.restarts = 4;
+  const Result result =
+      solve(mgrts::testing::overloaded1(), Platform::identical(1), options);
+  EXPECT_EQ(result.status, Status::kUnknown);
+  EXPECT_EQ(result.stats.restarts_used, 3);  // 0-based index of last round
+  EXPECT_EQ(result.stats.iterations, 4 * 50);
+}
+
+}  // namespace
+}  // namespace mgrts::ls

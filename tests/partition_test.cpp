@@ -1,0 +1,151 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csp2/csp2.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/validate.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::partition {
+namespace {
+
+using mgrts::testing::example1;
+using rt::Platform;
+using rt::TaskSet;
+
+TEST(Partition, PlacesLightLoad) {
+  const TaskSet ts = mgrts::testing::light3();
+  const Result result = partition_tasks(ts, 2);
+  ASSERT_TRUE(result.found);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_TRUE(
+      rt::is_valid_schedule(ts, Platform::identical(2), *result.schedule));
+  std::size_t placed = 0;
+  for (const auto& bin : result.assignment) placed += bin.size();
+  EXPECT_EQ(placed, 3u);
+}
+
+TEST(Partition, ScheduleKeepsTasksOnTheirProcessor) {
+  const TaskSet ts = mgrts::testing::light3();
+  const Result result = partition_tasks(ts, 2);
+  ASSERT_TRUE(result.found);
+  std::vector<rt::ProcId> home(static_cast<std::size_t>(ts.size()), -1);
+  for (rt::ProcId j = 0; j < 2; ++j) {
+    for (const rt::TaskId i : result.assignment[static_cast<std::size_t>(j)]) {
+      home[static_cast<std::size_t>(i)] = j;
+    }
+  }
+  for (rt::Time t = 0; t < result.schedule->hyperperiod(); ++t) {
+    for (rt::ProcId j = 0; j < 2; ++j) {
+      const rt::TaskId i = result.schedule->at(t, j);
+      if (i != rt::kIdle) {
+        EXPECT_EQ(home[static_cast<std::size_t>(i)], j);
+      }
+    }
+  }
+}
+
+TEST(Partition, GlobalBeatsPartitioned) {
+  // Three tasks of utilization 3/5 on two processors: any partition puts
+  // two of them on one processor (U = 1.2 > 1 there), so every heuristic
+  // fails — yet migration makes the instance feasible (oracle + CSP2).
+  const TaskSet ts = TaskSet::from_params(
+      {{0, 3, 5, 5}, {0, 3, 5, 5}, {0, 3, 5, 5}});
+  const Platform p = Platform::identical(2);
+  EXPECT_TRUE(flow::is_feasible(ts, p));
+  EXPECT_EQ(csp2::solve(ts, p).status, csp2::Status::kFeasible);
+
+  for (const FitHeuristic fit :
+       {FitHeuristic::kFirstFit, FitHeuristic::kBestFit,
+        FitHeuristic::kWorstFit}) {
+    Options options;
+    options.fit = fit;
+    const Result result = partition_tasks(ts, 2, options);
+    EXPECT_FALSE(result.found) << to_string(fit);
+    EXPECT_GE(result.failed_task, 0);
+  }
+}
+
+TEST(Partition, FoundImpliesGloballyFeasible) {
+  // Partitioned-schedulable is a *sufficient* condition for feasibility.
+  int found = 0;
+  for (std::uint64_t k = 0; k < 60; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 5;
+    gopt.processors = 3;
+    gopt.t_max = 6;
+    gopt.with_offsets = (k % 2 == 0);
+    const auto inst = gen::generate_indexed(gopt, 515, k);
+    const Result result = partition_tasks(inst.tasks, inst.processors);
+    if (!result.found) continue;
+    ++found;
+    const Platform p = Platform::identical(inst.processors);
+    ASSERT_TRUE(result.schedule.has_value());
+    EXPECT_TRUE(rt::is_valid_schedule(inst.tasks, p, *result.schedule))
+        << "instance " << k;
+    EXPECT_TRUE(flow::is_feasible(inst.tasks, p)) << "instance " << k;
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(Partition, HeuristicsDifferInPackingsNotSoundness) {
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 6;
+    gopt.processors = 3;
+    gopt.t_max = 5;
+    const auto inst = gen::generate_indexed(gopt, 616, k);
+    for (const SortOrder sort :
+         {SortOrder::kInput, SortOrder::kDecreasingUtilization,
+          SortOrder::kDecreasingDensity}) {
+      Options options;
+      options.sort = sort;
+      const Result result = partition_tasks(inst.tasks, inst.processors,
+                                            options);
+      if (result.found) {
+        EXPECT_TRUE(rt::is_valid_schedule(
+            inst.tasks, Platform::identical(inst.processors),
+            *result.schedule))
+            << "instance " << k << " sort " << to_string(sort);
+      }
+    }
+  }
+}
+
+TEST(Partition, MixedHyperperiodsTileCorrectly) {
+  // Bins with different local hyperperiods must tile into the global T.
+  const TaskSet ts = TaskSet::from_params({{0, 1, 2, 2}, {0, 2, 3, 3}});
+  const Result result = partition_tasks(ts, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.schedule->hyperperiod(), 6);
+  EXPECT_TRUE(
+      rt::is_valid_schedule(ts, Platform::identical(2), *result.schedule));
+}
+
+TEST(Partition, CountsFeasibilityChecks) {
+  const Result result = partition_tasks(mgrts::testing::light3(), 2);
+  EXPECT_GT(result.feasibility_checks, 0);
+}
+
+TEST(Partition, SingleProcessorDegeneratesToUniprocessorTest) {
+  const TaskSet feasible = TaskSet::from_params({{0, 1, 2, 2}, {0, 1, 3, 3}});
+  EXPECT_TRUE(partition_tasks(feasible, 1).found);
+  EXPECT_FALSE(partition_tasks(mgrts::testing::overloaded1(), 1).found);
+}
+
+TEST(Partition, RejectsArbitraryDeadlines) {
+  const TaskSet ts =
+      TaskSet::from_params({{0, 1, 5, 4}}, rt::DeadlineModel::kArbitrary);
+  EXPECT_THROW(static_cast<void>(partition_tasks(ts, 2)), ValidationError);
+}
+
+TEST(Partition, NameStrings) {
+  EXPECT_STREQ(to_string(FitHeuristic::kFirstFit), "first-fit");
+  EXPECT_STREQ(to_string(SortOrder::kDecreasingDensity), "density-desc");
+}
+
+}  // namespace
+}  // namespace mgrts::partition

@@ -1,0 +1,118 @@
+#include "rt/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/task_set.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::rt {
+namespace {
+
+using mgrts::testing::example1;
+
+TEST(Platform, IdenticalBasics) {
+  const Platform p = Platform::identical(3);
+  EXPECT_EQ(p.processors(), 3);
+  EXPECT_TRUE(p.is_identical());
+  EXPECT_EQ(p.rate(0, 0), 1);
+  EXPECT_EQ(p.rate(17, 2), 1);  // any task id works on identical platforms
+  EXPECT_TRUE(p.can_run(5, 1));
+}
+
+TEST(Platform, RejectsNonPositiveProcessorCount) {
+  EXPECT_THROW(Platform::identical(0), ValidationError);
+  EXPECT_THROW(Platform::identical(-2), ValidationError);
+}
+
+TEST(Platform, UniformSpeeds) {
+  const Platform p = Platform::uniform({2, 1, 3});
+  EXPECT_EQ(p.processors(), 3);
+  EXPECT_FALSE(p.is_identical());
+  EXPECT_EQ(p.rate(0, 0), 2);
+  EXPECT_EQ(p.rate(9, 2), 3);
+}
+
+TEST(Platform, UniformAllOnesCollapsesToIdentical) {
+  const Platform p = Platform::uniform({1, 1});
+  EXPECT_TRUE(p.is_identical());
+}
+
+TEST(Platform, UniformRejectsNegativeSpeed) {
+  EXPECT_THROW(Platform::uniform({1, -1}), ValidationError);
+}
+
+TEST(Platform, HeterogeneousMatrix) {
+  const Platform p = Platform::heterogeneous({{1, 0}, {2, 1}, {0, 3}});
+  EXPECT_EQ(p.processors(), 2);
+  EXPECT_FALSE(p.is_identical());
+  EXPECT_EQ(p.rate_rows(), 3);
+  EXPECT_EQ(p.rate(0, 1), 0);
+  EXPECT_FALSE(p.can_run(0, 1));  // dedicated processor semantics (s=0)
+  EXPECT_TRUE(p.can_run(2, 1));
+}
+
+TEST(Platform, HeterogeneousRejectsRaggedMatrix) {
+  EXPECT_THROW(Platform::heterogeneous({{1, 2}, {1}}), ValidationError);
+}
+
+TEST(Platform, HeterogeneousRejectsEmpty) {
+  EXPECT_THROW(Platform::heterogeneous({}), ValidationError);
+}
+
+TEST(Platform, QualityFormula) {
+  // §VI-A: Q(P_j) = sum_i s_{i,j} * C_i / T_i, on Example 1
+  // (C/T = 1/2, 3/4, 2/3).
+  const TaskSet ts = example1();
+  const Platform p = Platform::heterogeneous({{1, 2}, {0, 1}, {2, 0}});
+  EXPECT_NEAR(p.quality(0, ts), 0.5 + 0.0 + 2 * (2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(p.quality(1, ts), 2 * 0.5 + 0.75 + 0.0, 1e-12);
+}
+
+TEST(Platform, ProcessorsByQualityAscending) {
+  const TaskSet ts = example1();
+  // P1 serves everything at rate 1; P2 serves everything at rate 3.
+  const Platform p = Platform::heterogeneous({{1, 3}, {1, 3}, {1, 3}});
+  const auto order = p.processors_by_quality(ts);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);  // less capable first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Platform, QualityTiesBrokenById) {
+  const TaskSet ts = example1();
+  const Platform p = Platform::identical(4);
+  const auto order = p.processors_by_quality(ts);
+  EXPECT_EQ(order, (std::vector<ProcId>{0, 1, 2, 3}));
+}
+
+TEST(Platform, IdenticalGroupsSingleGroup) {
+  const Platform p = Platform::identical(5);
+  const auto groups = p.identical_groups(3);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<ProcId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Platform, IdenticalGroupsByColumn) {
+  // Columns: P0 = (1,2), P1 = (1,2), P2 = (2,2) -> groups {P0,P1}, {P2}.
+  const Platform p = Platform::heterogeneous({{1, 1, 2}, {2, 2, 2}});
+  const auto groups = p.identical_groups(2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<ProcId>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<ProcId>{2}));
+  const auto ids = p.group_of(2);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_NE(ids[0], ids[2]);
+}
+
+TEST(Platform, DescribeMentionsKind) {
+  EXPECT_NE(Platform::identical(2).describe().find("identical"),
+            std::string::npos);
+  EXPECT_NE(Platform::uniform({1, 2}).describe().find("uniform"),
+            std::string::npos);
+  EXPECT_NE(Platform::heterogeneous({{1, 2}}).describe().find("heterogeneous"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgrts::rt

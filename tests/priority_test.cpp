@@ -1,0 +1,112 @@
+#include "priority/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csp2/csp2.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "testing.hpp"
+
+namespace mgrts::prio {
+namespace {
+
+using mgrts::testing::dhall2;
+using mgrts::testing::light3;
+using rt::Platform;
+using rt::TaskSet;
+
+TEST(PrioritySearch, FindsOrderForLightLoad) {
+  const SearchResult result =
+      find_feasible_priority(light3(), Platform::identical(2));
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  ASSERT_TRUE(result.order.has_value());
+  EXPECT_EQ(result.order->size(), 3u);
+  EXPECT_GE(result.orders_tried, 1);
+}
+
+TEST(PrioritySearch, FoundOrderActuallySchedules) {
+  const TaskSet ts = dhall2();
+  const Platform p = Platform::identical(2);
+  const SearchResult result = find_feasible_priority(ts, p);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  sim::SimOptions options;
+  options.policy = sim::Policy::kFixedPriority;
+  options.priority = *result.order;
+  EXPECT_EQ(simulate(ts, p, options).status, sim::SimStatus::kSchedulable);
+}
+
+TEST(PrioritySearch, DhallNeedsNonTrivialOrder) {
+  // Input order misses (heavy task last); the search must find one that
+  // promotes tau3.  (D-C) does exactly that: D-C values are 1, 1, 0.
+  const SearchResult result =
+      find_feasible_priority(dhall2(), Platform::identical(2));
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  EXPECT_EQ(result.order->front(), 2);
+  EXPECT_STREQ(result.source, "D-C");
+}
+
+TEST(PrioritySearch, ExhaustedOnImpossibleInstance) {
+  // U > m: no priority order can work; with n=3 the search space is 6
+  // orders, so exhaustion is fast and definitive.
+  const TaskSet ts =
+      TaskSet::from_params({{0, 2, 2, 2}, {0, 2, 2, 2}, {0, 2, 2, 2}});
+  const SearchResult result =
+      find_feasible_priority(ts, Platform::identical(2));
+  EXPECT_EQ(result.status, SearchStatus::kExhausted);
+  EXPECT_FALSE(result.order.has_value());
+  EXPECT_GE(result.orders_tried, 6 + 5);  // ladder + all permutations
+}
+
+TEST(PrioritySearch, BudgetStopsEarly) {
+  SearchOptions options;
+  options.heuristics_first = false;
+  options.max_orders = 1;
+  const TaskSet ts =
+      TaskSet::from_params({{0, 2, 2, 2}, {0, 2, 2, 2}, {0, 2, 2, 2}});
+  const SearchResult result =
+      find_feasible_priority(ts, Platform::identical(2), options);
+  EXPECT_EQ(result.status, SearchStatus::kBudget);
+  EXPECT_LE(result.orders_tried, 2);
+}
+
+TEST(PrioritySearch, ExpiredDeadlineStops) {
+  SearchOptions options;
+  options.deadline = support::Deadline::after_ms(0);
+  const SearchResult result =
+      find_feasible_priority(light3(), Platform::identical(2), options);
+  EXPECT_EQ(result.status, SearchStatus::kBudget);
+}
+
+TEST(PrioritySearch, HeuristicLadderDisabled) {
+  SearchOptions options;
+  options.heuristics_first = false;
+  const SearchResult result =
+      find_feasible_priority(light3(), Platform::identical(2), options);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  EXPECT_STREQ(result.source, "search");
+}
+
+TEST(PrioritySearch, FoundImpliesCsp2Feasible) {
+  // FP-schedulable => feasible => the complete CSP2 solver must agree.
+  int found = 0;
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 4;
+    gopt.processors = 2;
+    gopt.t_max = 5;
+    const auto inst = gen::generate_indexed(gopt, 616, k);
+    const Platform p = Platform::identical(inst.processors);
+    SearchOptions options;
+    options.exhaustive = false;  // ladder only, keep the sweep fast
+    const SearchResult result =
+        find_feasible_priority(inst.tasks, p, options);
+    if (result.status != SearchStatus::kFound) continue;
+    ++found;
+    EXPECT_EQ(csp2::solve(inst.tasks, p).status, csp2::Status::kFeasible)
+        << "instance " << k;
+  }
+  EXPECT_GT(found, 3);
+}
+
+}  // namespace
+}  // namespace mgrts::prio

@@ -1,0 +1,169 @@
+#include "rt/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/schedule.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::rt {
+namespace {
+
+using mgrts::testing::example1;
+
+/// A hand-checked feasible schedule for Example 1 (m=2, T=12):
+///     slot  0  1  2  3  4  5  6  7  8  9 10 11
+///     P1    1  2  1  2  1  2  1  2  1  2  2  1
+///     P2    3  3  2  3  3  .  3  3  2  3  3  2
+/// tau1 gets one slot per window; tau3 both slots of each of its windows;
+/// tau2's jobs get {1,2,3}, {5,7,8} and the wrapped {9,10,11}.
+Schedule example1_schedule() {
+  Schedule s(12, 2);
+  const TaskId p1[12] = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 0};
+  const TaskId p2[12] = {2, 2, 1, 2, 2, kIdle, 2, 2, 1, 2, 2, 1};
+  for (Time t = 0; t < 12; ++t) {
+    s.set(t, 0, p1[t]);
+    if (p2[t] != kIdle) s.set(t, 1, p2[t]);
+  }
+  return s;
+}
+
+TEST(Schedule, BasicAccessors) {
+  Schedule s(4, 2);
+  EXPECT_EQ(s.hyperperiod(), 4);
+  EXPECT_EQ(s.processors(), 2);
+  EXPECT_EQ(s.at(0, 0), kIdle);
+  s.set(3, 1, 7);
+  EXPECT_EQ(s.at(3, 1), 7);
+  EXPECT_EQ(s.at(7, 1), 7);  // cyclic access
+  EXPECT_EQ(s.units_of(7), 1);
+  EXPECT_EQ(s.busy_cells(), 1);
+}
+
+TEST(Schedule, RunningAtSkipsIdle) {
+  Schedule s(2, 3);
+  s.set(0, 0, 2);
+  s.set(0, 2, 0);
+  EXPECT_EQ(s.running_at(0), (std::vector<TaskId>{2, 0}));
+  EXPECT_TRUE(s.running_at(1).empty());
+}
+
+TEST(Validator, AcceptsHandBuiltExample1Schedule) {
+  const TaskSet ts = example1();
+  const auto report =
+      validate_schedule(ts, Platform::identical(2), example1_schedule());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Validator, DetectsShapeMismatch) {
+  const TaskSet ts = example1();
+  const Schedule wrong(6, 2);  // wrong hyperperiod
+  const auto report = validate_schedule(ts, Platform::identical(2), wrong);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kShape);
+}
+
+TEST(Validator, DetectsMissingWork) {
+  const TaskSet ts = example1();
+  Schedule s = example1_schedule();
+  s.set(0, 0, kIdle);  // remove one tau1 unit
+  const auto report = validate_schedule(ts, Platform::identical(2), s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kWrongAmount);
+  EXPECT_EQ(report.violations[0].task, 0);
+}
+
+TEST(Validator, DetectsExcessWork) {
+  const TaskSet ts = example1();
+  Schedule s = example1_schedule();
+  s.set(1, 0, 0);  // tau1 now has 2 units in window {0,1}
+  const auto report = validate_schedule(ts, Platform::identical(2), s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kWrongAmount);
+}
+
+TEST(Validator, DetectsOutsideWindow) {
+  const TaskSet ts = example1();
+  Schedule s = example1_schedule();
+  // tau3 has no window at slot 2; also remove a unit from its window to
+  // keep the amount right and isolate the C1 violation.
+  s.set(2, 0, 2);
+  s.set(0, 1, kIdle);
+  const auto report = validate_schedule(ts, Platform::identical(2), s);
+  ASSERT_FALSE(report.ok());
+  bool saw_c1 = false;
+  for (const auto& v : report.violations) {
+    saw_c1 = saw_c1 || v.kind == ViolationKind::kOutsideWindow;
+  }
+  EXPECT_TRUE(saw_c1) << report.to_string();
+}
+
+TEST(Validator, DetectsIntraSlotParallelism) {
+  const TaskSet ts = example1();
+  Schedule s(12, 2);
+  // tau1 on both processors at slot 0.
+  s.set(0, 0, 0);
+  s.set(0, 1, 0);
+  const auto report = validate_schedule(ts, Platform::identical(2), s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kParallelism);
+  EXPECT_EQ(report.violations[0].slot, 0);
+}
+
+TEST(Validator, DetectsBadTaskId) {
+  const TaskSet ts = example1();
+  Schedule s(12, 2);
+  s.set(0, 0, 17);
+  const auto report = validate_schedule(ts, Platform::identical(2), s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kBadTaskId);
+}
+
+TEST(Validator, DetectsZeroRateProcessor) {
+  const TaskSet ts = TaskSet::from_params({{0, 1, 1, 1}});
+  const Platform p = Platform::heterogeneous({{1, 0}});
+  Schedule s(1, 2);
+  s.set(0, 1, 0);  // P2 cannot serve tau1
+  const auto report = validate_schedule(ts, p, s);
+  ASSERT_FALSE(report.ok());
+  bool saw = false;
+  for (const auto& v : report.violations) {
+    saw = saw || v.kind == ViolationKind::kZeroRateProc;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(Validator, HeterogeneousWeightedAmount) {
+  // tau1 needs C=2; P1 runs it at rate 2, so one slot suffices.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 2}});
+  const Platform p = Platform::heterogeneous({{2}});
+  Schedule s(2, 1);
+  s.set(0, 0, 0);
+  EXPECT_TRUE(validate_schedule(ts, p, s).ok());
+  // Running both slots would overshoot (4 != 2).
+  s.set(1, 0, 0);
+  EXPECT_FALSE(validate_schedule(ts, p, s).ok());
+}
+
+TEST(Validator, RejectsArbitraryDeadlineInput) {
+  const TaskSet ts =
+      TaskSet::from_params({{0, 1, 5, 4}}, DeadlineModel::kArbitrary);
+  const Schedule s(20, 1);
+  EXPECT_THROW(
+      static_cast<void>(validate_schedule(ts, Platform::identical(1), s)),
+      ValidationError);
+}
+
+TEST(Validator, ReportRendersHumanReadably) {
+  const TaskSet ts = example1();
+  Schedule s(12, 2);
+  s.set(0, 0, 0);
+  s.set(0, 1, 0);
+  const auto report = validate_schedule(ts, Platform::identical(2), s);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("C3-parallelism"), std::string::npos);
+  EXPECT_NE(text.find("tau1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgrts::rt

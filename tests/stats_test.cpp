@@ -1,0 +1,118 @@
+#include "rt/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/solve.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/validate.hpp"
+#include "testing.hpp"
+
+namespace mgrts::rt {
+namespace {
+
+using mgrts::testing::example1;
+
+TEST(ScheduleStats, SingleTaskNoMigrationNoPreemption) {
+  // One task alone on one processor, contiguous execution.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 3, 4}});
+  Schedule s(4, 1);
+  s.set(0, 0, 0);
+  s.set(1, 0, 0);
+  ASSERT_TRUE(is_valid_schedule(ts, Platform::identical(1), s));
+  const ScheduleStats stats = analyze_schedule(ts, s);
+  ASSERT_EQ(stats.jobs.size(), 1u);
+  EXPECT_EQ(stats.jobs[0].completion, 2);
+  EXPECT_EQ(stats.jobs[0].slack, 1);
+  EXPECT_EQ(stats.total_migrations, 0);
+  EXPECT_EQ(stats.total_preemptions, 0);
+  EXPECT_NEAR(stats.platform_load, 0.5, 1e-12);
+}
+
+TEST(ScheduleStats, DetectsMigration) {
+  // A job running slot 0 on P1 and slot 1 on P2: one migration, no
+  // preemption (no gap).
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 2}});
+  Schedule s(2, 2);
+  s.set(0, 0, 0);
+  s.set(1, 1, 0);
+  const ScheduleStats stats = analyze_schedule(ts, s);
+  ASSERT_EQ(stats.jobs.size(), 1u);
+  EXPECT_EQ(stats.jobs[0].migrations, 1);
+  EXPECT_EQ(stats.jobs[0].preemptions, 0);
+}
+
+TEST(ScheduleStats, DetectsPreemptionWithoutMigration) {
+  // Run, pause one slot, resume on the same processor.
+  const TaskSet ts = TaskSet::from_params({{0, 2, 3, 3}});
+  Schedule s(3, 1);
+  s.set(0, 0, 0);
+  s.set(2, 0, 0);
+  const ScheduleStats stats = analyze_schedule(ts, s);
+  ASSERT_EQ(stats.jobs.size(), 1u);
+  EXPECT_EQ(stats.jobs[0].preemptions, 1);
+  EXPECT_EQ(stats.jobs[0].migrations, 0);
+  EXPECT_EQ(stats.jobs[0].completion, 3);
+  EXPECT_EQ(stats.jobs[0].slack, 0);
+}
+
+TEST(ScheduleStats, LateStartIsNotAPreemption) {
+  const TaskSet ts = TaskSet::from_params({{0, 1, 3, 3}});
+  Schedule s(3, 1);
+  s.set(2, 0, 0);  // idle, idle, run
+  const ScheduleStats stats = analyze_schedule(ts, s);
+  EXPECT_EQ(stats.jobs[0].preemptions, 0);
+  EXPECT_EQ(stats.jobs[0].completion, 3);
+}
+
+TEST(ScheduleStats, WrappedWindowsMeasuredInReleaseOrder) {
+  const TaskSet ts = example1();
+  core::SolveConfig config;
+  const auto report = core::solve_instance(
+      ts, mgrts::testing::example1_platform(), config);
+  ASSERT_EQ(report.verdict, core::Verdict::kFeasible);
+  const ScheduleStats stats = analyze_schedule(ts, *report.schedule);
+  EXPECT_EQ(stats.jobs.size(), 13u);  // 6 + 3 + 4 jobs
+  for (const JobStats& job : stats.jobs) {
+    EXPECT_GE(job.slack, 0) << "tau" << job.task + 1 << " job " << job.job;
+    EXPECT_GT(job.completion, 0);
+  }
+  // Example 1 has U/m = 23/24.
+  EXPECT_NEAR(stats.platform_load, 23.0 / 24.0, 1e-12);
+}
+
+TEST(ScheduleStats, OfTaskFiltersAndSorts) {
+  const TaskSet ts = example1();
+  const auto report = core::solve_instance(
+      ts, mgrts::testing::example1_platform());
+  const ScheduleStats stats = analyze_schedule(ts, *report.schedule);
+  const auto tau1 = stats.of_task(0);
+  ASSERT_EQ(tau1.size(), 6u);
+  for (std::size_t k = 0; k < tau1.size(); ++k) {
+    EXPECT_EQ(tau1[k].job, static_cast<std::int64_t>(k));
+    EXPECT_EQ(tau1[k].task, 0);
+  }
+}
+
+TEST(ScheduleStats, ValidWitnessesHaveNonNegativeSlackSweep) {
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 4;
+    gopt.processors = 2;
+    gopt.t_max = 6;
+    gopt.with_offsets = (k % 2 == 0);
+    const auto inst = gen::generate_indexed(gopt, 2468, k);
+    const auto oracle = flow::decide_feasibility(
+        inst.tasks, Platform::identical(inst.processors));
+    if (oracle.verdict != flow::OracleVerdict::kFeasible) continue;
+    const ScheduleStats stats =
+        analyze_schedule(inst.tasks, *oracle.schedule);
+    for (const JobStats& job : stats.jobs) {
+      EXPECT_GE(job.slack, 0) << "instance " << k;
+    }
+    EXPECT_GE(stats.avg_slack, static_cast<double>(stats.min_slack));
+  }
+}
+
+}  // namespace
+}  // namespace mgrts::rt

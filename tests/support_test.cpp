@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <set>
+#include <thread>
+
+#include "support/deadline.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mgrts::support {
+namespace {
+
+// ---------------------------------------------------------------- math
+
+TEST(CheckedMath, MulBasics) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_EQ(checked_mul(0, 123456), 0);
+  EXPECT_EQ(checked_mul(123456, 0), 0);
+}
+
+TEST(CheckedMath, MulOverflow) {
+  const auto big = std::numeric_limits<std::int64_t>::max();
+  EXPECT_FALSE(checked_mul(big, 2).has_value());
+  EXPECT_FALSE(checked_mul(big / 2 + 1, 2).has_value());
+  EXPECT_TRUE(checked_mul(big / 2, 2).has_value());
+  EXPECT_TRUE(checked_mul(big, 1).has_value());
+}
+
+TEST(CheckedMath, AddOverflow) {
+  const auto big = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(checked_add(1, 2), 3);
+  EXPECT_FALSE(checked_add(big, 1).has_value());
+  EXPECT_TRUE(checked_add(big - 1, 1).has_value());
+}
+
+TEST(CheckedMath, Lcm) {
+  EXPECT_EQ(checked_lcm(2, 3), 6);
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(7, 7), 7);
+  // lcm of large coprimes overflows (2^62 and 3 share no factor).
+  EXPECT_FALSE(checked_lcm(std::int64_t{1} << 62, 3).has_value());
+  // ... while a shared factor can keep it representable.
+  EXPECT_EQ(checked_lcm((std::int64_t{1} << 62) - 1, 3),
+            (std::int64_t{1} << 62) - 1);  // 3 divides 2^62 - 1
+}
+
+TEST(CheckedMath, CeilDivAndFloorMod) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(floor_mod(7, 3), 1);
+  EXPECT_EQ(floor_mod(-1, 3), 2);
+  EXPECT_EQ(floor_mod(-3, 3), 0);
+  EXPECT_EQ(floor_mod(-7, 4), 1);
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, AdditionExact) {
+  Rational u;  // 0/1
+  u += Rational(1, 2);
+  u += Rational(1, 3);
+  u += Rational(1, 6);
+  EXPECT_EQ(u, Rational(1, 1));
+  EXPECT_FALSE(u > 1);
+  EXPECT_TRUE(u <= 1);
+}
+
+TEST(Rational, ExactCapacityComparison) {
+  // U = 2 exactly must NOT be flagged as > 2 (double arithmetic might).
+  Rational u;
+  for (int k = 0; k < 20; ++k) u += Rational(1, 10);
+  EXPECT_FALSE(u > 2);
+  u += Rational(1, 1000000);
+  EXPECT_TRUE(u > 2);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42);
+  Rng b(42);
+  for (int k = 0; k < 1000; ++k) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int k = 0; k < 64; ++k) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int k = 0; k < 20000; ++k) {
+    const auto v = rng.uniform(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng rng(7);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int k = 0; k < 2000; ++k) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformRoughlyUniform) {
+  Rng rng(13);
+  std::array<int, 8> buckets{};
+  const int draws = 80000;
+  for (int k = 0; k < draws; ++k) {
+    ++buckets[static_cast<std::size_t>(rng.uniform(0, 7))];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, draws / 8, draws / 80);  // within 10%
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(5);
+  for (int k = 0; k < 10000; ++k) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(3);
+  Rng childa = parent.fork(1);
+  Rng childb = parent.fork(1);  // parent state advanced -> different child
+  EXPECT_NE(childa.next_u64(), childb.next_u64());
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+// --------------------------------------------------------------- table
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"xxx", "y"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("a    bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xxx  y"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(std::int64_t{42}), "42");
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::percent(0.815, 0), "82%");
+  EXPECT_EQ(TextTable::percent(0.5, 1), "50.0%");
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"x", "y"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, RowArityMismatchAborts) {
+  TextTable t({"one", "two"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "precondition");
+}
+
+// ------------------------------------------------------------ deadline
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const auto d = Deadline::after_ms(0);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, FutureBudgetNotExpired) {
+  const auto d = Deadline::after_ms(60'000);
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch w;
+  EXPECT_GE(w.seconds(), 0.0);
+  EXPECT_GE(w.micros(), 0);
+}
+
+// --------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsAllJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int k = 0; k < 100; ++k) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForIndex, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(hits.size(), 8,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, SequentialFallback) {
+  // workers == 1 must preserve order (no pool involved).
+  std::vector<std::size_t> order;
+  parallel_for_index(10, 1, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForIndex, ZeroCountIsNoop) {
+  parallel_for_index(0, 4, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mgrts::support

@@ -1,0 +1,36 @@
+// Shared fixtures and helpers for the mgrts test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "rt/platform.hpp"
+#include "rt/task_set.hpp"
+
+namespace mgrts::testing {
+
+/// The paper's running Example 1: m=2, n=3,
+///   tau1 = (0,1,2,2), tau2 = (1,3,4,4), tau3 = (0,2,2,3); T = 12.
+inline rt::TaskSet example1() {
+  return rt::TaskSet::from_params({{0, 1, 2, 2}, {1, 3, 4, 4}, {0, 2, 2, 3}});
+}
+
+inline rt::Platform example1_platform() { return rt::Platform::identical(2); }
+
+/// A trivially feasible synchronous set: three light tasks on two cores.
+inline rt::TaskSet light3() {
+  return rt::TaskSet::from_params({{0, 1, 4, 4}, {0, 1, 4, 4}, {0, 2, 6, 6}});
+}
+
+/// Over-capacity on one core: U = 3/2 > 1.
+inline rt::TaskSet overloaded1() {
+  return rt::TaskSet::from_params({{0, 1, 2, 2}, {0, 2, 2, 2}});
+}
+
+/// The classic Dhall-style instance (discretized): two light tasks plus one
+/// task saturating a full processor.  Global EDF misses on m=2; the
+/// instance itself is feasible (tau3 on its own core).
+inline rt::TaskSet dhall2() {
+  return rt::TaskSet::from_params({{0, 1, 2, 2}, {0, 1, 2, 2}, {0, 2, 2, 2}});
+}
+
+}  // namespace mgrts::testing

@@ -1,0 +1,131 @@
+// Uniform platforms (§II's middle class: per-processor speeds s_j) across
+// the whole solver stack.  Uniform machines exercise the heterogeneous
+// code paths — weighted amounts (11)/(12), per-group symmetry (13),
+// quality ordering — with a structure simple enough to reason about
+// expected outcomes by hand.
+#include <gtest/gtest.h>
+
+#include "core/solve.hpp"
+#include "csp2/csp2.hpp"
+#include "encodings/csp1.hpp"
+#include "encodings/csp2_generic.hpp"
+#include "gen/generator.hpp"
+#include "rt/validate.hpp"
+#include "testing.hpp"
+
+namespace mgrts {
+namespace {
+
+using rt::Platform;
+using rt::TaskSet;
+
+TEST(UniformPlatform, FastProcessorHalvesSlots) {
+  // One saturating task, one speed-2 processor: C=4 fits into D=2.
+  const TaskSet ts = TaskSet::from_params({{0, 4, 2, 2}});
+  const Platform p = Platform::uniform({2});
+  const auto result = csp2::solve(ts, p);
+  ASSERT_EQ(result.status, csp2::Status::kFeasible);
+  EXPECT_TRUE(rt::is_valid_schedule(ts, p, *result.schedule));
+  EXPECT_EQ(result.schedule->units_of(0), 2);  // 2 slots x rate 2 = C
+}
+
+TEST(UniformPlatform, SlowProcessorCannotCompensate) {
+  // The same task on a unit-speed processor is impossible (C > D).
+  const TaskSet ts = TaskSet::from_params({{0, 4, 2, 2}});
+  const auto result = csp2::solve(ts, Platform::uniform({1, 1}));
+  EXPECT_EQ(result.status, csp2::Status::kInfeasible);
+}
+
+TEST(UniformPlatform, ParityGapOnEvenSpeeds) {
+  // C = 3 with only speed-2 processors: equality (12) unreachable.
+  const TaskSet ts = TaskSet::from_params({{0, 3, 2, 2}});
+  const auto result = csp2::solve(ts, Platform::uniform({2, 2}));
+  EXPECT_EQ(result.status, csp2::Status::kInfeasible);
+}
+
+TEST(UniformPlatform, MixedSpeedsSplitWork) {
+  // C=3 = one slot at speed 2 + one at speed 1.
+  const TaskSet ts = TaskSet::from_params({{0, 3, 2, 2}});
+  const Platform p = Platform::uniform({1, 2});
+  csp2::Options options;
+  options.idle_rule = false;  // complete search on non-identical platforms
+  const auto result = csp2::solve(ts, p, options);
+  ASSERT_EQ(result.status, csp2::Status::kFeasible);
+  EXPECT_TRUE(rt::is_valid_schedule(ts, p, *result.schedule));
+  EXPECT_TRUE(result.search_complete);
+}
+
+TEST(UniformPlatform, IdenticalSpeedGroupsShareSymmetry) {
+  const Platform p = Platform::uniform({1, 2, 1, 2});
+  const auto groups = p.identical_groups(3);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<rt::ProcId>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<rt::ProcId>{1, 3}));
+}
+
+TEST(UniformPlatform, QualityOrderPutsSlowFirst) {
+  const TaskSet ts = mgrts::testing::example1();
+  const Platform p = Platform::uniform({3, 1, 2});
+  const auto order = p.processors_by_quality(ts);
+  EXPECT_EQ(order, (std::vector<rt::ProcId>{1, 2, 0}));
+}
+
+TEST(UniformPlatform, EncodingsAgreeWithDedicated) {
+  // Random sweep on a two-speed platform: CSP1, CSP2-generic and the
+  // complete dedicated configuration must agree; witnesses validate.
+  int decided_feasible = 0;
+  for (std::uint64_t k = 0; k < 25; ++k) {
+    gen::GeneratorOptions gopt;
+    gopt.tasks = 3;
+    gopt.processors = 2;
+    gopt.t_max = 4;
+    const auto inst = gen::generate_indexed(gopt, 777, k);
+    const Platform p = Platform::uniform({1, 2});
+
+    core::SolveConfig generic;
+    generic.method = core::Method::kCsp2Generic;
+    generic.time_limit_ms = 20'000;
+    const auto expected = core::solve_instance(inst.tasks, p, generic);
+    ASSERT_TRUE(expected.verdict == core::Verdict::kFeasible ||
+                expected.verdict == core::Verdict::kInfeasible);
+
+    core::SolveConfig csp1;
+    csp1.method = core::Method::kCsp1Generic;
+    csp1.time_limit_ms = 20'000;
+    const auto csp1_report = core::solve_instance(inst.tasks, p, csp1);
+    if (csp1_report.verdict == core::Verdict::kFeasible ||
+        csp1_report.verdict == core::Verdict::kInfeasible) {
+      EXPECT_EQ(csp1_report.verdict, expected.verdict) << "instance " << k;
+    }
+
+    core::SolveConfig dedicated;
+    dedicated.method = core::Method::kCsp2Dedicated;
+    dedicated.csp2.idle_rule = false;
+    dedicated.time_limit_ms = 20'000;
+    const auto ded = core::solve_instance(inst.tasks, p, dedicated);
+    if (ded.verdict == core::Verdict::kFeasible ||
+        ded.verdict == core::Verdict::kInfeasible) {
+      EXPECT_EQ(ded.verdict, expected.verdict) << "instance " << k;
+    }
+
+    if (expected.verdict == core::Verdict::kFeasible) {
+      ++decided_feasible;
+      EXPECT_TRUE(expected.witness_valid) << "instance " << k;
+    }
+  }
+  EXPECT_GT(decided_feasible, 3);
+}
+
+TEST(UniformPlatform, FacadeValidatesUniformWitnesses) {
+  const TaskSet ts = TaskSet::from_params({{0, 2, 2, 2}, {0, 4, 4, 4}});
+  const Platform p = Platform::uniform({1, 2});
+  core::SolveConfig config;
+  config.method = core::Method::kCsp2Generic;
+  const auto report = core::solve_instance(ts, p, config);
+  if (report.verdict == core::Verdict::kFeasible) {
+    EXPECT_TRUE(report.witness_valid);
+  }
+}
+
+}  // namespace
+}  // namespace mgrts
