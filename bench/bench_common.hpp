@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/env.hpp"
 #include "exp/harness.hpp"
@@ -46,6 +49,69 @@ inline gen::GeneratorOptions paper_workload_small() {
   options.order = gen::ParamOrder::kDFirst;
   return options;
 }
+
+// ------------------------------------------------- machine-readable output
+//
+// Every bench can dump a BENCH_<name>.json next to its textual table so the
+// perf trajectory (nodes/sec, propagations/sec, wall time) is tracked
+// across PRs by tooling instead of eyeballs.  Schema:
+//   { "bench": "<name>",
+//     "entries": [ { "name": "...", "<metric>": <number>, ... }, ... ] }
+
+/// One record in BENCH_<name>.json: a label plus numeric metrics.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  BenchRecord& metric(std::string key, double value) {
+    metrics.emplace_back(std::move(key), value);
+    return *this;
+  }
+};
+
+/// Collects records and writes BENCH_<name>.json into MGRTS_BENCH_JSON_DIR
+/// (default: the working directory) on write().
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchRecord& record(std::string name) {
+    records_.push_back(BenchRecord{std::move(name), {}});
+    return records_.back();
+  }
+
+  void write() const {
+    const char* dir = std::getenv("MGRTS_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr && *dir != '\0')
+                                 ? std::string(dir) + "/BENCH_" + bench_ +
+                                       ".json"
+                                 : "BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"entries\": [";
+    for (std::size_t k = 0; k < records_.size(); ++k) {
+      const BenchRecord& r = records_[k];
+      out << (k == 0 ? "\n" : ",\n") << "    {\"name\": \"" << r.name << '"';
+      for (const auto& [key, value] : r.metrics) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        out << ", \"" << key << "\": " << buf;
+      }
+      out << '}';
+    }
+    out << "\n  ]\n}\n";
+    std::printf("(json written to %s)\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  // Deque: record() hands out references that must survive later record()
+  // calls (a vector reallocation would dangle them).
+  std::deque<BenchRecord> records_;
+};
 
 /// When MGRTS_CSV_DIR is set, additionally dumps the table as
 /// $MGRTS_CSV_DIR/<name>.csv for downstream analysis.

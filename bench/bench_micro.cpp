@@ -2,12 +2,22 @@
 // operations, propagation, the dedicated CSP2 node rate, the flow oracle,
 // window arithmetic, and instance generation.  These guard the constant
 // factors the table benches depend on.
+//
+// Besides the google-benchmark suite, main() measures the CSP2 counter-rule
+// workload (CountEq + AllDifferentExcept + SymmetryChain on generic-engine
+// Table-I instances) in both propagation modes and records nodes/sec and
+// propagations/sec into BENCH_micro.json — the incremental-engine speedup
+// tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_common.hpp"
 #include "csp/propagators.hpp"
 #include "csp/solver.hpp"
 #include "csp2/csp2.hpp"
 #include "encodings/csp1.hpp"
+#include "encodings/csp2_generic.hpp"
 #include "flow/oracle.hpp"
 #include "gen/generator.hpp"
 #include "rt/jobs.hpp"
@@ -138,6 +148,174 @@ void BM_PropagationThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagationThroughput);
 
+// ------------------------------------------- CSP2 counter-rule workload
+//
+// The dominant cost of the paper's hard instances on the generic engine:
+// CountEq quota rules over fat (slots × m) scopes plus the per-slot
+// AllDifferentExcept columns and symmetry chains.  Solved under a node
+// budget so both propagation modes explore the identical tree and the
+// metric isolates propagation cost.
+
+csp::SolveStats counter_rule_run(std::uint64_t index,
+                                 csp::PropagationMode mode) {
+  const gen::Instance inst = table1_instance(index);
+  const auto model = enc::build_csp2_generic(
+      inst.tasks, rt::Platform::identical(inst.processors));
+  csp::SearchOptions options;
+  options.var_heuristic = csp::VarHeuristic::kDomWdeg;
+  options.val_heuristic = csp::ValHeuristic::kMin;
+  options.propagation = mode;
+  options.max_nodes = 30'000;
+  const csp::SolveOutcome outcome = model.solver->solve(options);
+  return outcome.stats;
+}
+
+void BM_Csp2CounterRulesIncremental(benchmark::State& state) {
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter_rule_run(k++ % 8, csp::PropagationMode::kIncremental));
+  }
+}
+BENCHMARK(BM_Csp2CounterRulesIncremental);
+
+void BM_Csp2CounterRulesScratch(benchmark::State& state) {
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter_rule_run(k++ % 8, csp::PropagationMode::kScratch));
+  }
+}
+BENCHMARK(BM_Csp2CounterRulesScratch);
+
+void BM_Csp2CounterRulesLegacy(benchmark::State& state) {
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter_rule_run(k++ % 8, csp::PropagationMode::kLegacy));
+  }
+}
+BENCHMARK(BM_Csp2CounterRulesLegacy);
+
+// The fat-scope variant of the counter-rule workload: a CSP2-shaped grid
+// (m=8 processors x S=64 slots, 24 tasks, 256-variable CountEq windows plus
+// the per-slot AllDifferentExcept columns) searched chronologically, so the
+// run is propagation-bound rather than heuristic-bound.  Without symmetry
+// chains every mode wakes the same pruning closure, so all three modes
+// explore the identical tree and wall time divides out into propagation
+// throughput directly.
+csp::SolveStats counter_grid_run(csp::PropagationMode mode) {
+  constexpr int m = 8, S = 64, n = 24, L = 32, W = 8;
+  csp::Solver solver;
+  std::vector<csp::VarId> grid;  // slot-major
+  grid.reserve(static_cast<std::size_t>(S) * m);
+  for (int t = 0; t < S; ++t) {
+    for (int j = 0; j < m; ++j) grid.push_back(solver.add_variable(0, n));
+  }
+  auto var = [&](int t, int j) {
+    return grid[static_cast<std::size_t>(t) * m + static_cast<std::size_t>(j)];
+  };
+  for (int t = 0; t < S; ++t) {
+    std::vector<csp::VarId> col;
+    col.reserve(m);
+    for (int j = 0; j < m; ++j) col.push_back(var(t, j));
+    solver.add(csp::make_all_different_except(std::move(col), /*except=*/n));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int start = (i * 7) % (S - L);
+    std::vector<csp::VarId> scope;
+    scope.reserve(static_cast<std::size_t>(L) * m);
+    for (int t = start; t < start + L; ++t) {
+      for (int j = 0; j < m; ++j) scope.push_back(var(t, j));
+    }
+    solver.add(csp::make_count_eq(std::move(scope), /*value=*/i,
+                                  /*target=*/W));
+  }
+  csp::SearchOptions options;
+  options.var_heuristic = csp::VarHeuristic::kLex;
+  options.val_heuristic = csp::ValHeuristic::kMin;
+  options.propagation = mode;
+  options.max_nodes = 30'000;
+  return solver.solve(options).stats;
+}
+
+/// Sums the counter-rule workload over a fixed instance block and records
+/// throughput under `label` into the json report.
+void report_counter_rules(bench::BenchJson& json, const char* label,
+                          csp::PropagationMode mode) {
+  csp::SolveStats total;
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    const csp::SolveStats stats = counter_rule_run(k, mode);
+    total.nodes += stats.nodes;
+    total.propagations += stats.propagations;
+    total.events += stats.events;
+    total.seconds += stats.seconds;
+  }
+  json.record(label)
+      .metric("wall_seconds", total.seconds)
+      .metric("nodes", static_cast<double>(total.nodes))
+      .metric("propagations", static_cast<double>(total.propagations))
+      .metric("events", static_cast<double>(total.events))
+      .metric("nodes_per_sec",
+              static_cast<double>(total.nodes) / total.seconds)
+      .metric("propagations_per_sec",
+              static_cast<double>(total.propagations) / total.seconds);
+  std::printf("%-32s %10.3fs  %12.0f props/s  %10.0f nodes/s\n", label,
+              total.seconds,
+              static_cast<double>(total.propagations) / total.seconds,
+              static_cast<double>(total.nodes) / total.seconds);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n== CSP2 counter-rule workload (BENCH_micro.json) ==\n");
+  // incremental vs scratch isolates the trailed-counter fast path (same
+  // wake sets, identical tree); incremental vs legacy is the speedup over
+  // the pre-change engine (wake-on-any-change, full rescans).  The three
+  // grid records explore the identical tree, so `propagations_per_sec` of
+  // the incremental entry against `useful_propagations_per_sec` of the
+  // legacy entry (canonical propagation count / wall) is the engine
+  // speedup tracked across PRs.
+  bench::BenchJson json("micro");
+  report_counter_rules(json, "csp2_counter_rules_incremental",
+                       csp::PropagationMode::kIncremental);
+  report_counter_rules(json, "csp2_counter_rules_scratch",
+                       csp::PropagationMode::kScratch);
+  report_counter_rules(json, "csp2_counter_rules_legacy",
+                       csp::PropagationMode::kLegacy);
+
+  const csp::SolveStats canonical =
+      counter_grid_run(csp::PropagationMode::kIncremental);
+  for (const auto& [label, mode] :
+       {std::pair{"counter_grid_incremental",
+                  csp::PropagationMode::kIncremental},
+        std::pair{"counter_grid_scratch", csp::PropagationMode::kScratch},
+        std::pair{"counter_grid_legacy", csp::PropagationMode::kLegacy}}) {
+    const csp::SolveStats stats =
+        mode == csp::PropagationMode::kIncremental ? canonical
+                                                   : counter_grid_run(mode);
+    json.record(label)
+        .metric("wall_seconds", stats.seconds)
+        .metric("nodes", static_cast<double>(stats.nodes))
+        .metric("propagations", static_cast<double>(stats.propagations))
+        .metric("events", static_cast<double>(stats.events))
+        .metric("nodes_per_sec",
+                static_cast<double>(stats.nodes) / stats.seconds)
+        .metric("propagations_per_sec",
+                static_cast<double>(stats.propagations) / stats.seconds)
+        .metric("useful_propagations_per_sec",
+                static_cast<double>(canonical.propagations) / stats.seconds);
+    std::printf("%-32s %10.3fs  %12.0f useful-props/s  %10.0f nodes/s\n",
+                label, stats.seconds,
+                static_cast<double>(canonical.propagations) / stats.seconds,
+                static_cast<double>(stats.nodes) / stats.seconds);
+  }
+  json.write();
+  return 0;
+}

@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "exp/tables.hpp"
+#include "support/deadline.hpp"
 
 int main() {
   using namespace mgrts;
@@ -32,6 +33,9 @@ int main() {
   std::vector<std::string> labels;
   const double limit_seconds =
       static_cast<double>(env.time_limit_ms) / 1000.0;
+
+  bench::BenchJson json("table4_scaling");
+  support::Stopwatch total_watch;
 
   for (const std::int32_t n : {4, 8, 16, 32, 64, 128, 256}) {
     exp::BatchOptions options;
@@ -68,11 +72,28 @@ int main() {
     pruned.label = "CSP2+(D-C)+prune";
     specs.push_back(std::move(pruned));
 
+    support::Stopwatch batch_watch;
     const exp::BatchResult batch = exp::run_batch(options, specs);
+    const double batch_seconds = batch_watch.seconds();
     labels = batch.labels;
     rows.push_back(exp::scaling_row(batch, n, limit_seconds));
-    std::printf("n=%d done\n", n);
+    std::printf("n=%d done (%.2fs)\n", n, batch_seconds);
+
+    std::int64_t batch_nodes = 0;
+    for (const auto& inst : batch.instances) {
+      for (const auto& run : inst.runs) batch_nodes += run.nodes;
+    }
+    json.record("n" + std::to_string(n))
+        .metric("wall_seconds", batch_seconds)
+        .metric("instances", static_cast<double>(env.instances))
+        .metric("workers", static_cast<double>(env.workers))
+        .metric("nodes", static_cast<double>(batch_nodes));
   }
+
+  json.record("total")
+      .metric("wall_seconds", total_watch.seconds())
+      .metric("workers", static_cast<double>(env.workers));
+  json.write();
 
   const auto table = exp::table4_scaling(rows, labels);
   std::printf("\n%s\n", table.to_string().c_str());

@@ -1,5 +1,6 @@
 #include "core/solve.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "encodings/csp1.hpp"
@@ -8,6 +9,7 @@
 #include "sim/simulator.hpp"
 #include "support/deadline.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mgrts::core {
 
@@ -183,6 +185,24 @@ SolveReport solve_instance(const rt::TaskSet& input,
 
   report.seconds = watch.seconds();
   return report;
+}
+
+std::vector<SolveReport> solve_batch(const std::vector<BatchJob>& jobs,
+                                     std::size_t workers) {
+  std::vector<SolveReport> reports(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  support::parallel_for_index(jobs.size(), workers, [&](std::size_t k) {
+    try {
+      reports[k] = solve_instance(jobs[k].tasks, jobs[k].platform,
+                                  jobs[k].config);
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return reports;
 }
 
 }  // namespace mgrts::core

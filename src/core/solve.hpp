@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "csp/options.hpp"
 #include "csp2/csp2.hpp"
@@ -106,5 +107,23 @@ struct SolveReport {
 [[nodiscard]] SolveReport solve_instance(const rt::TaskSet& ts,
                                          const rt::Platform& platform,
                                          const SolveConfig& config = {});
+
+/// One unit of batch work: an instance plus the configuration to solve it
+/// with (so a batch can mix methods, budgets, and seeds).
+struct BatchJob {
+  rt::TaskSet tasks;
+  rt::Platform platform;
+  SolveConfig config;
+};
+
+/// Solves every job, fanning the independent runs over the shared thread
+/// pool (`workers` as in support::parallel_for_index: 0 = all hardware
+/// threads, 1 = sequential).  Each run stays single-threaded and
+/// deterministic, and results[k] always belongs to jobs[k] regardless of
+/// worker scheduling.  If any job throws (e.g. ValidationError), the
+/// exception of the lowest-indexed failing job is rethrown after the batch
+/// drains.
+[[nodiscard]] std::vector<SolveReport> solve_batch(
+    const std::vector<BatchJob>& jobs, std::size_t workers = 0);
 
 }  // namespace mgrts::core

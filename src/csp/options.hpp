@@ -31,9 +31,22 @@ enum class RestartPolicy {
   kGeometric,  ///< restart_scale * 1.5^k failures
 };
 
+/// How propagators compute their prunings.  kIncremental and kScratch use
+/// the same wake events and reach the same fixpoints, so they explore the
+/// identical tree; kScratch is the reference for differential testing.
+/// kLegacy additionally disables event filtering (every watcher wakes on
+/// every change, advisors skipped), emulating the pre-event-engine behavior
+/// as the benchmark baseline.
+enum class PropagationMode {
+  kIncremental,  ///< trailed counters / pending lists (the fast path)
+  kScratch,      ///< recompute every propagator from its full scope
+  kLegacy,       ///< kScratch + wake-on-any-change (pre-change emulation)
+};
+
 struct SearchOptions {
   VarHeuristic var_heuristic = VarHeuristic::kDomWdeg;
   ValHeuristic val_heuristic = ValHeuristic::kMin;
+  PropagationMode propagation = PropagationMode::kIncremental;
   RestartPolicy restart = RestartPolicy::kNone;
   std::int64_t restart_scale = 100;  ///< base failure budget between restarts
   bool random_var_ties = false;      ///< break heuristic ties randomly
@@ -58,6 +71,7 @@ struct SolveStats {
   std::int64_t nodes = 0;         ///< decision nodes explored
   std::int64_t failures = 0;      ///< dead ends (conflicts)
   std::int64_t propagations = 0;  ///< propagator executions
+  std::int64_t events = 0;        ///< domain-change events delivered to watchers
   std::int64_t restarts = 0;
   std::int64_t max_depth = 0;
   double seconds = 0.0;

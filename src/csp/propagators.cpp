@@ -1,6 +1,7 @@
 #include "csp/propagators.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "support/assert.hpp"
@@ -14,6 +15,17 @@ constexpr std::int64_t kIdleKey = std::numeric_limits<std::int64_t>::max();
 std::int64_t key_of(Value v, Value idle) noexcept {
   return v == idle ? kIdleKey : static_cast<std::int64_t>(v);
 }
+
+/// Membership test against a *previous* mask of a domain based at `base`.
+bool mask_contains(std::uint64_t mask, Value base, Value v) noexcept {
+  const std::int64_t off = v - base;
+  return off >= 0 && off < Domain64::kMaxSpan &&
+         ((mask >> static_cast<unsigned>(off)) & 1U) != 0;
+}
+
+bool mask_fixed(std::uint64_t mask) noexcept {
+  return std::popcount(mask) == 1;
+}
 }  // namespace
 
 // ---------------------------------------------------------------- AtMostOne
@@ -23,72 +35,90 @@ AtMostOneTrue::AtMostOneTrue(std::vector<VarId> vars)
   MGRTS_EXPECTS(!vars_.empty());
 }
 
-PropResult AtMostOneTrue::propagate(Solver& solver) {
-  VarId fixed_one = -1;
-  for (const VarId v : vars_) {
-    const Domain64& d = solver.domain(v);
-    if (d.is_fixed() && d.value() == 1) {
-      if (fixed_one >= 0) return PropResult::kFail;
-      fixed_one = v;
-    }
+void AtMostOneTrue::attach(Solver& solver) {
+  one_pos_ = solver.alloc_state(0);  // position + 1; 0 = no 1 seen yet
+}
+
+bool AtMostOneTrue::on_event(Solver& solver, std::int32_t pos,
+                             std::uint64_t old_mask) {
+  static_cast<void>(old_mask);
+  // Fixed-only subscription: the domain just became a singleton.  Only a
+  // variable fixed to 1 can trigger pruning here.
+  if (solver.domain(vars_[static_cast<std::size_t>(pos)]).value() != 1) {
+    return false;
   }
-  if (fixed_one < 0) return PropResult::kOk;
-  for (const VarId v : vars_) {
-    if (v == fixed_one) continue;
-    if (solver.remove(v, 1) == PropResult::kFail) return PropResult::kFail;
+  pending_.push_back(pos);
+  return true;
+}
+
+PropResult AtMostOneTrue::broadcast(Solver& solver, std::size_t one_pos) {
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    if (k == one_pos) continue;
+    if (solver.remove(vars_[k], 1) == PropResult::kFail) {
+      return PropResult::kFail;
+    }
   }
   return PropResult::kOk;
 }
 
-// ----------------------------------------------------------- LinearBoolSumEq
-
-LinearBoolSumEq::LinearBoolSumEq(std::vector<VarId> vars,
-                                 std::vector<std::int64_t> weights,
-                                 std::int64_t target)
-    : vars_(std::move(vars)), weights_(std::move(weights)), target_(target) {
-  MGRTS_EXPECTS(vars_.size() == weights_.size());
-  MGRTS_EXPECTS(target_ >= 0);
-  for (const std::int64_t w : weights_) MGRTS_EXPECTS(w >= 0);
-}
-
-PropResult LinearBoolSumEq::propagate(Solver& solver) {
-  // Iterate to a local fixpoint: each forced assignment tightens the bounds.
-  for (;;) {
-    std::int64_t lb = 0;
-    std::int64_t ub = 0;
-    for (std::size_t k = 0; k < vars_.size(); ++k) {
-      const Domain64& d = solver.domain(vars_[k]);
-      if (d.is_fixed()) {
-        if (d.value() == 1) {
-          lb += weights_[k];
-          ub += weights_[k];
-        }
-      } else {
-        ub += weights_[k];
+PropResult AtMostOneTrue::propagate(Solver& solver) {
+  if (solver.scratch_mode()) {
+    pending_.clear();
+    VarId fixed_one = -1;
+    for (const VarId v : vars_) {
+      const Domain64& d = solver.domain(v);
+      if (d.is_fixed() && d.value() == 1) {
+        if (fixed_one >= 0) return PropResult::kFail;
+        fixed_one = v;
       }
     }
-    if (target_ < lb || target_ > ub) return PropResult::kFail;
-
-    bool changed = false;
-    for (std::size_t k = 0; k < vars_.size(); ++k) {
-      const Domain64& d = solver.domain(vars_[k]);
-      if (d.is_fixed()) continue;
-      if (lb + weights_[k] > target_) {
-        // Running this slot would overshoot the required amount.
-        if (solver.fix(vars_[k], 0) == PropResult::kFail) {
-          return PropResult::kFail;
-        }
-        changed = true;
-      } else if (ub - weights_[k] < target_) {
-        // Without this slot the amount can no longer be reached.
-        if (solver.fix(vars_[k], 1) == PropResult::kFail) {
-          return PropResult::kFail;
-        }
-        changed = true;
-      }
+    if (fixed_one < 0) return PropResult::kOk;
+    for (const VarId v : vars_) {
+      if (v == fixed_one) continue;
+      if (solver.remove(v, 1) == PropResult::kFail) return PropResult::kFail;
     }
-    if (!changed) return PropResult::kOk;
+    return PropResult::kOk;
   }
+
+  if (!primed_) {
+    // First (root) run: derive the trailed state from the actual domains,
+    // which post_fix/post_remove may have narrowed without events.
+    primed_ = true;
+    pending_.clear();
+    std::size_t one = vars_.size();
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (d.is_fixed() && d.value() == 1) {
+        if (one != vars_.size()) return PropResult::kFail;
+        one = k;
+      }
+    }
+    if (one == vars_.size()) return PropResult::kOk;
+    solver.set_state(one_pos_, static_cast<std::int64_t>(one) + 1);
+    return broadcast(solver, one);
+  }
+
+  // Drain the pending list; entries are stale-tolerant (verified against
+  // the current domain), so leftovers from abandoned branches are harmless.
+  PropResult result = PropResult::kOk;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const auto pos = static_cast<std::size_t>(pending_[i]);
+    const Domain64& d = solver.domain(vars_[pos]);
+    if (!d.is_fixed() || d.value() != 1) continue;  // stale entry
+    const std::int64_t seen = solver.state(one_pos_);
+    if (seen != 0) {
+      if (static_cast<std::size_t>(seen - 1) == pos) continue;
+      result = PropResult::kFail;  // two distinct variables fixed to 1
+      break;
+    }
+    solver.set_state(one_pos_, static_cast<std::int64_t>(pos) + 1);
+    if (broadcast(solver, pos) == PropResult::kFail) {
+      result = PropResult::kFail;
+      break;
+    }
+  }
+  pending_.clear();
+  return result;
 }
 
 // ------------------------------------------------------------------ CountEq
@@ -98,17 +128,56 @@ CountEq::CountEq(std::vector<VarId> vars, Value value, std::int64_t target)
   MGRTS_EXPECTS(target_ >= 0);
 }
 
+void CountEq::attach(Solver& solver) {
+  lb_ = solver.alloc_state(0);
+  ub_ = solver.alloc_state(0);
+}
+
+bool CountEq::on_event(Solver& solver, std::int32_t pos,
+                       std::uint64_t old_mask) {
+  if (!primed_) return true;
+  const Domain64& d = solver.domain(vars_[static_cast<std::size_t>(pos)]);
+  const bool had = mask_contains(old_mask, d.base(), value_);
+  const bool has = d.contains(value_);
+  const bool was = had && mask_fixed(old_mask);
+  const bool is = has && d.is_fixed();
+  // Unchanged counters mean this variable's (contains, fixed-to-value)
+  // status is unchanged, so no new pruning opportunity exists: don't wake.
+  if (had == has && was == is) return false;
+  if (had != has) solver.set_state(ub_, solver.state(ub_) - 1);
+  if (was != is) solver.set_state(lb_, solver.state(lb_) + (is ? 1 : -1));
+  const std::int64_t lb = solver.state(lb_);
+  const std::int64_t ub = solver.state(ub_);
+  return lb > target_ || ub < target_ || (lb == target_ && ub > target_) ||
+         (ub == target_ && lb < target_);
+}
+
 PropResult CountEq::propagate(Solver& solver) {
-  std::int64_t lb = 0;  // variables already fixed to `value_`
-  std::int64_t ub = 0;  // variables that can still take `value_`
-  for (const VarId v : vars_) {
-    const Domain64& d = solver.domain(v);
-    if (!d.contains(value_)) continue;
-    ++ub;
-    if (d.is_fixed()) ++lb;
+  std::int64_t lb;
+  std::int64_t ub;
+  if (solver.scratch_mode() || !primed_) {
+    lb = 0;
+    ub = 0;
+    for (const VarId v : vars_) {
+      const Domain64& d = solver.domain(v);
+      if (!d.contains(value_)) continue;
+      ++ub;
+      if (d.is_fixed()) ++lb;
+    }
+    if (!primed_) {
+      // Primed in both modes: advisor wake filtering must not depend on the
+      // propagation mode (differential-test requirement).
+      primed_ = true;
+      solver.set_state(lb_, lb);
+      solver.set_state(ub_, ub);
+    }
+  } else {
+    lb = solver.state(lb_);
+    ub = solver.state(ub_);
   }
+
   if (target_ < lb || target_ > ub) return PropResult::kFail;
-  if (lb == target_) {
+  if (lb == target_ && ub > target_) {
     // Quota reached: no one else may take the value.
     for (const VarId v : vars_) {
       const Domain64& d = solver.domain(v);
@@ -118,7 +187,7 @@ PropResult CountEq::propagate(Solver& solver) {
         }
       }
     }
-  } else if (ub == target_) {
+  } else if (ub == target_ && lb < target_) {
     // Every candidate is needed.
     for (const VarId v : vars_) {
       const Domain64& d = solver.domain(v);
@@ -144,9 +213,35 @@ WeightedCountEq::WeightedCountEq(std::vector<VarId> vars,
   MGRTS_EXPECTS(vars_.size() == weights_.size());
   MGRTS_EXPECTS(target_ >= 0);
   for (const std::int64_t w : weights_) MGRTS_EXPECTS(w >= 0);
+  min_weight_ = weights_.empty()
+                    ? 0
+                    : *std::min_element(weights_.begin(), weights_.end());
+  max_weight_ = weights_.empty()
+                    ? 0
+                    : *std::max_element(weights_.begin(), weights_.end());
 }
 
-PropResult WeightedCountEq::propagate(Solver& solver) {
+void WeightedCountEq::attach(Solver& solver) {
+  lb_ = solver.alloc_state(0);
+  ub_ = solver.alloc_state(0);
+}
+
+bool WeightedCountEq::on_event(Solver& solver, std::int32_t pos,
+                               std::uint64_t old_mask) {
+  if (!primed_) return true;
+  const Domain64& d = solver.domain(vars_[static_cast<std::size_t>(pos)]);
+  const std::int64_t w = weights_[static_cast<std::size_t>(pos)];
+  const bool had = mask_contains(old_mask, d.base(), value_);
+  const bool has = d.contains(value_);
+  const bool was = had && mask_fixed(old_mask);
+  const bool is = has && d.is_fixed();
+  if (had == has && was == is) return false;  // see CountEq::on_event
+  if (had != has) solver.set_state(ub_, solver.state(ub_) - w);
+  if (was != is) solver.set_state(lb_, solver.state(lb_) + (is ? w : -w));
+  return pruning_possible(solver.state(lb_), solver.state(ub_));
+}
+
+PropResult WeightedCountEq::sweep(Solver& solver) {
   for (;;) {
     std::int64_t lb = 0;
     std::int64_t ub = 0;
@@ -182,24 +277,106 @@ PropResult WeightedCountEq::propagate(Solver& solver) {
   }
 }
 
+PropResult WeightedCountEq::propagate(Solver& solver) {
+  if (!primed_) {
+    // Primed in both modes so advisor wake filtering is mode-independent
+    // (differential-test requirement).
+    primed_ = true;
+    std::int64_t lb = 0;
+    std::int64_t ub = 0;
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (!d.contains(value_)) continue;
+      ub += weights_[k];
+      if (d.is_fixed()) lb += weights_[k];
+    }
+    solver.set_state(lb_, lb);
+    solver.set_state(ub_, ub);
+  }
+  if (solver.scratch_mode()) return sweep(solver);
+
+  const std::int64_t lb = solver.state(lb_);
+  const std::int64_t ub = solver.state(ub_);
+  if (target_ < lb || target_ > ub) return PropResult::kFail;
+  if (!pruning_possible(lb, ub)) return PropResult::kOk;
+  return sweep(solver);
+}
+
 // -------------------------------------------------------- AllDifferentExcept
 
 AllDifferentExcept::AllDifferentExcept(std::vector<VarId> vars, Value except)
-    : vars_(std::move(vars)), except_(except) {}
+    : vars_(std::move(vars)), except_(except) {
+  marked_.assign(vars_.size(), 0);
+}
+
+void AllDifferentExcept::clear_marks() {
+  if (marked_count_ == 0) return;
+  std::fill(marked_.begin(), marked_.end(), std::uint8_t{0});
+  marked_count_ = 0;
+}
+
+bool AllDifferentExcept::on_event(Solver& solver, std::int32_t pos,
+                                  std::uint64_t old_mask) {
+  static_cast<void>(old_mask);
+  // Fixed-only subscription: only a variable fixed to a non-except value
+  // needs broadcasting.
+  if (solver.domain(vars_[static_cast<std::size_t>(pos)]).value() ==
+      except_) {
+    return false;
+  }
+  auto& mark = marked_[static_cast<std::size_t>(pos)];
+  if (mark == 0) {
+    mark = 1;
+    ++marked_count_;
+  }
+  return true;
+}
+
+PropResult AllDifferentExcept::broadcast(Solver& solver, std::size_t pos,
+                                         Value v) {
+  for (std::size_t other = 0; other < vars_.size(); ++other) {
+    if (other == pos) continue;
+    if (solver.remove(vars_[other], v) == PropResult::kFail) {
+      return PropResult::kFail;
+    }
+  }
+  return PropResult::kOk;
+}
 
 PropResult AllDifferentExcept::propagate(Solver& solver) {
-  // Forward-checking strength: each fixed non-idle value is removed from the
-  // other variables.  With |scope| == m this quadratic pass is cheap.
-  for (std::size_t k = 0; k < vars_.size(); ++k) {
-    const Domain64& d = solver.domain(vars_[k]);
-    if (!d.is_fixed()) continue;
-    const Value v = d.value();
-    if (v == except_) continue;
-    for (std::size_t other = 0; other < vars_.size(); ++other) {
-      if (other == k) continue;
-      if (solver.remove(vars_[other], v) == PropResult::kFail) {
+  if (solver.scratch_mode() || !primed_) {
+    // Forward-checking from every fixed variable; the incremental path only
+    // does this once (at the root) to cover post_fix-ed variables, after
+    // which the dirty marks carry exactly the newly fixed positions.
+    clear_marks();
+    primed_ = true;
+    for (std::size_t k = 0; k < vars_.size(); ++k) {
+      const Domain64& d = solver.domain(vars_[k]);
+      if (!d.is_fixed()) continue;
+      const Value v = d.value();
+      if (v == except_) continue;
+      if (broadcast(solver, k, v) == PropResult::kFail) {
         return PropResult::kFail;
       }
+    }
+    return PropResult::kOk;
+  }
+
+  if (marked_count_ == 0) return PropResult::kOk;
+  // One ascending pass, like the scratch scan (so both modes emit the same
+  // event sequence): marks behind the cursor set by in-pass broadcasts stay
+  // for the next run — our advisor re-queues us, exactly as the scratch
+  // mode's self-event does.
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    if (marked_[k] == 0) continue;
+    marked_[k] = 0;
+    --marked_count_;
+    const Domain64& d = solver.domain(vars_[k]);
+    if (!d.is_fixed()) continue;  // stale mark from an abandoned branch
+    const Value v = d.value();
+    if (v == except_) continue;
+    if (broadcast(solver, k, v) == PropResult::kFail) {
+      return PropResult::kFail;
     }
   }
   return PropResult::kOk;
@@ -217,29 +394,39 @@ PropResult SymmetryChain::propagate(Solver& solver) {
   //   key(a) < key(b)  or  a == b == idle,
   // where key(idle) = +infinity.  The relation is monotone in key, so
   // bounds reasoning achieves arc consistency per pair; sweeping until
-  // stable achieves it along the chain.
+  // stable achieves it along the chain.  Pruning candidates are gathered
+  // into a mask first because Domain64::for_each iterates a snapshot.
   for (;;) {
     bool changed = false;
     for (std::size_t k = 0; k + 1 < vars_.size(); ++k) {
       const VarId a = vars_[k];
       const VarId b = vars_[k + 1];
 
-      // Smallest key in dom(a).
-      std::int64_t a_min_key = kIdleKey;
-      solver.domain(a).for_each([&](Value v) {
-        a_min_key = std::min(a_min_key, key_of(v, idle_));
-      });
+      // Smallest key in dom(a): the smallest non-idle value, +inf if a can
+      // only be idle.
+      const Domain64& da = solver.domain(a);
+      std::uint64_t a_non_idle = da.raw_mask();
+      if (da.contains(idle_)) {
+        a_non_idle &= ~(std::uint64_t{1}
+                        << static_cast<unsigned>(idle_ - da.base()));
+      }
+      const std::int64_t a_min_key =
+          a_non_idle == 0 ? kIdleKey
+                          : da.base() + std::countr_zero(a_non_idle);
 
       // Prune b: non-idle values must have key > a_min_key.
       {
         const Domain64& db = solver.domain(b);
-        std::vector<Value> to_remove;
+        std::uint64_t kill = 0;
         db.for_each([&](Value v) {
           if (v != idle_ && key_of(v, idle_) <= a_min_key) {
-            to_remove.push_back(v);
+            kill |= std::uint64_t{1} << static_cast<unsigned>(v - db.base());
           }
         });
-        for (const Value v : to_remove) {
+        const Value base = db.base();
+        while (kill != 0) {
+          const Value v = base + std::countr_zero(kill);
+          kill &= kill - 1;
           if (solver.remove(b, v) == PropResult::kFail) {
             return PropResult::kFail;
           }
@@ -248,19 +435,23 @@ PropResult SymmetryChain::propagate(Solver& solver) {
       }
 
       // Prune a: if b cannot be idle, a cannot be idle and a's non-idle
-      // values must stay below b's largest non-idle value.
+      // values must stay below b's largest (necessarily non-idle) value.
       {
         const Domain64& db = solver.domain(b);
         if (!db.contains(idle_)) {
-          std::int64_t b_max_key = std::numeric_limits<std::int64_t>::min();
-          db.for_each([&](Value v) {
-            b_max_key = std::max(b_max_key, key_of(v, idle_));
+          const std::int64_t b_max_key = db.max();
+          const Domain64& da2 = solver.domain(a);
+          std::uint64_t kill = 0;
+          da2.for_each([&](Value v) {
+            if (key_of(v, idle_) >= b_max_key) {
+              kill |= std::uint64_t{1}
+                      << static_cast<unsigned>(v - da2.base());
+            }
           });
-          std::vector<Value> to_remove;
-          solver.domain(a).for_each([&](Value v) {
-            if (key_of(v, idle_) >= b_max_key) to_remove.push_back(v);
-          });
-          for (const Value v : to_remove) {
+          const Value base = da2.base();
+          while (kill != 0) {
+            const Value v = base + std::countr_zero(kill);
+            kill &= kill - 1;
             if (solver.remove(a, v) == PropResult::kFail) {
               return PropResult::kFail;
             }
@@ -282,15 +473,17 @@ std::unique_ptr<Propagator> make_at_most_one(std::vector<VarId> vars) {
 std::unique_ptr<Propagator> make_sum_eq(std::vector<VarId> vars,
                                         std::int64_t target) {
   std::vector<std::int64_t> unit(vars.size(), 1);
-  return std::make_unique<LinearBoolSumEq>(std::move(vars), std::move(unit),
-                                           target);
+  return make_weighted_sum_eq(std::move(vars), std::move(unit), target);
 }
 
 std::unique_ptr<Propagator> make_weighted_sum_eq(
     std::vector<VarId> vars, std::vector<std::int64_t> weights,
     std::int64_t target) {
-  return std::make_unique<LinearBoolSumEq>(std::move(vars), std::move(weights),
-                                           target);
+  // A boolean weighted sum is the weighted counter for value 1: on {0,1}
+  // domains "remove 1" and "fix 0" are the same pruning, so the propagators
+  // coincide and the counter's advisor/state machinery is shared.
+  return std::make_unique<WeightedCountEq>(std::move(vars), std::move(weights),
+                                           /*value=*/1, target);
 }
 
 std::unique_ptr<Propagator> make_count_eq(std::vector<VarId> vars, Value value,

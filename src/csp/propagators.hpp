@@ -1,7 +1,11 @@
 // Concrete propagators for the MGRTS encodings.
 //
 // CSP1 (§IV) needs:   AtMostOneTrue        — constraints (3) and (4)
-//                     LinearBoolSumEq      — constraint (5) / weighted (11)
+//                     WeightedCountEq@1    — constraint (5) / weighted (11):
+//                                            a boolean sum is the value==1
+//                                            case of the weighted counter
+//                                            (make_sum_eq / make_weighted_
+//                                            sum_eq build it)
 // CSP2-as-generic-CSP (§V) needs:
 //                     CountEq              — constraint (9)
 //                     WeightedCountEq      — heterogeneous (12)
@@ -10,8 +14,14 @@
 //                                            declaratively for the generic
 //                                            solver (idle sorts last; see
 //                                            DESIGN.md §3.4)
-// All propagators run to their own fixpoint per invocation and prune only
-// through Solver::fix/remove so changes are trailed.
+//
+// All propagators are event-driven and incremental (DESIGN.md): advisors
+// (`on_event`) maintain trailed counters or stale-tolerant pending lists in
+// O(1) per domain change, so `propagate` runs in O(1) until the constraint
+// becomes tight and only then pays an O(scope) sweep.  When the owning
+// solver runs PropagationMode::kScratch they recompute from the full scope
+// instead — same fixpoints, used as the differential-test reference.  All
+// pruning goes through Solver::fix/remove so changes are trailed.
 #pragma once
 
 #include <memory>
@@ -21,44 +31,49 @@
 
 namespace mgrts::csp {
 
-/// sum_i vars[i] <= 1 over boolean {0,1} variables.
+/// sum_i vars[i] <= 1 over boolean {0,1} variables.  Wakes only on fixes
+/// (on {0,1} every change is a fix); the advisor records positions fixed to
+/// 1 in a pending list, so a run is O(new ones) + one O(n) broadcast when
+/// the first 1 appears.
 class AtMostOneTrue final : public Propagator {
  public:
   explicit AtMostOneTrue(std::vector<VarId> vars);
   PropResult propagate(Solver& solver) override;
+  void attach(Solver& solver) override;
+  [[nodiscard]] WakePolicy wake_policy() const override {
+    return WakePolicy::kFixedOnly;
+  }
+  [[nodiscard]] PropPriority priority() const override {
+    return PropPriority::kFast;
+  }
+  bool on_event(Solver& solver, std::int32_t pos,
+                std::uint64_t old_mask) override;
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return vars_;
   }
   [[nodiscard]] const char* name() const override { return "at-most-one"; }
 
  private:
+  PropResult broadcast(Solver& solver, std::size_t one_pos);
+
   std::vector<VarId> vars_;
+  StateSlot one_pos_ = -1;  ///< trailed: position fixed to 1 (+1; 0 = none)
+  std::vector<std::int32_t> pending_;
+  bool primed_ = false;
 };
 
-/// sum_i weights[i] * vars[i] == target over boolean {0,1} variables with
-/// non-negative weights.  Unit weights give the identical-platform (5);
-/// execution rates give the heterogeneous (11).
-class LinearBoolSumEq final : public Propagator {
- public:
-  LinearBoolSumEq(std::vector<VarId> vars, std::vector<std::int64_t> weights,
-                  std::int64_t target);
-  PropResult propagate(Solver& solver) override;
-  [[nodiscard]] const std::vector<VarId>& scope() const override {
-    return vars_;
-  }
-  [[nodiscard]] const char* name() const override { return "lin-bool-sum-eq"; }
-
- private:
-  std::vector<VarId> vars_;
-  std::vector<std::int64_t> weights_;
-  std::int64_t target_;
-};
-
-/// |{ i : vars[i] == value }| == target.
+/// |{ i : vars[i] == value }| == target.  Incremental state: trailed lb
+/// (#fixed to value) and ub (#containing value).
 class CountEq final : public Propagator {
  public:
   CountEq(std::vector<VarId> vars, Value value, std::int64_t target);
   PropResult propagate(Solver& solver) override;
+  void attach(Solver& solver) override;
+  [[nodiscard]] PropPriority priority() const override {
+    return PropPriority::kCounter;
+  }
+  bool on_event(Solver& solver, std::int32_t pos,
+                std::uint64_t old_mask) override;
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return vars_;
   }
@@ -68,6 +83,9 @@ class CountEq final : public Propagator {
   std::vector<VarId> vars_;
   Value value_;
   std::int64_t target_;
+  StateSlot lb_ = -1;  ///< trailed: variables fixed to value_
+  StateSlot ub_ = -1;  ///< trailed: variables whose domain contains value_
+  bool primed_ = false;
 };
 
 /// sum_i weights[i] * [vars[i] == value] == target (heterogeneous (12)).
@@ -76,6 +94,12 @@ class WeightedCountEq final : public Propagator {
   WeightedCountEq(std::vector<VarId> vars, std::vector<std::int64_t> weights,
                   Value value, std::int64_t target);
   PropResult propagate(Solver& solver) override;
+  void attach(Solver& solver) override;
+  [[nodiscard]] PropPriority priority() const override {
+    return PropPriority::kCounter;
+  }
+  bool on_event(Solver& solver, std::int32_t pos,
+                std::uint64_t old_mask) override;
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return vars_;
   }
@@ -84,18 +108,41 @@ class WeightedCountEq final : public Propagator {
   }
 
  private:
+  [[nodiscard]] bool pruning_possible(std::int64_t lb,
+                                      std::int64_t ub) const noexcept {
+    return lb > target_ || ub < target_ || lb + max_weight_ > target_ ||
+           ub - min_weight_ < target_;
+  }
+  PropResult sweep(Solver& solver);
+
   std::vector<VarId> vars_;
   std::vector<std::int64_t> weights_;
   Value value_;
   std::int64_t target_;
+  std::int64_t min_weight_ = 0;
+  std::int64_t max_weight_ = 0;
+  StateSlot lb_ = -1;  ///< trailed: weight fixed to value_
+  StateSlot ub_ = -1;  ///< trailed: weight that can still take value_
+  bool primed_ = false;
 };
 
 /// All variables taking a value != `except` take pairwise distinct values
 /// (constraint (8): a task occupies at most one processor per slot).
+/// Wakes only on fixes; the advisor records newly fixed positions, so a run
+/// broadcasts each fixed value exactly once instead of rescanning the
+/// quadratic pair set.
 class AllDifferentExcept final : public Propagator {
  public:
   AllDifferentExcept(std::vector<VarId> vars, Value except);
   PropResult propagate(Solver& solver) override;
+  [[nodiscard]] WakePolicy wake_policy() const override {
+    return WakePolicy::kFixedOnly;
+  }
+  [[nodiscard]] PropPriority priority() const override {
+    return PropPriority::kFast;
+  }
+  bool on_event(Solver& solver, std::int32_t pos,
+                std::uint64_t old_mask) override;
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return vars_;
   }
@@ -104,17 +151,31 @@ class AllDifferentExcept final : public Propagator {
   }
 
  private:
+  PropResult broadcast(Solver& solver, std::size_t pos, Value v);
+  void clear_marks();
+
   std::vector<VarId> vars_;
   Value except_;
+  // Dirty marks per scope position (stale-tolerant: re-verified against the
+  // current domain at drain time).  Drained in ascending position order so
+  // the event sequence matches the scratch reference's scan exactly.
+  std::vector<std::uint8_t> marked_;
+  std::int32_t marked_count_ = 0;
+  bool primed_ = false;
 };
 
 /// Symmetry-breaking chain over one group of identical processors: the
 /// non-idle values along `vars` are strictly ascending and idle entries
 /// trail (idle compares as +infinity; equality is allowed at idle only).
+/// Wakes only on fixes — the chain mainly orders decisions, and every
+/// assignment is still checked through the fix events it generates.
 class SymmetryChain final : public Propagator {
  public:
   SymmetryChain(std::vector<VarId> vars, Value idle);
   PropResult propagate(Solver& solver) override;
+  [[nodiscard]] WakePolicy wake_policy() const override {
+    return WakePolicy::kFixedOnly;
+  }
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return vars_;
   }

@@ -1,6 +1,7 @@
 #include "csp/solver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "support/assert.hpp"
@@ -12,12 +13,15 @@ namespace mgrts::csp {
 namespace {
 
 /// Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+/// Iterative O(log i): strip completed-prefix subtrees until i sits at the
+/// end of one (i + 1 a power of two), whose value is (i + 1) / 2.
 std::int64_t luby(std::int64_t i) {
-  // Find k with 2^k - 1 == i  =>  luby = 2^(k-1); otherwise recurse.
-  std::int64_t k = 1;
-  while ((std::int64_t{1} << k) - 1 < i) ++k;
-  if ((std::int64_t{1} << k) - 1 == i) return std::int64_t{1} << (k - 1);
-  return luby(i - ((std::int64_t{1} << (k - 1)) - 1));
+  for (;;) {
+    const auto u = static_cast<std::uint64_t>(i) + 1;
+    if (std::has_single_bit(u)) return static_cast<std::int64_t>(u >> 1);
+    const int k = std::bit_width(u);  // smallest k with 2^k - 1 >= i
+    i -= (std::int64_t{1} << (k - 1)) - 1;
+  }
 }
 
 }  // namespace
@@ -42,7 +46,24 @@ void Solver::add(std::unique_ptr<Propagator> propagator) {
   MGRTS_EXPECTS(!frozen_);
   MGRTS_EXPECTS(propagator != nullptr);
   propagator->id_ = static_cast<std::int32_t>(propagators_.size());
+  propagator->priority_cache_ =
+      static_cast<std::uint8_t>(propagator->priority());
+  MGRTS_ASSERT(propagator->priority_cache_ < kPriorityLevels);
   propagators_.push_back(std::move(propagator));
+  propagators_.back()->attach(*this);
+}
+
+StateSlot Solver::alloc_state(std::int64_t initial) {
+  MGRTS_EXPECTS(!frozen_);
+  pstate_.push_back(initial);
+  return static_cast<StateSlot>(pstate_.size() - 1);
+}
+
+void Solver::set_state(StateSlot slot, std::int64_t value) {
+  std::int64_t& cell = pstate_[static_cast<std::size_t>(slot)];
+  if (cell == value) return;
+  state_trail_.push_back(StateTrailEntry{slot, cell});
+  cell = value;
 }
 
 bool Solver::post_fix(VarId v, Value a) {
@@ -90,27 +111,48 @@ void Solver::sync_membership(VarId v) {
   }
 }
 
-void Solver::schedule_watchers(VarId v) {
-  const auto begin = watch_offset_[static_cast<std::size_t>(v)];
-  const auto end = watch_offset_[static_cast<std::size_t>(v) + 1];
-  for (std::int32_t k = begin; k < end; ++k) {
-    Propagator& p = *propagators_[static_cast<std::size_t>(watch_data_[
-        static_cast<std::size_t>(k)])];
-    if (!p.queued_) {
-      p.queued_ = true;
-      queue_.push_back(p.id_);
+void Solver::enqueue(Propagator& p) {
+  if (p.queued_) return;
+  p.queued_ = true;
+  queue_[p.priority_cache_].push_back(p.id_);
+}
+
+void Solver::wake_list(const WatchList& list, VarId v,
+                       std::uint64_t old_mask) {
+  const auto begin =
+      static_cast<std::size_t>(list.offset[static_cast<std::size_t>(v)]);
+  const auto end =
+      static_cast<std::size_t>(list.offset[static_cast<std::size_t>(v) + 1]);
+  stats_.events += static_cast<std::int64_t>(end - begin);
+  if (legacy_) {
+    // Pre-change emulation: no advisors, every watcher is queued.
+    for (std::size_t k = begin; k < end; ++k) {
+      enqueue(*propagators_[static_cast<std::size_t>(list.data[k].pid)]);
     }
+    return;
   }
+  for (std::size_t k = begin; k < end; ++k) {
+    const Watch w = list.data[k];
+    Propagator& p = *propagators_[static_cast<std::size_t>(w.pid)];
+    if (p.on_event(*this, w.pos, old_mask)) enqueue(p);
+  }
+}
+
+void Solver::notify_watchers(VarId v, std::uint64_t old_mask,
+                             bool became_fixed) {
+  wake_list(any_watch_, v, old_mask);
+  if (became_fixed) wake_list(fixed_watch_, v, old_mask);
 }
 
 PropResult Solver::remove(VarId v, Value a) {
   Domain64& d = domains_[static_cast<std::size_t>(v)];
   if (!d.contains(a)) return PropResult::kOk;
-  trail_push(v, d.raw_mask());
+  const std::uint64_t old_mask = d.raw_mask();
+  trail_push(v, old_mask);
   d.remove(a);
   sync_membership(v);
   if (d.empty()) return PropResult::kFail;
-  schedule_watchers(v);
+  notify_watchers(v, old_mask, d.is_fixed());
   return PropResult::kOk;
 }
 
@@ -118,15 +160,21 @@ PropResult Solver::fix(VarId v, Value a) {
   Domain64& d = domains_[static_cast<std::size_t>(v)];
   if (!d.contains(a)) return PropResult::kFail;
   if (d.is_fixed()) return PropResult::kOk;
-  trail_push(v, d.raw_mask());
+  const std::uint64_t old_mask = d.raw_mask();
+  trail_push(v, old_mask);
   d.fix(a);
   sync_membership(v);
-  schedule_watchers(v);
+  notify_watchers(v, old_mask, /*became_fixed=*/true);
   return PropResult::kOk;
 }
 
-void Solver::backtrack_to(std::size_t mark) {
-  while (trail_.size() > mark) {
+void Solver::backtrack_to(const Mark& mark) {
+  while (state_trail_.size() > mark.state) {
+    const StateTrailEntry entry = state_trail_.back();
+    state_trail_.pop_back();
+    pstate_[static_cast<std::size_t>(entry.slot)] = entry.old_value;
+  }
+  while (trail_.size() > mark.domain) {
     const TrailEntry entry = trail_.back();
     trail_.pop_back();
     domains_[static_cast<std::size_t>(entry.var)].set_raw_mask(entry.old_mask);
@@ -135,11 +183,15 @@ void Solver::backtrack_to(std::size_t mark) {
 }
 
 void Solver::clear_queue() {
-  for (std::size_t k = queue_head_; k < queue_.size(); ++k) {
-    propagators_[static_cast<std::size_t>(queue_[k])]->queued_ = false;
+  for (int lvl = 0; lvl < kPriorityLevels; ++lvl) {
+    auto& q = queue_[static_cast<std::size_t>(lvl)];
+    auto& head = queue_head_[static_cast<std::size_t>(lvl)];
+    for (std::size_t k = head; k < q.size(); ++k) {
+      propagators_[static_cast<std::size_t>(q[k])]->queued_ = false;
+    }
+    q.clear();
+    head = 0;
   }
-  queue_.clear();
-  queue_head_ = 0;
 }
 
 void Solver::bump_failure(std::int32_t prop_id) {
@@ -152,8 +204,25 @@ void Solver::bump_failure(std::int32_t prop_id) {
 }
 
 bool Solver::propagate_queue() {
-  while (queue_head_ < queue_.size()) {
-    const std::int32_t id = queue_[queue_head_++];
+  for (;;) {
+    // Pop from the cheapest non-empty level; every run restarts the scan, so
+    // expensive global propagators only fire once the cheap levels are at
+    // their fixpoint.
+    std::int32_t id = -1;
+    for (int lvl = 0; lvl < kPriorityLevels; ++lvl) {
+      auto& q = queue_[static_cast<std::size_t>(lvl)];
+      auto& head = queue_head_[static_cast<std::size_t>(lvl)];
+      if (head < q.size()) {
+        id = q[head++];
+        if (head == q.size()) {
+          q.clear();
+          head = 0;
+        }
+        break;
+      }
+    }
+    if (id < 0) return true;
+
     Propagator& p = *propagators_[static_cast<std::size_t>(id)];
     p.queued_ = false;
     ++stats_.propagations;
@@ -162,36 +231,42 @@ bool Solver::propagate_queue() {
       clear_queue();
       return false;
     }
-    // Compact the queue occasionally so it does not grow without bound.
-    if (queue_head_ > 4096 && queue_head_ * 2 > queue_.size()) {
-      queue_.erase(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
-      queue_head_ = 0;
-    }
   }
-  queue_.clear();
-  queue_head_ = 0;
-  return true;
 }
 
 void Solver::build_watch_lists() {
   const std::size_t n = domains_.size();
-  std::vector<std::int32_t> counts(n + 1, 0);
-  for (const auto& p : propagators_) {
-    for (const VarId v : p->scope()) {
-      ++counts[static_cast<std::size_t>(v) + 1];
+
+  // In legacy mode every propagator subscribes to every change on its
+  // scope, emulating the single-event pre-change watch lists.
+  auto effective_policy = [&](const Propagator& p) {
+    return legacy_ ? WakePolicy::kAnyChange : p.wake_policy();
+  };
+  auto build = [&](WakePolicy policy, WatchList& list) {
+    std::vector<std::int32_t> counts(n + 1, 0);
+    for (const auto& p : propagators_) {
+      if (effective_policy(*p) != policy) continue;
+      for (const VarId v : p->scope()) {
+        ++counts[static_cast<std::size_t>(v) + 1];
+      }
     }
-  }
-  for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
-  watch_offset_ = counts;
-  watch_data_.assign(static_cast<std::size_t>(counts[n]), 0);
-  std::vector<std::int32_t> cursor = watch_offset_;
-  for (const auto& p : propagators_) {
-    for (const VarId v : p->scope()) {
-      watch_data_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
-          p->id_;
+    for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
+    list.offset = counts;
+    list.data.assign(static_cast<std::size_t>(counts[n]), Watch{0, 0});
+    std::vector<std::int32_t> cursor = list.offset;
+    for (const auto& p : propagators_) {
+      if (effective_policy(*p) != policy) continue;
+      const auto& scope = p->scope();
+      for (std::size_t pos = 0; pos < scope.size(); ++pos) {
+        const auto v = static_cast<std::size_t>(scope[pos]);
+        list.data[static_cast<std::size_t>(cursor[v]++)] =
+            Watch{p->id_, static_cast<std::int32_t>(pos)};
+      }
     }
-  }
+  };
+  build(WakePolicy::kAnyChange, any_watch_);
+  build(WakePolicy::kFixedOnly, fixed_watch_);
+
   // Initialize wdeg: every constraint contributes its base weight 1.
   for (const auto& p : propagators_) {
     for (const VarId v : p->scope()) {
@@ -286,6 +361,8 @@ Value Solver::select_value(const SearchOptions& options, VarId var,
 SolveOutcome Solver::solve(const SearchOptions& options) {
   support::Stopwatch watch;
   stats_ = SolveStats{};
+  scratch_ = options.propagation != PropagationMode::kIncremental;
+  legacy_ = options.propagation == PropagationMode::kLegacy;
   support::Rng rng(options.seed);
 
   SolveOutcome outcome;
@@ -311,16 +388,15 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     }
   }
 
-  // Root propagation: schedule everything once.
-  for (const auto& p : propagators_) {
-    p->queued_ = true;
-    queue_.push_back(p->id_);
-  }
+  // Root propagation: schedule everything once.  The first run of each
+  // incremental propagator primes its trailed counters from the (possibly
+  // post_fix/post_remove-narrowed) root domains.
+  for (const auto& p : propagators_) enqueue(*p);
   if (!propagate_queue()) {
     bump_failure(failing_prop_);
     return finish(SolveStatus::kUnsat);
   }
-  const std::size_t root_mark = trail_.size();
+  const Mark root_mark = mark();
 
   std::int64_t restart_index = 0;
   std::int64_t failures_until_restart = -1;  // -1 = no budget
@@ -366,7 +442,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
       MGRTS_ASSERT(var >= 0);
       Frame frame;
       frame.var = var;
-      frame.trail_mark = trail_.size();
+      frame.mark = mark();
       frame.lex_hint = std::max(lex_hint, var);
       frames.push_back(frame);
       stats_.max_depth = std::max(stats_.max_depth,
@@ -384,7 +460,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
           if (frames.empty()) {
             return finish(SolveStatus::kUnsat);
           }
-          backtrack_to(frames.back().trail_mark);
+          backtrack_to(frames.back().mark);
           continue;
         }
 
@@ -406,7 +482,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         ++stats_.failures;
         bump_failure(failing_prop_);
         failing_prop_ = -1;
-        backtrack_to(top.trail_mark);
+        backtrack_to(top.mark);
 
         if (failures_until_restart > 0 && --failures_until_restart == 0) {
           restart_requested = true;

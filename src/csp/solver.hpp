@@ -1,5 +1,5 @@
 // Generic finite-domain CSP solver: trail-based backtracking search with
-// event-driven constraint propagation.
+// event-driven, incremental constraint propagation.
 //
 // This is the repo's stand-in for the Choco solver the paper uses for CSP1
 // (§VII): a *generic* engine that consumes a declarative model — variables,
@@ -8,16 +8,25 @@
 // search is randomized, which the paper observes as run-to-run variance in
 // §VII-B; seed the options to reproduce any particular run).
 //
-// Architecture:
+// Architecture (see DESIGN.md for the full discussion):
 //   * Domain64 per variable (<= 64 values, 16 bytes);
-//   * a trail of (variable, previous mask) pairs for O(1) backtracking;
-//   * propagators subscribe to their scope; domain changes push them onto a
-//     FIFO queue; propagation runs to fixpoint or failure;
+//   * a trail of (variable, previous mask) pairs plus a typed trail of
+//     (slot, previous value) pairs for propagator state, both unwound in
+//     O(1) per entry on backtracking;
+//   * domain changes are split into kPruned and kFixed events with separate
+//     CSR watch lists; each watch entry carries the scope position, so a
+//     propagator's advisor (`on_event`) can update trailed counters in O(1)
+//     and decide whether the propagator needs to run at all;
+//   * woken propagators land in a three-level priority queue (cheap pending
+//     lists, then counters, then global rules); propagation drains the
+//     cheapest level first and re-checks it after every run, so expensive
+//     propagators only fire on states the cheap ones could not refute;
 //   * dom/wdeg failure weights are maintained incrementally;
 //   * search is iterative (explicit frame stack), so model size — not
 //     recursion depth — is the only memory bound.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -30,14 +39,38 @@ namespace mgrts::csp {
 
 using VarId = std::int32_t;
 
+/// Index into the solver's trailed propagator-state array (see
+/// Solver::alloc_state).
+using StateSlot = std::int32_t;
+
 class Solver;
 
 enum class PropResult { kOk, kFail };
 
-/// Base class for constraint propagators.  Propagators are stateless with
-/// respect to the search (they may precompute static data at construction):
-/// `propagate` must prune only through Solver::fix / Solver::remove so every
-/// change is trailed.
+/// Which domain events wake a propagator.  A change that leaves the domain
+/// with one value is a *fix* event; any other narrowing is a *prune* event.
+/// kFixedOnly watchers never see prune events — right for propagators whose
+/// pruning logic only reads fixed variables (at-most-one, all-different,
+/// symmetry chains).
+enum class WakePolicy : std::uint8_t {
+  kAnyChange,  ///< wake on prunes and fixes
+  kFixedOnly,  ///< wake only when a scope variable becomes fixed
+};
+
+/// Queue level; lower levels run first and are re-checked after every
+/// propagator execution, so keep cheap propagators low.
+enum class PropPriority : std::uint8_t {
+  kFast = 0,     ///< O(changes): pending-list propagators
+  kCounter = 1,  ///< O(1) checks on trailed counters, rare O(scope) sweeps
+  kGlobal = 2,   ///< O(scope) or worse per run
+};
+
+inline constexpr int kPriorityLevels = 3;
+
+/// Base class for constraint propagators.  Propagators may keep search-state
+/// only in solver-trailed slots (alloc_state/set_state) or in stale-tolerant
+/// pending buffers: `propagate` must prune only through Solver::fix /
+/// Solver::remove so every change is trailed.
 class Propagator {
  public:
   virtual ~Propagator() = default;
@@ -51,11 +84,36 @@ class Propagator {
   /// Human-readable kind, for debugging and stats.
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// Called once from Solver::add; allocate trailed state slots here.
+  virtual void attach(Solver& solver) { static_cast<void>(solver); }
+
+  /// Event class this propagator subscribes to (uniform over its scope).
+  [[nodiscard]] virtual WakePolicy wake_policy() const {
+    return WakePolicy::kAnyChange;
+  }
+
+  [[nodiscard]] virtual PropPriority priority() const {
+    return PropPriority::kGlobal;
+  }
+
+  /// Advisor: runs synchronously on every subscribed event on scope()[pos]
+  /// (old_mask is the domain mask before the change; the current domain is
+  /// solver.domain(scope()[pos])).  Updates incremental state and returns
+  /// whether the propagator should be queued.  Must not prune any domain.
+  virtual bool on_event(Solver& solver, std::int32_t pos,
+                        std::uint64_t old_mask) {
+    static_cast<void>(solver);
+    static_cast<void>(pos);
+    static_cast<void>(old_mask);
+    return true;
+  }
+
  private:
   friend class Solver;
   std::int32_t id_ = -1;
   bool queued_ = false;
-  std::int64_t weight_ = 1;  ///< wdeg failure weight
+  std::uint8_t priority_cache_ = 2;  ///< priority(), cached at add()
+  std::int64_t weight_ = 1;          ///< wdeg failure weight
 };
 
 struct SolverLimits {
@@ -100,23 +158,60 @@ class Solver {
   PropResult fix(VarId v, Value a);
   PropResult remove(VarId v, Value a);
 
+  /// Trailed propagator state: slots are allocated in attach(), survive
+  /// into search, and are restored alongside the domain trail on
+  /// backtracking.  Reads are O(1); writes trail the previous value.
+  StateSlot alloc_state(std::int64_t initial);
+  [[nodiscard]] std::int64_t state(StateSlot slot) const {
+    return pstate_[static_cast<std::size_t>(slot)];
+  }
+  void set_state(StateSlot slot, std::int64_t value);
+
+  /// True when the active solve runs PropagationMode::kScratch; incremental
+  /// propagators then recompute from their full scope instead of trusting
+  /// trailed counters (differential-testing reference).
+  [[nodiscard]] bool scratch_mode() const noexcept { return scratch_; }
+
   // ---- solving ---------------------------------------------------------
 
   /// Runs the search.  May be called once per Solver instance.
   [[nodiscard]] SolveOutcome solve(const SearchOptions& options);
 
  private:
+  /// Joint position in the domain and propagator-state trails.
+  struct Mark {
+    std::size_t domain = 0;
+    std::size_t state = 0;
+  };
+
   struct Frame {
     VarId var = -1;
-    std::size_t trail_mark = 0;
+    Mark mark;
     std::uint64_t tried = 0;  ///< mask of value offsets already attempted
     VarId lex_hint = 0;       ///< scan start for the lex heuristic
   };
 
+  /// One CSR watch entry: propagator `pid` watches scope position `pos`.
+  struct Watch {
+    std::int32_t pid;
+    std::int32_t pos;
+  };
+
+  struct WatchList {
+    std::vector<std::int32_t> offset;  ///< per-variable CSR offsets
+    std::vector<Watch> data;
+  };
+
+  [[nodiscard]] Mark mark() const noexcept {
+    return Mark{trail_.size(), state_trail_.size()};
+  }
+
   void trail_push(VarId v, std::uint64_t old_mask);
-  void backtrack_to(std::size_t mark);
+  void backtrack_to(const Mark& mark);
   void sync_membership(VarId v);
-  void schedule_watchers(VarId v);
+  void notify_watchers(VarId v, std::uint64_t old_mask, bool became_fixed);
+  void wake_list(const WatchList& list, VarId v, std::uint64_t old_mask);
+  void enqueue(Propagator& p);
   bool propagate_queue();         // false on conflict
   void clear_queue();
   void bump_failure(std::int32_t prop_id);
@@ -136,10 +231,12 @@ class Solver {
   std::vector<Domain64> domains_;
   std::vector<std::unique_ptr<Propagator>> propagators_;
 
-  // CSR watch lists: watchers of var v live in
-  // watch_data_[watch_offset_[v] .. watch_offset_[v+1]).
-  std::vector<std::int32_t> watch_offset_;
-  std::vector<std::int32_t> watch_data_;
+  // Per-event watch lists: watchers of var v live in
+  // data[offset[v] .. offset[v+1]).  kAnyChange subscribers are in
+  // any_watch_ (walked on every change); kFixedOnly subscribers are in
+  // fixed_watch_ (walked only when the change fixed the variable).
+  WatchList any_watch_;
+  WatchList fixed_watch_;
   bool frozen_ = false;
 
   // Sparse set of variables with domain size > 1.
@@ -155,9 +252,21 @@ class Solver {
   };
   std::vector<TrailEntry> trail_;
 
-  std::vector<std::int32_t> queue_;
-  std::size_t queue_head_ = 0;
+  // Trailed propagator state (incremental counters etc.).
+  std::vector<std::int64_t> pstate_;
+  struct StateTrailEntry {
+    StateSlot slot;
+    std::int64_t old_value;
+  };
+  std::vector<StateTrailEntry> state_trail_;
 
+  // Priority buckets, each popped from `head`; a bucket is recycled (clear +
+  // head = 0) the moment it drains, so no O(n) compaction is ever needed.
+  std::array<std::vector<std::int32_t>, kPriorityLevels> queue_;
+  std::array<std::size_t, kPriorityLevels> queue_head_{};
+
+  bool scratch_ = false;
+  bool legacy_ = false;
   SolveStats stats_;
   std::int32_t failing_prop_ = -1;
 };

@@ -78,6 +78,8 @@ Csp2GenericModel build_csp2_generic(const rt::TaskSet& ts,
   for (const rt::Job& job : jobs.jobs()) {
     std::vector<VarId> vars;
     std::vector<std::int64_t> weights;
+    vars.reserve(job.slots.size() * static_cast<std::size_t>(m));
+    weights.reserve(job.slots.size() * static_cast<std::size_t>(m));
     bool weighted = false;
     for (const Time t : job.slots) {
       for (ProcId j = 0; j < m; ++j) {

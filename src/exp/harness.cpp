@@ -1,7 +1,5 @@
 #include "exp/harness.hpp"
 
-#include <atomic>
-
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
@@ -74,31 +72,34 @@ BatchResult run_batch(const BatchOptions& options,
     record.runs.resize(specs.size());
   }
 
-  // Fan (instance, solver) pairs out over the pool; each run writes to its
-  // own pre-sized slot, so no further synchronization is required.
+  // Fan the flat (instance, solver) index space over the shared pool; each
+  // run reads its instance in place (no per-job task-set copies — at
+  // Table IV scale those would dominate memory) and writes to its own
+  // pre-sized slot, so verdict tables are deterministic in layout
+  // regardless of worker scheduling.  Library users with independent
+  // instances should prefer core::solve_batch.
   const std::size_t total_runs = count * specs.size();
-  support::parallel_for_index(
-      total_runs, options.workers == 0 ? 0 : options.workers,
-      [&](std::size_t flat) {
-        const std::size_t k = flat / specs.size();
-        const std::size_t s = flat % specs.size();
-        const gen::Instance& inst = instances[k];
+  support::parallel_for_index(total_runs, options.workers,
+                              [&](std::size_t flat) {
+    const std::size_t k = flat / specs.size();
+    const std::size_t s = flat % specs.size();
+    const gen::Instance& inst = instances[k];
 
-        core::SolveConfig config = specs[s].config;
-        // Give randomized generic searches a per-instance stream, like
-        // independent Choco invocations (§VII-B).
-        config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (k + 1);
+    core::SolveConfig config = specs[s].config;
+    // Give randomized generic searches a per-instance stream, like
+    // independent Choco invocations (§VII-B).
+    config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (k + 1);
 
-        const core::SolveReport report = core::solve_instance(
-            inst.tasks, rt::Platform::identical(inst.processors), config);
+    const core::SolveReport report = core::solve_instance(
+        inst.tasks, rt::Platform::identical(inst.processors), config);
 
-        RunRecord& run = result.instances[k].runs[s];
-        run.verdict = report.verdict;
-        run.seconds = report.seconds;
-        run.witness_ok = report.witness_valid;
-        run.complete = report.complete;
-        run.nodes = report.nodes;
-      });
+    RunRecord& run = result.instances[k].runs[s];
+    run.verdict = report.verdict;
+    run.seconds = report.seconds;
+    run.witness_ok = report.witness_valid;
+    run.complete = report.complete;
+    run.nodes = report.nodes;
+  });
 
   return result;
 }

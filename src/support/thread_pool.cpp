@@ -1,6 +1,9 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 
 #include "support/assert.hpp"
 
@@ -39,6 +42,13 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+ThreadPool& ThreadPool::shared() {
+  // Leaked on purpose: workers must outlive every static-destruction-order
+  // caller, and the process exit tears the threads down anyway.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
@@ -59,18 +69,104 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Shared cursor for one parallel_for_index batch.  Helpers and the caller
+/// pull indices until the cursor passes `count`; the caller then waits for
+/// the last helper to finish its in-flight item.  If fn throws, the first
+/// exception is captured, the remaining indices are claimed-but-skipped so
+/// the completion count still reaches `count` (no lane is left writing into
+/// caller state after wait() returns), and wait() rethrows.
+struct IndexBatch {
+  explicit IndexBatch(std::size_t count) : count(count) {}
+
+  const std::size_t count;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< first exception; guarded by mutex
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  void run(const std::function<void(std::size_t)>& fn) {
+    std::size_t processed = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard lock(mutex);
+            if (!error) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      ++processed;
+    }
+    if (processed == 0) return;
+    if (done.fetch_add(processed, std::memory_order_acq_rel) + processed ==
+        count) {
+      std::lock_guard lock(mutex);
+      cv.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return done.load(std::memory_order_acquire) ==
+                                  count; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
+
 void parallel_for_index(std::size_t count, std::size_t workers,
                         const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (workers == 1) {
+  if (workers == 1 || count == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  ThreadPool pool(workers);
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([i, &fn] { fn(i); });
+
+  // Helpers capture `fn` by value: a helper that wakes up after the batch
+  // drained claims no index and must not touch caller-lifetime state.
+  auto batch = std::make_shared<IndexBatch>(count);
+  auto helper = [batch, fn] { batch->run(fn); };
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t shared_lanes = pool.worker_count() + 1;
+  if (workers == 0 || workers <= shared_lanes) {
+    // The caller is one of the `cap` lanes; the rest are pool helpers.  A
+    // helper that never claims an index exits without touching `done`, so
+    // completion is counted purely in processed items.  workers == 0 means
+    // "all hardware threads": the caller's lane substitutes for one pool
+    // worker rather than oversubscribing by one.
+    std::size_t cap =
+        std::min(workers == 0 ? pool.worker_count() : workers, count);
+    if (cap <= 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    for (std::size_t h = 0; h + 1 < cap; ++h) pool.submit(helper);
+    batch->run(fn);
+    batch->wait();
+    return;
   }
-  pool.wait_idle();
+
+  // Explicit oversubscription (workers beyond the shared pool): honor the
+  // request with a dedicated pool for this batch.
+  {
+    ThreadPool dedicated(std::min(workers - 1, count));
+    for (std::size_t h = 0; h < dedicated.worker_count(); ++h) {
+      dedicated.submit(helper);
+    }
+    batch->run(fn);
+    batch->wait();
+  }
 }
 
 }  // namespace mgrts::support

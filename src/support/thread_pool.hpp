@@ -1,10 +1,19 @@
-// Fixed-size worker pool for the experiment harness.
+// Fixed-size worker pool for batch solving and the experiment harness.
 //
 // The paper runs each solver single-threaded; parallelism in this repo is
 // *across independent instances* only, so the pool needs nothing fancier
 // than a mutex-protected queue.  Results are written to caller-owned slots
 // indexed by job id, so no synchronization is needed on the result side
 // (each slot has exactly one writer) and runs stay deterministic.
+//
+// Two usage layers:
+//   * ThreadPool — raw submit/wait_idle, for callers that manage their own
+//     job lifecycle;
+//   * parallel_for_index — index fan-out over the process-wide shared pool.
+//     The calling thread participates in the index loop (it does not just
+//     block), so a batch makes progress even when every pool worker is
+//     busy, and repeated batches reuse the same threads instead of paying
+//     pool construction per call.
 #pragma once
 
 #include <condition_variable>
@@ -34,6 +43,11 @@ class ThreadPool {
     return threads_.size();
   }
 
+  /// The process-wide pool (hardware-concurrency workers), constructed on
+  /// first use and reused by every parallel_for_index call so batch
+  /// pipelines do not pay thread spawn/join per batch.
+  [[nodiscard]] static ThreadPool& shared();
+
  private:
   void worker_loop();
 
@@ -46,9 +60,13 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
-/// Runs fn(i) for i in [0, count) on a private pool and waits; the overload
-/// with `workers == 1` degrades to a plain sequential loop so tests can force
-/// deterministic single-threaded execution.
+/// Runs fn(i) for i in [0, count) and waits for completion.  `workers` caps
+/// the concurrency: 1 degrades to a plain sequential loop (deterministic
+/// single-threaded execution for tests), 0 means "all hardware threads".
+/// Indices are pulled from a shared atomic cursor by up to `workers - 1`
+/// helpers on the shared pool plus the calling thread itself; every slot is
+/// processed exactly once regardless of scheduling, so writes to
+/// caller-owned, index-addressed result slots stay deterministic.
 void parallel_for_index(std::size_t count, std::size_t workers,
                         const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,61 @@
+// core::solve_batch: deterministic result ordering over the shared pool,
+// exception propagation, and agreement with sequential solve_instance.
+#include "core/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace mgrts::core {
+namespace {
+
+std::vector<BatchJob> mixed_jobs() {
+  std::vector<BatchJob> jobs;
+  SolveConfig csp2;
+  csp2.method = Method::kCsp2Dedicated;
+  SolveConfig flow;
+  flow.method = Method::kFlowOracle;
+  jobs.push_back(BatchJob{testing::example1(), testing::example1_platform(),
+                          csp2});
+  jobs.push_back(BatchJob{testing::overloaded1(), rt::Platform::identical(1),
+                          csp2});
+  jobs.push_back(BatchJob{testing::light3(), rt::Platform::identical(2),
+                          flow});
+  jobs.push_back(BatchJob{testing::dhall2(), rt::Platform::identical(2),
+                          csp2});
+  return jobs;
+}
+
+TEST(SolveBatch, MatchesSequentialAndKeepsOrder) {
+  const std::vector<BatchJob> jobs = mixed_jobs();
+  const std::vector<SolveReport> parallel = solve_batch(jobs, /*workers=*/4);
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const SolveReport reference =
+        solve_instance(jobs[k].tasks, jobs[k].platform, jobs[k].config);
+    EXPECT_EQ(parallel[k].verdict, reference.verdict) << "job " << k;
+    EXPECT_EQ(parallel[k].complete, reference.complete) << "job " << k;
+  }
+  EXPECT_EQ(parallel[0].verdict, Verdict::kFeasible);
+  EXPECT_EQ(parallel[1].verdict, Verdict::kInfeasible);
+  EXPECT_EQ(parallel[2].verdict, Verdict::kFeasible);
+  EXPECT_EQ(parallel[3].verdict, Verdict::kFeasible);
+}
+
+TEST(SolveBatch, EmptyBatch) {
+  EXPECT_TRUE(solve_batch({}).empty());
+}
+
+TEST(SolveBatch, RethrowsJobExceptions) {
+  std::vector<BatchJob> jobs = mixed_jobs();
+  SolveConfig bad;
+  bad.method = Method::kFlowOracle;  // flow oracle rejects heterogeneous
+  rt::Platform hetero = rt::Platform::uniform({3, 1});
+  jobs.push_back(BatchJob{testing::light3(), hetero, bad});
+  EXPECT_THROW(static_cast<void>(solve_batch(jobs, /*workers=*/2)),
+               ValidationError);
+}
+
+}  // namespace
+}  // namespace mgrts::core
