@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "csp/propagators.hpp"
@@ -239,6 +240,145 @@ csp::SolveStats counter_grid_run(csp::PropagationMode mode) {
   return solver.solve(options).stats;
 }
 
+// ------------------------------------------------ selection-bound workload
+//
+// Many variables, cheap constraints: pigeonhole blocks (9 variables, 8
+// values, all-different) give a search that is all dead ends and whose
+// per-node cost is dominated by dom/wdeg variable selection over the
+// ~4600-variable unfixed set — propagation is O(new fixes) forward
+// checking.  Deterministic tie-breaking keeps kScan and kHeap on the
+// identical tree (the SelectionHeap differential test pins this), so
+// nodes_per_sec compares the selection data structures directly.
+
+csp::SolveStats selection_run(csp::SelectionMode mode) {
+  constexpr int kBlocks = 512;
+  constexpr int kPigeons = 9;
+  csp::Solver solver;
+  for (int b = 0; b < kBlocks; ++b) {
+    std::vector<csp::VarId> block;
+    block.reserve(kPigeons);
+    for (int k = 0; k < kPigeons; ++k) {
+      block.push_back(solver.add_variable(0, kPigeons - 2));
+    }
+    solver.add(csp::make_all_different_except(std::move(block), /*except=*/-1));
+  }
+  csp::SearchOptions options;
+  options.var_heuristic = csp::VarHeuristic::kDomWdeg;
+  options.val_heuristic = csp::ValHeuristic::kMin;
+  options.selection = mode;
+  options.max_nodes = 30'000;
+  return solver.solve(options).stats;
+}
+
+void report_selection(bench::BenchJson& json, const char* label,
+                      csp::SelectionMode mode) {
+  const csp::SolveStats stats = selection_run(mode);
+  json.record(label)
+      .metric("wall_seconds", stats.seconds)
+      .metric("nodes", static_cast<double>(stats.nodes))
+      .metric("failures", static_cast<double>(stats.failures))
+      .metric("nodes_per_sec",
+              static_cast<double>(stats.nodes) / stats.seconds);
+  std::printf("%-32s %10.3fs  %10.0f nodes/s\n", label, stats.seconds,
+              static_cast<double>(stats.nodes) / stats.seconds);
+}
+
+// ------------------------------------------------------- portfolio racing
+//
+// Table-IV-style batch (n = 8, m = m_min, Tmax = 15) under a tight per-run
+// budget with paper-faithful lanes.  Two baselines, both recorded:
+//
+//   * the full four-order line-up — what reproducing the paper's tables
+//     actually runs, since the winning order is not known a priori.  The
+//     race replaces it verdict-for-verdict at a fraction of the wall time
+//     (a decided instance stops at the first lane, an overrun costs one
+//     budget instead of four);
+//   * the post-hoc best single fixed order (an oracle baseline).  Beating
+//     it needs anticorrelated lanes — instances the best order overruns
+//     but another lane decides within budget/lanes.  On this generator
+//     family (D-C) dominates per instance (the paper's own finding), and
+//     on a single hardware thread the racing lanes time-share the core, so
+//     the race pays ~lanes x the winner's solo time per decided instance;
+//     the summary records the honest ratio, machine-dependent as it is.
+//     On >= lanes cores the tax vanishes and the race approaches
+//     min-over-lanes per instance.
+//
+// Wall totals are per-batch sums of per-instance run times; batch runs are
+// sequential (workers = 1), each race oversubscribing one thread per lane.
+
+void report_portfolio(bench::BenchJson& json) {
+  exp::BatchOptions options;
+  options.generator.tasks = 8;
+  options.generator.rule = gen::ProcessorRule::kMinCapacity;
+  options.generator.t_max = 15;
+  options.instances = 12;
+  options.seed = 20090911;
+  options.workers = 1;
+  const std::int64_t limit_ms = 250;
+
+  std::vector<exp::SolverSpec> specs;
+  for (const csp2::ValueOrder order : csp2::informed_value_orders()) {
+    specs.push_back(exp::csp2_spec(order, limit_ms));
+  }
+  specs.push_back(exp::portfolio_spec(limit_ms));
+
+  const exp::BatchResult batch = exp::run_batch(options, specs);
+  double best_fixed = 0.0;
+  double lineup_total = 0.0;
+  double portfolio_total = 0.0;
+  std::int64_t portfolio_decided = 0;
+  std::int64_t union_decided = 0;
+  for (const auto& inst : batch.instances) {
+    bool any = false;
+    for (std::size_t s = 0; s + 1 < inst.runs.size(); ++s) {
+      any = any || !inst.runs[s].overrun();
+    }
+    union_decided += any ? 1 : 0;
+  }
+  for (std::size_t s = 0; s < batch.labels.size(); ++s) {
+    double total = 0.0;
+    std::int64_t decided = 0;
+    std::int64_t solved = 0;
+    for (const auto& inst : batch.instances) {
+      const exp::RunRecord& run = inst.runs[s];
+      total += run.seconds;
+      decided += run.overrun() ? 0 : 1;
+      solved += run.found_schedule() ? 1 : 0;
+    }
+    const bool is_portfolio = s + 1 == batch.labels.size();
+    if (is_portfolio) {
+      portfolio_total = total;
+      portfolio_decided = decided;
+    } else {
+      lineup_total += total;
+      if (best_fixed == 0.0 || total < best_fixed) best_fixed = total;
+    }
+    json.record("portfolio_t4_" + batch.labels[s])
+        .metric("wall_seconds_total", total)
+        .metric("decided", static_cast<double>(decided))
+        .metric("solved", static_cast<double>(solved));
+    std::printf("%-32s %10.3fs total  %2lld decided  %2lld solved\n",
+                batch.labels[s].c_str(), total,
+                static_cast<long long>(decided),
+                static_cast<long long>(solved));
+  }
+  json.record("portfolio_t4_summary")
+      .metric("lineup_wall_seconds", lineup_total)
+      .metric("best_fixed_wall_seconds", best_fixed)
+      .metric("portfolio_wall_seconds", portfolio_total)
+      .metric("portfolio_decided", static_cast<double>(portfolio_decided))
+      .metric("lineup_union_decided", static_cast<double>(union_decided))
+      .metric("speedup_vs_lineup", lineup_total / portfolio_total)
+      .metric("speedup_vs_best_fixed", best_fixed / portfolio_total)
+      .metric("hardware_threads",
+              static_cast<double>(std::thread::hardware_concurrency()));
+  std::printf(
+      "%-32s lineup %.3fs / best fixed %.3fs vs portfolio %.3fs "
+      "(%.2fx vs lineup, %.2fx vs best fixed)\n",
+      "portfolio_t4_summary", lineup_total, best_fixed, portfolio_total,
+      lineup_total / portfolio_total, best_fixed / portfolio_total);
+}
+
 /// Sums the counter-rule workload over a fixed instance block and records
 /// throughput under `label` into the json report.
 void report_counter_rules(bench::BenchJson& json, const char* label,
@@ -316,6 +456,14 @@ int main(int argc, char** argv) {
                 static_cast<double>(canonical.propagations) / stats.seconds,
                 static_cast<double>(stats.nodes) / stats.seconds);
   }
+
+  std::printf("\n== selection-bound workload (scan vs heap) ==\n");
+  report_selection(json, "selection_scan", csp::SelectionMode::kScan);
+  report_selection(json, "selection_heap", csp::SelectionMode::kHeap);
+
+  std::printf("\n== portfolio racing vs fixed value orders ==\n");
+  report_portfolio(json);
+
   json.write();
   return 0;
 }

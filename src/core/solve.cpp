@@ -1,8 +1,10 @@
 #include "core/solve.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
+#include "csp/nogoods.hpp"
 #include "encodings/csp1.hpp"
 #include "flow/oracle.hpp"
 #include "rt/validate.hpp"
@@ -20,6 +22,7 @@ const char* to_string(Method method) {
     case Method::kCsp2Dedicated: return "CSP2(dedicated)";
     case Method::kFlowOracle: return "flow-oracle";
     case Method::kEdfSimulation: return "EDF-sim";
+    case Method::kPortfolio: return "CSP2-portfolio";
   }
   return "?";
 }
@@ -83,9 +86,10 @@ SolveReport solve_instance(const rt::TaskSet& input,
   const rt::TaskSet ts = cloned ? input.to_constrained() : input;
   if (cloned) report.solved_tasks = ts;
 
-  const auto deadline = config.time_limit_ms < 0
-                            ? support::Deadline()
-                            : support::Deadline::after_ms(config.time_limit_ms);
+  auto deadline = config.time_limit_ms < 0
+                      ? support::Deadline()
+                      : support::Deadline::after_ms(config.time_limit_ms);
+  deadline.set_cancel(config.cancel);
 
   try {
     switch (config.method) {
@@ -139,6 +143,19 @@ SolveReport solve_instance(const rt::TaskSet& input,
         report.schedule = std::move(oracle.schedule);
         break;
       }
+      case Method::kPortfolio: {
+        // ts is already constrained, so the lanes' own clone expansion is a
+        // no-op; the lane methods are concrete, so no recursion.
+        const PortfolioReport race = solve_portfolio(ts, platform, config);
+        report = race.report;
+        report.detail =
+            race.winner >= 0
+                ? std::string("portfolio winner: ") +
+                      race.lanes[static_cast<std::size_t>(race.winner)].label
+                : std::string("portfolio: no lane decided");
+        if (cloned) report.solved_tasks = ts;
+        break;
+      }
       case Method::kEdfSimulation: {
         sim::SimOptions options;
         options.policy = sim::Policy::kEdf;
@@ -185,6 +202,113 @@ SolveReport solve_instance(const rt::TaskSet& input,
 
   report.seconds = watch.seconds();
   return report;
+}
+
+PortfolioReport solve_portfolio(const rt::TaskSet& ts,
+                                const rt::Platform& platform,
+                                const SolveConfig& config) {
+  support::Stopwatch watch;
+
+  struct Lane {
+    std::string label;
+    SolveConfig config;
+  };
+  std::vector<Lane> lanes;
+
+  // The four dedicated value-order lanes, configured like exp::csp2_spec.
+  for (const csp2::ValueOrder order : csp2::informed_value_orders()) {
+    Lane lane;
+    lane.label = csp2::to_string(order);
+    lane.config = config;
+    lane.config.method = Method::kCsp2Dedicated;
+    lane.config.csp2.value_order = order;
+    if (config.portfolio.paper_faithful) {
+      lane.config.csp2.slack_prune = false;
+      lane.config.csp2.tight_demand_prune = false;
+    }
+    lanes.push_back(std::move(lane));
+  }
+
+  // Randomized generic lanes: Choco-like strategy with Luby restarts and
+  // nogood recording; all lanes share one pool read-only (each lane only
+  // imports what the others published).  The pool outlives the race — the
+  // parallel_for_index below joins every lane before this frame returns.
+  csp::NogoodPool pool;
+  const bool share =
+      config.portfolio.share_nogoods && config.portfolio.random_lanes > 0;
+  for (std::int32_t r = 0; r < config.portfolio.random_lanes; ++r) {
+    Lane lane;
+    lane.label = "CSP2(generic)+rand" + std::to_string(r);
+    lane.config = config;
+    lane.config.method = Method::kCsp2Generic;
+    lane.config.generic = choco_like_defaults(
+        config.generic.seed ^
+        (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r + 1)));
+    lane.config.generic.nogoods = true;
+    if (share) {
+      lane.config.generic.nogood_pool = &pool;
+      lane.config.generic.nogood_lane = r;
+    }
+    lane.config.limits.max_variables =
+        std::min(config.limits.max_variables,
+                 config.portfolio.random_lane_max_variables);
+    lanes.push_back(std::move(lane));
+  }
+
+  // Linked to the caller's token (when engaged) so an external cancel of
+  // the portfolio run still aborts every lane; the winner's cancel only
+  // fires the race-local flag.
+  const support::CancelToken token =
+      config.cancel.engaged() ? support::CancelToken::linked(config.cancel)
+                              : support::CancelToken::make();
+  for (Lane& lane : lanes) lane.config.cancel = token;
+
+  PortfolioReport out;
+  std::vector<SolveReport> reports(lanes.size());
+  std::vector<std::exception_ptr> errors(lanes.size());
+  // One thread per lane by default: the race mechanism is overlapping
+  // wall-clock deadlines, which deliberate oversubscription preserves even
+  // on a single hardware thread (parallel_for_index honors workers beyond
+  // the shared pool with a dedicated pool).
+  const std::size_t workers = config.portfolio.workers == 0
+                                  ? lanes.size()
+                                  : config.portfolio.workers;
+  support::parallel_for_index(lanes.size(), workers, [&](std::size_t k) {
+    try {
+      reports[k] = solve_instance(ts, platform, lanes[k].config);
+      const Verdict v = reports[k].verdict;
+      if (v == Verdict::kFeasible ||
+          (v == Verdict::kInfeasible && reports[k].complete)) {
+        token.cancel();  // decisive: the race is over, stop the losers
+      }
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  out.lanes.reserve(lanes.size());
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    out.lanes.push_back(LaneOutcome{lanes[k].label, reports[k].verdict,
+                                    reports[k].seconds, reports[k].nodes});
+    const Verdict v = reports[k].verdict;
+    const bool decisive =
+        v == Verdict::kFeasible ||
+        (v == Verdict::kInfeasible && reports[k].complete);
+    if (!decisive) continue;
+    if (out.winner < 0 ||
+        reports[k].seconds <
+            reports[static_cast<std::size_t>(out.winner)].seconds) {
+      out.winner = static_cast<std::int32_t>(k);
+    }
+  }
+  out.report = out.winner >= 0
+                   ? reports[static_cast<std::size_t>(out.winner)]
+                   : reports.front();
+  out.seconds = watch.seconds();
+  return out;
 }
 
 std::vector<SolveReport> solve_batch(const std::vector<BatchJob>& jobs,

@@ -38,6 +38,7 @@ enum class Method {
   kCsp2Dedicated,
   kFlowOracle,
   kEdfSimulation,
+  kPortfolio,  ///< race the §V-C2 value orders + randomized lanes (below)
 };
 
 [[nodiscard]] const char* to_string(Method method);
@@ -51,6 +52,27 @@ enum class Verdict {
 };
 
 [[nodiscard]] const char* to_string(Verdict verdict);
+
+/// Lane line-up knobs for Method::kPortfolio / solve_portfolio.
+struct PortfolioConfig {
+  /// Randomized generic-engine lanes (CSP2-generic encoding, Choco-like
+  /// strategy, Luby restarts, nogood recording) raced alongside the four
+  /// dedicated value-order lanes.  0 disables them — right for workloads
+  /// whose m*T variable counts price the generic encoding out (Table IV).
+  std::int32_t random_lanes = 1;
+  /// Randomized lanes publish/import nogoods through one shared pool.
+  bool share_nogoods = true;
+  /// Configure the dedicated lanes exactly as §V-C describes them (no
+  /// slack/demand pruning extensions), like exp::csp2_spec.
+  bool paper_faithful = true;
+  /// Variable budget for the randomized generic lanes; keeps a lane from
+  /// burning the whole race budget building a model it cannot search.
+  std::int64_t random_lane_max_variables = 250'000;
+  /// Thread fan-out for the race; 0 = one thread per lane (deliberate
+  /// oversubscription: lanes share wall-clock deadlines, so racing works
+  /// even on a single hardware thread).
+  std::size_t workers = 0;
+};
 
 struct SolveConfig {
   Method method = Method::kCsp2Dedicated;
@@ -69,6 +91,12 @@ struct SolveConfig {
   enc::Csp2GenericOptions csp2_generic;
   /// Variable budget for generic models (Choco-OOM stand-in).
   csp::SolverLimits limits;
+  /// Lane knobs for Method::kPortfolio (seeds derive from generic.seed).
+  PortfolioConfig portfolio;
+
+  /// Cooperative cancellation: when engaged, the run aborts (reporting
+  /// kTimeout) at its next deadline poll after the token is cancelled.
+  support::CancelToken cancel;
 
   /// Re-check feasible witnesses with the independent validator.
   bool validate_witness = true;
@@ -107,6 +135,38 @@ struct SolveReport {
 [[nodiscard]] SolveReport solve_instance(const rt::TaskSet& ts,
                                          const rt::Platform& platform,
                                          const SolveConfig& config = {});
+
+/// Per-lane outcome of a portfolio race (losers report kTimeout once the
+/// winner cancels them — indistinguishable from a genuine budget expiry,
+/// which is exactly the cooperative-cancellation contract).
+struct LaneOutcome {
+  std::string label;
+  Verdict verdict = Verdict::kTimeout;
+  double seconds = 0.0;
+  std::int64_t nodes = 0;
+};
+
+struct PortfolioReport {
+  /// The winning lane's full report; when no lane decides, lane 0's report
+  /// (a timeout) so callers can treat this like any SolveReport.
+  SolveReport report;
+  std::int32_t winner = -1;  ///< index into lanes; -1 = nobody decided
+  std::vector<LaneOutcome> lanes;
+  double seconds = 0.0;  ///< race wall time (not the sum over lanes)
+};
+
+/// Races the four informed CSP2 value orders (dedicated solver) plus
+/// `config.portfolio.random_lanes` randomized generic lanes — Choco-like
+/// strategy with Luby restarts and nogood recording, sharing one nogood
+/// pool read-only — over the solve_batch thread pool.  The first lane with
+/// a decisive verdict (feasible, or a complete infeasibility proof) cancels
+/// the rest through the shared token; the winner's stats are reported.
+/// Uses config.time_limit_ms / max_nodes / csp2 / generic / portfolio;
+/// config.method is ignored.  Also reachable as Method::kPortfolio through
+/// solve_instance, which makes portfolios batchable by the harness.
+[[nodiscard]] PortfolioReport solve_portfolio(const rt::TaskSet& ts,
+                                              const rt::Platform& platform,
+                                              const SolveConfig& config = {});
 
 /// One unit of batch work: an instance plus the configuration to solve it
 /// with (so a batch can mix methods, budgets, and seeds).

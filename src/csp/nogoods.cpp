@@ -1,0 +1,297 @@
+#include "csp/nogoods.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace mgrts::csp {
+
+// ----------------------------------------------------------------- pool
+
+void NogoodPool::publish(std::int32_t lane, const NogoodLit* lits,
+                         std::int32_t len) {
+  MGRTS_EXPECTS(len > 0);
+  std::lock_guard lock(mutex_);
+  entries_.push_back(
+      Entry{lane, std::vector<NogoodLit>(lits, lits + len)});
+}
+
+std::size_t NogoodPool::import_since(
+    std::size_t cursor, std::int32_t lane,
+    std::vector<std::vector<NogoodLit>>& out) const {
+  std::lock_guard lock(mutex_);
+  for (std::size_t k = cursor; k < entries_.size(); ++k) {
+    if (entries_[k].lane != lane) out.push_back(entries_[k].lits);
+  }
+  return entries_.size();
+}
+
+std::size_t NogoodPool::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+// ---------------------------------------------------------------- store
+
+NogoodStore::NogoodStore(std::int64_t vars, std::int32_t max_length,
+                         std::int32_t db_limit)
+    : max_length_(max_length), db_limit_(db_limit) {
+  MGRTS_EXPECTS(vars > 0);
+  MGRTS_EXPECTS(max_length_ >= 1);
+  MGRTS_EXPECTS(db_limit_ >= 1);
+  scope_.resize(static_cast<std::size_t>(vars));
+  std::iota(scope_.begin(), scope_.end(), VarId{0});
+  watch_.resize(static_cast<std::size_t>(vars));
+}
+
+const std::vector<VarId>& NogoodStore::failure_scope() const {
+  // Charging the full scope would bump every variable's wdeg on each nogood
+  // conflict and drown the heuristic; charge the violated clause instead.
+  return conflict_vars_.empty() ? scope_ : conflict_vars_;
+}
+
+void NogoodStore::add_clause(const NogoodLit* lits, std::int32_t len,
+                             bool imported) {
+  MGRTS_EXPECTS(len >= 2);
+  const auto offset = static_cast<std::int32_t>(lits_.size());
+  lits_.insert(lits_.end(), lits, lits + len);
+  const auto id = static_cast<std::int32_t>(clauses_.size());
+  clauses_.push_back(Clause{offset, len, imported});
+  watch_[static_cast<std::size_t>(lits[0].var)].push_back(id);
+  watch_[static_cast<std::size_t>(lits[1].var)].push_back(id);
+}
+
+void NogoodStore::record(const std::vector<NogoodLit>& decisions,
+                         SolveStats& stats) {
+  const auto len = static_cast<std::int32_t>(decisions.size());
+  if (len == 0 || len > max_length_) return;
+  if (len == 1) {
+    root_units_.push_back(decisions.front());
+    ++stats.nogoods_recorded;
+    return;
+  }
+  // Pause recording when the database has outgrown twice its soft limit;
+  // the next restart prunes it back down.
+  if (clause_count() >= 2 * static_cast<std::int64_t>(db_limit_)) return;
+
+  // Watch order: the failed assignment (free right now — the caller just
+  // backtracked it) and the deepest still-standing decision (the first to
+  // be un-falsified by further backtracking).  Both watches are therefore
+  // as close to non-falsified as a mid-search insertion allows; any
+  // re-falsification arrives as a fix event on a watched variable.
+  std::vector<NogoodLit> ordered;
+  ordered.reserve(decisions.size());
+  ordered.push_back(decisions[static_cast<std::size_t>(len - 1)]);
+  ordered.push_back(decisions[static_cast<std::size_t>(len - 2)]);
+  for (std::int32_t k = 0; k < len - 2; ++k) {
+    ordered.push_back(decisions[static_cast<std::size_t>(k)]);
+  }
+  add_clause(ordered.data(), len, /*imported=*/false);
+  ++stats.nogoods_recorded;
+}
+
+bool NogoodStore::on_event(Solver& solver, std::int32_t pos,
+                           std::uint64_t old_mask) {
+  static_cast<void>(old_mask);
+  // Fixed-only subscription: scope is the identity map, so pos is the
+  // variable id.  Queue every clause one of whose *current* watches just
+  // became falsified; entries are stale-tolerant (watch lists may carry
+  // moved-away watches, and the fix may be unwound before the run).
+  const VarId var = scope_[static_cast<std::size_t>(pos)];
+  const Value fixed = solver.domain(var).value();
+  bool woke = false;
+  for (const std::int32_t id : watch_[static_cast<std::size_t>(var)]) {
+    const Clause& c = clauses_[static_cast<std::size_t>(id)];
+    for (int w = 0; w < 2; ++w) {
+      const NogoodLit& lit =
+          lits_[static_cast<std::size_t>(c.offset + w)];
+      if (lit.var == var && lit.val == fixed) {
+        pending_.push_back(id);
+        woke = true;
+        break;
+      }
+    }
+  }
+  return woke;
+}
+
+PropResult NogoodStore::examine(Solver& solver, std::int32_t clause_id) {
+  Clause& c = clauses_[static_cast<std::size_t>(clause_id)];
+  NogoodLit* lits = &lits_[static_cast<std::size_t>(c.offset)];
+  for (int w = 0; w < 2; ++w) {
+    if (!falsified(solver, lits[w])) continue;
+    const int o = 1 - w;
+    if (satisfied(solver, lits[o])) continue;  // clause already true
+    // Find a replacement watch among the tail literals.
+    bool moved = false;
+    for (std::int32_t k = 2; k < c.len; ++k) {
+      if (falsified(solver, lits[k])) continue;
+      std::swap(lits[w], lits[k]);
+      watch_[static_cast<std::size_t>(lits[w].var)].push_back(clause_id);
+      // The old entry under the falsified variable goes stale; on_event
+      // re-verifies watch membership, so no erase is needed here.
+      moved = true;
+      break;
+    }
+    if (moved) continue;
+    // No replacement: the other watch is unit or the clause is violated.
+    // Either failure (violated clause, or a unit removal that empties the
+    // domain) is attributed to this clause's variables for dom/wdeg.
+    conflict_vars_.clear();
+    for (std::int32_t k = 0; k < c.len; ++k) {
+      conflict_vars_.push_back(lits[k].var);
+    }
+    if (falsified(solver, lits[o])) {
+      if (stats_ != nullptr) ++stats_->nogood_conflicts;
+      return PropResult::kFail;
+    }
+    if (stats_ != nullptr) ++stats_->nogood_props;
+    const PropResult unit = solver.remove(lits[o].var, lits[o].val);
+    if (unit == PropResult::kFail && stats_ != nullptr) {
+      ++stats_->nogood_conflicts;
+    }
+    return unit;
+  }
+  return PropResult::kOk;
+}
+
+bool NogoodStore::apply_root_unit(Solver& solver, const NogoodLit& unit,
+                                  SolveStats& stats) {
+  const Domain64& d = solver.domain(unit.var);
+  if (!d.contains(unit.val)) return true;  // already gone for good
+  if (d.is_fixed()) return false;  // root requires the refuted value
+  ++stats.nogood_props;
+  return solver.remove(unit.var, unit.val) != PropResult::kFail;
+}
+
+PropResult NogoodStore::propagate(Solver& solver) {
+  // examine() can append to pending_ indirectly (its removes fix variables,
+  // which wake this store again synchronously), so index, don't iterate.
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    if (examine(solver, pending_[k]) == PropResult::kFail) {
+      pending_.clear();
+      return PropResult::kFail;
+    }
+  }
+  pending_.clear();
+  conflict_vars_.clear();
+  return PropResult::kOk;
+}
+
+bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
+                                      std::int32_t lane, SolveStats& stats) {
+  pending_.clear();
+  conflict_vars_.clear();
+
+  if (pool != nullptr) {
+    // Publish everything recorded since the previous restart, then adopt
+    // the other lanes' entries.  Length filtering applies on import too.
+    for (std::size_t k = export_cursor_; k < clauses_.size(); ++k) {
+      const Clause& c = clauses_[k];
+      if (c.imported) continue;
+      pool->publish(lane, &lits_[static_cast<std::size_t>(c.offset)], c.len);
+    }
+    std::vector<std::vector<NogoodLit>> fresh;
+    pool_cursor_ = pool->import_since(pool_cursor_, lane, fresh);
+    for (const auto& lits : fresh) {
+      const auto len = static_cast<std::int32_t>(lits.size());
+      if (len > max_length_) continue;
+      if (len == 1) {
+        root_units_.push_back(lits.front());
+      } else {
+        add_clause(lits.data(), len, /*imported=*/true);
+      }
+      ++stats.nogoods_imported;
+    }
+  }
+
+  // Root units strengthen the root permanently (the caller re-propagates
+  // and advances its root mark afterwards).  Removals fire events against
+  // the still-consistent pre-compaction structures; the pending entries
+  // they generate are discarded below, which is safe because compaction
+  // re-examines every literal against the root state anyway.
+  for (const NogoodLit& unit : root_units_) {
+    if (!apply_root_unit(solver, unit, stats)) return false;
+  }
+  root_units_.clear();
+  pending_.clear();
+
+  // Prune: decision nogoods have length == LBD, so keep every short clause
+  // and fill the remaining budget newest-first.
+  constexpr std::int32_t kCoreLen = 4;
+  std::vector<Clause> kept;
+  if (clause_count() > static_cast<std::int64_t>(db_limit_)) {
+    std::int64_t shorts = 0;
+    for (const Clause& c : clauses_) shorts += c.len <= kCoreLen ? 1 : 0;
+    std::int64_t long_budget =
+        std::max<std::int64_t>(0, db_limit_ - shorts);
+    kept.reserve(static_cast<std::size_t>(
+        std::min<std::int64_t>(db_limit_, clause_count())));
+    for (auto it = clauses_.rbegin(); it != clauses_.rend(); ++it) {
+      if (it->len <= kCoreLen) {
+        kept.push_back(*it);
+      } else if (long_budget > 0) {
+        kept.push_back(*it);
+        --long_budget;
+      }
+    }
+    std::reverse(kept.begin(), kept.end());  // keep recency order stable
+  } else {
+    kept = clauses_;
+  }
+
+  // Compact the arena, dropping clauses satisfied at the (possibly just
+  // strengthened) root, folding root-unit clauses into the root, and
+  // reporting root-violated clauses as UNSAT.  The trail is at the root,
+  // so "satisfied/falsified now" means "satisfied/falsified forever".
+  // Unit folds are only collected here — applying them fires fix events
+  // that would re-enter on_event against half-rebuilt structures — and the
+  // removals run after the new structures are installed.
+  std::vector<NogoodLit> new_lits;
+  std::vector<Clause> new_clauses;
+  std::vector<NogoodLit> unit_folds;
+  new_lits.reserve(lits_.size());
+  new_clauses.reserve(kept.size());
+  for (auto& list : watch_) list.clear();
+  bool unsat = false;
+  for (const Clause& c : kept) {
+    const NogoodLit* lits = &lits_[static_cast<std::size_t>(c.offset)];
+    bool sat = false;
+    std::vector<NogoodLit> live;
+    live.reserve(static_cast<std::size_t>(c.len));
+    for (std::int32_t k = 0; k < c.len && !sat; ++k) {
+      if (satisfied(solver, lits[k])) {
+        sat = true;
+      } else if (!falsified(solver, lits[k])) {
+        live.push_back(lits[k]);
+      }
+    }
+    if (sat) continue;
+    if (live.empty()) {
+      unsat = true;
+      break;
+    }
+    if (live.size() == 1) {
+      unit_folds.push_back(live.front());
+      continue;
+    }
+    const auto offset = static_cast<std::int32_t>(new_lits.size());
+    new_lits.insert(new_lits.end(), live.begin(), live.end());
+    const auto id = static_cast<std::int32_t>(new_clauses.size());
+    new_clauses.push_back(Clause{
+        offset, static_cast<std::int32_t>(live.size()), c.imported});
+    watch_[static_cast<std::size_t>(live[0].var)].push_back(id);
+    watch_[static_cast<std::size_t>(live[1].var)].push_back(id);
+  }
+  lits_ = std::move(new_lits);
+  clauses_ = std::move(new_clauses);
+  export_cursor_ = clauses_.size();
+  if (unsat) return false;
+  for (const NogoodLit& unit : unit_folds) {
+    if (!apply_root_unit(solver, unit, stats)) return false;
+  }
+  return true;
+}
+
+}  // namespace mgrts::csp

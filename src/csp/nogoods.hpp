@@ -1,0 +1,158 @@
+// Nogood recording across restarts (DESIGN.md §6).
+//
+// At every conflict the solver extracts the *decision-set nogood*: the
+// sequence of decisions d_1 .. d_k (each "var = val") whose conjunction was
+// refuted by propagation.  Its negation is a clause of disequality literals
+// (var != val), at least one of which must hold in every solution, and —
+// unlike the trail itself — it stays valid after a restart, which is what
+// lets Luby-restarted search stop re-exploring refuted prefixes.
+//
+// The database is replayed as 2-watched-literal constraints: the store is a
+// single propagator whose scope is every variable, so it plugs into the
+// existing CSR fixed-event watch lists (one entry per variable) while
+// clause-level watches live in its own per-variable lists.  A literal
+// (var != val) is *falsified* exactly when var becomes fixed to val, so
+// kFixedOnly waking sees every falsification; watches repair lazily and
+// need no trailing because chronological backtracking only un-falsifies.
+//
+// Database hygiene happens at restarts (the only point where the trail is
+// at the root): satisfied-at-root clauses are dropped, clauses that became
+// unit at the root strengthen the root permanently, and when the database
+// exceeds its soft limit the longest/oldest entries are pruned (for
+// decision nogoods every literal sits at its own level, so length == LBD
+// and length-based pruning is the LBD policy).  A NogoodPool lets portfolio
+// lanes solving the same model share databases: lanes publish their fresh
+// recordings at each restart and import the other lanes' entries read-only.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "csp/solver.hpp"
+
+namespace mgrts::csp {
+
+/// One clause literal, read as "var != val".  (Equivalently: the recorded
+/// decision "var = val" that must not be repeated in full.)
+struct NogoodLit {
+  VarId var;
+  Value val;
+};
+
+/// Thread-safe exchange of nogoods between lanes solving the same model.
+/// Entries are append-only; each lane keeps its own import cursor and skips
+/// entries it published itself.
+class NogoodPool {
+ public:
+  void publish(std::int32_t lane, const NogoodLit* lits, std::int32_t len);
+
+  /// Copies entries in [cursor, end) published by other lanes into `out`
+  /// (appending) and returns the new cursor.
+  std::size_t import_since(std::size_t cursor, std::int32_t lane,
+                           std::vector<std::vector<NogoodLit>>& out) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::int32_t lane;
+    std::vector<NogoodLit> lits;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// The in-solver nogood database.  Created by Solver::solve when
+/// SearchOptions::nogoods (or a pool) is set; owned by the solver like any
+/// propagator.
+class NogoodStore final : public Propagator {
+ public:
+  /// `vars` is the total variable count; the store watches every variable.
+  NogoodStore(std::int64_t vars, std::int32_t max_length,
+              std::int32_t db_limit);
+
+  // ---- Propagator interface ------------------------------------------
+  PropResult propagate(Solver& solver) override;
+  [[nodiscard]] const std::vector<VarId>& scope() const override {
+    return scope_;
+  }
+  [[nodiscard]] const std::vector<VarId>& failure_scope() const override;
+  [[nodiscard]] const char* name() const override { return "nogood-store"; }
+  [[nodiscard]] WakePolicy wake_policy() const override {
+    return WakePolicy::kFixedOnly;
+  }
+  [[nodiscard]] PropPriority priority() const override {
+    return PropPriority::kFast;
+  }
+  bool on_event(Solver& solver, std::int32_t pos,
+                std::uint64_t old_mask) override;
+
+  // ---- solver hooks ---------------------------------------------------
+
+  /// Records one decision-set nogood.  `decisions` lists the refuted
+  /// decisions shallowest-first, the failed assignment last; the caller
+  /// invokes this right after backtracking the failed assignment, so the
+  /// last literal is free and every other literal is still falsified.
+  /// Length-1 nogoods queue a permanent root removal instead of a clause.
+  void record(const std::vector<NogoodLit>& decisions, SolveStats& stats);
+
+  /// Restart-time database maintenance; must run with the trail at the
+  /// root.  Publishes fresh recordings to / imports from `pool` (may be
+  /// null), applies queued root units, drops satisfied clauses, prunes an
+  /// oversized database, and rebuilds every watch list.  Returns false
+  /// when a root unit or root-falsified clause proves UNSAT.
+  [[nodiscard]] bool restart_maintenance(Solver& solver, NogoodPool* pool,
+                                         std::int32_t lane,
+                                         SolveStats& stats);
+
+  [[nodiscard]] std::int64_t clause_count() const noexcept {
+    return static_cast<std::int64_t>(clauses_.size());
+  }
+
+  /// Points the store at the active solve's stats so in-search unit
+  /// removals and clause conflicts are counted (propagate() has no stats
+  /// channel of its own).  The target must outlive the solve.
+  void bind_stats(SolveStats* stats) noexcept { stats_ = stats; }
+
+ private:
+  struct Clause {
+    std::int32_t offset;  ///< span start in lits_
+    std::int32_t len;
+    bool imported;  ///< pool-provided; never re-published
+  };
+
+  [[nodiscard]] static bool falsified(const Solver& solver,
+                                      const NogoodLit& lit) {
+    const Domain64& d = solver.domain(lit.var);
+    return d.is_fixed() && d.value() == lit.val;
+  }
+  [[nodiscard]] static bool satisfied(const Solver& solver,
+                                      const NogoodLit& lit) {
+    return !solver.domain(lit.var).contains(lit.val);
+  }
+
+  void add_clause(const NogoodLit* lits, std::int32_t len, bool imported);
+  PropResult examine(Solver& solver, std::int32_t clause_id);
+  /// Applies one permanent root removal; false when it proves UNSAT.
+  [[nodiscard]] bool apply_root_unit(Solver& solver, const NogoodLit& unit,
+                                     SolveStats& stats);
+
+  std::vector<VarId> scope_;  ///< identity over all variables
+  std::vector<NogoodLit> lits_;
+  std::vector<Clause> clauses_;
+  /// Per-variable clause-watch lists.  Entries are stale-tolerant (a watch
+  /// move appends to the new variable's list without erasing the old
+  /// entry); restart_maintenance rebuilds them compactly.
+  std::vector<std::vector<std::int32_t>> watch_;
+  std::vector<std::int32_t> pending_;  ///< clause ids with a falsified watch
+  std::vector<NogoodLit> root_units_;  ///< length-1 nogoods awaiting a restart
+  std::vector<VarId> conflict_vars_;   ///< last failing clause, for dom/wdeg
+  std::size_t export_cursor_ = 0;      ///< first clause not yet published
+  std::size_t pool_cursor_ = 0;        ///< pool read position
+  SolveStats* stats_ = nullptr;        ///< bound by the active solve
+  std::int32_t max_length_;
+  std::int32_t db_limit_;
+};
+
+}  // namespace mgrts::csp

@@ -9,11 +9,26 @@
 
 namespace mgrts::csp {
 
+class NogoodPool;
+
 /// Variable selection strategies.
 enum class VarHeuristic {
   kLex,        ///< first unfixed variable in declaration order
   kMinDomain,  ///< smallest current domain, ties by declaration order
   kDomWdeg,    ///< dom/wdeg (Boussemart et al.), the "modern default"
+};
+
+/// How the kMinDomain/kDomWdeg winner is located.  kScan is the O(unfixed)
+/// reference loop; kHeap is a lazy binary heap over the unfixed set updated
+/// from the same kFixed/kPruned events the propagators receive (O(log n)
+/// select, O(1) amortized update).  Both modes pick the same variable under
+/// deterministic tie-breaking, so they explore bit-identical trees (the
+/// differential test in csp_engine_test pins this); under random_var_ties
+/// the tie set is identical but the draw stream differs, so trees may
+/// diverge between modes (each stays seed-deterministic).
+enum class SelectionMode {
+  kHeap,  ///< lazy bucket-heap (the fast path)
+  kScan,  ///< full scan of the unfixed set (reference)
 };
 
 /// Value selection strategies.
@@ -47,12 +62,32 @@ struct SearchOptions {
   VarHeuristic var_heuristic = VarHeuristic::kDomWdeg;
   ValHeuristic val_heuristic = ValHeuristic::kMin;
   PropagationMode propagation = PropagationMode::kIncremental;
+  SelectionMode selection = SelectionMode::kHeap;
   RestartPolicy restart = RestartPolicy::kNone;
   std::int64_t restart_scale = 100;  ///< base failure budget between restarts
   bool random_var_ties = false;      ///< break heuristic ties randomly
   std::uint64_t seed = 1;            ///< stream for all randomized choices
   std::int64_t max_nodes = -1;       ///< -1 = unlimited
   support::Deadline deadline;        ///< default: unlimited
+
+  // ---- nogood recording (DESIGN.md §6) --------------------------------
+  /// Record the decision-set nogood at every conflict and replay the
+  /// database as 2-watched-literal constraints.  Nogoods survive restarts,
+  /// so this mainly pays off combined with RestartPolicy::kLuby/kGeometric.
+  /// Ignored under PropagationMode::kLegacy (replay needs advisors).
+  bool nogoods = false;
+  /// Conflicts deeper than this record nothing (long nogoods barely prune;
+  /// for decision nogoods length == LBD, so this is the LBD cut).
+  std::int32_t nogood_max_length = 24;
+  /// Soft database size; exceeded entries are pruned (shortest-first, then
+  /// most recent) at the next restart.  Recording pauses at 2x this size.
+  std::int32_t nogood_db_limit = 10'000;
+  /// Optional cross-lane sharing: lanes publish their recorded nogoods at
+  /// every restart and import the other lanes' entries (read-only) into
+  /// their own database.  The pool must outlive the solve; all lanes must
+  /// solve the same model (identical variable ids).
+  NogoodPool* nogood_pool = nullptr;
+  std::int32_t nogood_lane = 0;  ///< this run's id inside nogood_pool
 };
 
 enum class SolveStatus {
@@ -74,6 +109,10 @@ struct SolveStats {
   std::int64_t events = 0;        ///< domain-change events delivered to watchers
   std::int64_t restarts = 0;
   std::int64_t max_depth = 0;
+  std::int64_t nogoods_recorded = 0;  ///< decision-set nogoods stored
+  std::int64_t nogoods_imported = 0;  ///< nogoods adopted from the pool
+  std::int64_t nogood_props = 0;      ///< unit removals by the nogood store
+  std::int64_t nogood_conflicts = 0;  ///< conflicts detected by the store
   double seconds = 0.0;
 };
 

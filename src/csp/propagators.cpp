@@ -387,81 +387,152 @@ PropResult AllDifferentExcept::propagate(Solver& solver) {
 SymmetryChain::SymmetryChain(std::vector<VarId> vars, Value idle)
     : vars_(std::move(vars)), idle_(idle) {
   MGRTS_EXPECTS(vars_.size() >= 2);
+  pair_dirty_.assign(vars_.size() - 1, 0);
 }
 
-PropResult SymmetryChain::propagate(Solver& solver) {
+void SymmetryChain::mark_pair(std::size_t k) {
+  if (pair_dirty_[k] != 0) return;
+  pair_dirty_[k] = 1;
+  worklist_.push_back(static_cast<std::int32_t>(k));
+}
+
+void SymmetryChain::clear_marks() {
+  for (const std::int32_t k : worklist_) {
+    pair_dirty_[static_cast<std::size_t>(k)] = 0;
+  }
+  worklist_.clear();
+}
+
+bool SymmetryChain::on_event(Solver& solver, std::int32_t pos,
+                             std::uint64_t old_mask) {
+  static_cast<void>(solver);
+  static_cast<void>(old_mask);
+  // Any change on position p can tighten only the pairs (p-1, p) and
+  // (p, p+1).  Always request a run: a mark may predate a queue clear, and
+  // only a run retires it (stale marks prune nothing and cost O(1)).
+  const auto p = static_cast<std::size_t>(pos);
+  if (p > 0) mark_pair(p - 1);
+  if (p + 1 < vars_.size()) mark_pair(p);
+  return true;
+}
+
+PropResult SymmetryChain::process_pair(Solver& solver, std::size_t k,
+                                       bool& changed) {
   // Pairwise rule between neighbours a = vars_[k], b = vars_[k+1]:
   //   key(a) < key(b)  or  a == b == idle,
   // where key(idle) = +infinity.  The relation is monotone in key, so
-  // bounds reasoning achieves arc consistency per pair; sweeping until
-  // stable achieves it along the chain.  Pruning candidates are gathered
-  // into a mask first because Domain64::for_each iterates a snapshot.
+  // bounds reasoning achieves arc consistency per pair; iterating until
+  // stable achieves the pair-local fixpoint.  Pruning candidates are
+  // gathered into a mask first because Domain64::for_each iterates a
+  // snapshot.
   for (;;) {
-    bool changed = false;
-    for (std::size_t k = 0; k + 1 < vars_.size(); ++k) {
-      const VarId a = vars_[k];
-      const VarId b = vars_[k + 1];
+    bool local = false;
+    const VarId a = vars_[k];
+    const VarId b = vars_[k + 1];
 
-      // Smallest key in dom(a): the smallest non-idle value, +inf if a can
-      // only be idle.
-      const Domain64& da = solver.domain(a);
-      std::uint64_t a_non_idle = da.raw_mask();
-      if (da.contains(idle_)) {
-        a_non_idle &= ~(std::uint64_t{1}
-                        << static_cast<unsigned>(idle_ - da.base()));
+    // Smallest key in dom(a): the smallest non-idle value, +inf if a can
+    // only be idle.
+    const Domain64& da = solver.domain(a);
+    std::uint64_t a_non_idle = da.raw_mask();
+    if (da.contains(idle_)) {
+      a_non_idle &= ~(std::uint64_t{1}
+                      << static_cast<unsigned>(idle_ - da.base()));
+    }
+    const std::int64_t a_min_key =
+        a_non_idle == 0 ? kIdleKey
+                        : da.base() + std::countr_zero(a_non_idle);
+
+    // Prune b: non-idle values must have key > a_min_key.
+    {
+      const Domain64& db = solver.domain(b);
+      std::uint64_t kill = 0;
+      db.for_each([&](Value v) {
+        if (v != idle_ && key_of(v, idle_) <= a_min_key) {
+          kill |= std::uint64_t{1} << static_cast<unsigned>(v - db.base());
+        }
+      });
+      const Value base = db.base();
+      while (kill != 0) {
+        const Value v = base + std::countr_zero(kill);
+        kill &= kill - 1;
+        if (solver.remove(b, v) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+        local = true;
       }
-      const std::int64_t a_min_key =
-          a_non_idle == 0 ? kIdleKey
-                          : da.base() + std::countr_zero(a_non_idle);
+    }
 
-      // Prune b: non-idle values must have key > a_min_key.
-      {
-        const Domain64& db = solver.domain(b);
+    // Prune a: if b cannot be idle, a cannot be idle and a's non-idle
+    // values must stay below b's largest (necessarily non-idle) value.
+    {
+      const Domain64& db = solver.domain(b);
+      if (!db.contains(idle_)) {
+        const std::int64_t b_max_key = db.max();
+        const Domain64& da2 = solver.domain(a);
         std::uint64_t kill = 0;
-        db.for_each([&](Value v) {
-          if (v != idle_ && key_of(v, idle_) <= a_min_key) {
-            kill |= std::uint64_t{1} << static_cast<unsigned>(v - db.base());
+        da2.for_each([&](Value v) {
+          if (key_of(v, idle_) >= b_max_key) {
+            kill |= std::uint64_t{1}
+                    << static_cast<unsigned>(v - da2.base());
           }
         });
-        const Value base = db.base();
+        const Value base = da2.base();
         while (kill != 0) {
           const Value v = base + std::countr_zero(kill);
           kill &= kill - 1;
-          if (solver.remove(b, v) == PropResult::kFail) {
+          if (solver.remove(a, v) == PropResult::kFail) {
             return PropResult::kFail;
           }
-          changed = true;
-        }
-      }
-
-      // Prune a: if b cannot be idle, a cannot be idle and a's non-idle
-      // values must stay below b's largest (necessarily non-idle) value.
-      {
-        const Domain64& db = solver.domain(b);
-        if (!db.contains(idle_)) {
-          const std::int64_t b_max_key = db.max();
-          const Domain64& da2 = solver.domain(a);
-          std::uint64_t kill = 0;
-          da2.for_each([&](Value v) {
-            if (key_of(v, idle_) >= b_max_key) {
-              kill |= std::uint64_t{1}
-                      << static_cast<unsigned>(v - da2.base());
-            }
-          });
-          const Value base = da2.base();
-          while (kill != 0) {
-            const Value v = base + std::countr_zero(kill);
-            kill &= kill - 1;
-            if (solver.remove(a, v) == PropResult::kFail) {
-              return PropResult::kFail;
-            }
-            changed = true;
-          }
+          local = true;
         }
       }
     }
-    if (!changed) return PropResult::kOk;
+
+    changed = changed || local;
+    if (!local) return PropResult::kOk;
   }
+}
+
+PropResult SymmetryChain::propagate(Solver& solver) {
+  if (solver.scratch_mode() || !primed_) {
+    // Reference (and priming) path: sweep every pair until stable.  Marks
+    // are retired wholesale — the sweep covers everything they cover.
+    primed_ = true;
+    clear_marks();
+    for (;;) {
+      bool changed = false;
+      for (std::size_t k = 0; k + 1 < vars_.size(); ++k) {
+        if (process_pair(solver, k, changed) == PropResult::kFail) {
+          return PropResult::kFail;
+        }
+      }
+      if (!changed) return PropResult::kOk;
+    }
+  }
+
+  // Incremental path: drain the dirty-pair worklist.  A pair that pruned
+  // re-marks its neighbours (its own local fixpoint is reached inside
+  // process_pair); our removes also re-enter on_event, which marks the
+  // same pairs — mark_pair dedupes.  Index the worklist rather than
+  // iterating: it grows during the drain.
+  for (std::size_t i = 0; i < worklist_.size(); ++i) {
+    const auto k = static_cast<std::size_t>(worklist_[i]);
+    pair_dirty_[k] = 0;
+    bool changed = false;
+    if (process_pair(solver, k, changed) == PropResult::kFail) {
+      // Leave the remaining marks: the queue clear that follows a failure
+      // makes them stale, and stale marks are re-verified next run.
+      worklist_.erase(worklist_.begin(),
+                      worklist_.begin() + static_cast<std::ptrdiff_t>(i + 1));
+      return PropResult::kFail;
+    }
+    if (changed) {
+      if (k > 0) mark_pair(k - 1);
+      if (k + 2 < vars_.size()) mark_pair(k + 1);
+    }
+  }
+  worklist_.clear();
+  return PropResult::kOk;
 }
 
 // ------------------------------------------------------------------ factories

@@ -167,23 +167,37 @@ class AllDifferentExcept final : public Propagator {
 /// Symmetry-breaking chain over one group of identical processors: the
 /// non-idle values along `vars` are strictly ascending and idle entries
 /// trail (idle compares as +infinity; equality is allowed at idle only).
-/// Wakes only on fixes — the chain mainly orders decisions, and every
-/// assignment is still checked through the fix events it generates.
+/// The advisor watches *neighbour pairs*: a change on scope position p
+/// marks the pairs (p-1, p) and (p, p+1) dirty, and an incremental run
+/// drains only the dirty-pair worklist (re-marking neighbours of pairs it
+/// prunes) instead of sweeping the whole group — O(changed pairs) per wake.
+/// The pairwise bounds rule is monotone, so the worklist fixpoint equals
+/// the full-sweep fixpoint and both propagation modes stay tree-identical.
 class SymmetryChain final : public Propagator {
  public:
   SymmetryChain(std::vector<VarId> vars, Value idle);
   PropResult propagate(Solver& solver) override;
-  [[nodiscard]] WakePolicy wake_policy() const override {
-    return WakePolicy::kFixedOnly;
-  }
+  bool on_event(Solver& solver, std::int32_t pos,
+                std::uint64_t old_mask) override;
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return vars_;
   }
   [[nodiscard]] const char* name() const override { return "symmetry-chain"; }
 
  private:
+  /// Prunes pair k = (vars_[k], vars_[k+1]) to its local fixpoint; sets
+  /// `changed` when any value was removed.
+  PropResult process_pair(Solver& solver, std::size_t k, bool& changed);
+  void mark_pair(std::size_t k);
+  void clear_marks();
+
   std::vector<VarId> vars_;
   Value idle_;
+  // Dirty neighbour pairs (stale-tolerant: re-verified against the current
+  // domains at drain time, so marks surviving a backtrack are harmless).
+  std::vector<std::uint8_t> pair_dirty_;
+  std::vector<std::int32_t> worklist_;
+  bool primed_ = false;
 };
 
 // Factory helpers (keep encoding code terse).

@@ -4,17 +4,13 @@
 #include <bit>
 #include <cmath>
 
+#include "csp/nogoods.hpp"
 #include "support/assert.hpp"
 #include "support/deadline.hpp"
 #include "support/error.hpp"
 
 namespace mgrts::csp {
 
-namespace {
-
-/// Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
-/// Iterative O(log i): strip completed-prefix subtrees until i sits at the
-/// end of one (i + 1 a power of two), whose value is (i + 1) / 2.
 std::int64_t luby(std::int64_t i) {
   for (;;) {
     const auto u = static_cast<std::uint64_t>(i) + 1;
@@ -23,8 +19,6 @@ std::int64_t luby(std::int64_t i) {
     i -= (std::int64_t{1} << (k - 1)) - 1;
   }
 }
-
-}  // namespace
 
 Solver::Solver(SolverLimits limits) : limits_(limits) {}
 Solver::~Solver() = default;
@@ -99,6 +93,7 @@ void Solver::sync_membership(VarId v) {
     }
     pos = static_cast<std::int32_t>(unfixed_size_);
     ++unfixed_size_;
+    if (heap_active_) heap_push(v);
   } else {
     // Swap-remove.
     const auto last_idx = static_cast<std::size_t>(unfixed_size_ - 1);
@@ -152,6 +147,10 @@ PropResult Solver::remove(VarId v, Value a) {
   d.remove(a);
   sync_membership(v);
   if (d.empty()) return PropResult::kFail;
+  // A narrowing that leaves the variable unfixed improves its selection
+  // key, so the heap needs a fresh entry (fixes leave the unfixed set and
+  // need none; re-growth on backtrack only goes stale).
+  if (heap_active_ && d.size() > 1) heap_push(v);
   notify_watchers(v, old_mask, d.is_fixed());
   return PropResult::kOk;
 }
@@ -198,8 +197,13 @@ void Solver::bump_failure(std::int32_t prop_id) {
   if (prop_id < 0) return;
   Propagator& p = *propagators_[static_cast<std::size_t>(prop_id)];
   ++p.weight_;
-  for (const VarId v : p.scope()) {
+  for (const VarId v : p.failure_scope()) {
     ++var_wdeg_[static_cast<std::size_t>(v)];
+    // The bump improves dom/wdeg keys; refresh unfixed scope variables.
+    if (heap_active_ && heap_use_wdeg_ &&
+        unfixed_pos_[static_cast<std::size_t>(v)] >= 0) {
+      heap_push(v);
+    }
   }
 }
 
@@ -276,8 +280,108 @@ void Solver::build_watch_lists() {
   frozen_ = true;
 }
 
+std::int64_t Solver::heap_key_wdeg(VarId v) const noexcept {
+  return heap_use_wdeg_
+             ? std::max<std::int64_t>(1,
+                                      var_wdeg_[static_cast<std::size_t>(v)])
+             : 1;
+}
+
+void Solver::heap_push(VarId v) {
+  heap_.push_back(HeapEntry{
+      static_cast<std::int64_t>(domains_[static_cast<std::size_t>(v)].size()),
+      heap_key_wdeg(v), v});
+  std::push_heap(heap_.begin(), heap_.end());
+  // Lazy entries accumulate (regressed keys are only discarded at pop);
+  // rebuild compactly once stale entries dominate, which amortizes to O(1)
+  // per push.
+  if (heap_.size() > 4 * domains_.size() + 64) heap_rebuild();
+}
+
+void Solver::heap_rebuild() {
+  heap_.clear();
+  heap_.reserve(static_cast<std::size_t>(unfixed_size_));
+  for (std::int64_t k = 0; k < unfixed_size_; ++k) {
+    const VarId v = unfixed_list_[static_cast<std::size_t>(k)];
+    heap_.push_back(HeapEntry{
+        static_cast<std::int64_t>(
+            domains_[static_cast<std::size_t>(v)].size()),
+        heap_key_wdeg(v), v});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+VarId Solver::select_from_heap(const SearchOptions& options,
+                               support::Rng& rng) {
+  if (unfixed_size_ == 0) return -1;
+  auto pop = [&] {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    return e;
+  };
+
+  // Find the best current key.  Entries for fixed variables are dropped;
+  // stale entries (the key moved since the push — only regressions reach
+  // here, improvements always pushed a fresher entry) are refreshed and
+  // retried.  The first entry that matches its variable's current key is
+  // the global minimum with the smallest id, exactly the scan's pick.
+  HeapEntry best{0, 1, -1};
+  for (;;) {
+    if (heap_.empty()) heap_rebuild();
+    MGRTS_ASSERT(!heap_.empty());
+    const HeapEntry e = pop();
+    if (unfixed_pos_[static_cast<std::size_t>(e.var)] < 0) continue;
+    const auto size = static_cast<std::int64_t>(
+        domains_[static_cast<std::size_t>(e.var)].size());
+    const std::int64_t wdeg = heap_key_wdeg(e.var);
+    if (e.size * wdeg == size * e.wdeg) {
+      best = HeapEntry{size, wdeg, e.var};
+      break;
+    }
+    heap_.push_back(HeapEntry{size, wdeg, e.var});
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+  if (!options.random_var_ties) return best.var;
+
+  // Random tie-breaking: collect every variable whose *current* key ties
+  // the minimum.  The set is a function of the domain/wdeg state alone (not
+  // of heap layout or event order), and drawing from it in ascending-id
+  // order keeps the choice reproducible for a given seed and tree prefix.
+  ++heap_stamp_;
+  std::vector<VarId> ties{best.var};
+  heap_seen_[static_cast<std::size_t>(best.var)] = heap_stamp_;
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (top.size * best.wdeg != best.size * top.wdeg) break;  // worse key
+    const HeapEntry e = pop();
+    if (unfixed_pos_[static_cast<std::size_t>(e.var)] < 0) continue;
+    const auto size = static_cast<std::int64_t>(
+        domains_[static_cast<std::size_t>(e.var)].size());
+    const std::int64_t wdeg = heap_key_wdeg(e.var);
+    if (e.size * wdeg != size * e.wdeg) {
+      // Stale: the current key is strictly worse than the minimum (equal
+      // would contradict staleness), so the fresh entry sinks past the tie
+      // range and the loop keeps terminating.
+      heap_.push_back(HeapEntry{size, wdeg, e.var});
+      std::push_heap(heap_.begin(), heap_.end());
+      continue;
+    }
+    if (heap_seen_[static_cast<std::size_t>(e.var)] != heap_stamp_) {
+      heap_seen_[static_cast<std::size_t>(e.var)] = heap_stamp_;
+      ties.push_back(e.var);
+    }
+  }
+  std::sort(ties.begin(), ties.end());
+  const VarId pick = ties[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(ties.size()) - 1))];
+  // Restore the invariant: every popped tie variable keeps a live entry.
+  for (const VarId v : ties) heap_push(v);
+  return pick;
+}
+
 VarId Solver::select_variable(const SearchOptions& options, VarId lex_hint,
-                              support::Rng& rng) const {
+                              support::Rng& rng) {
   if (options.var_heuristic == VarHeuristic::kLex) {
     for (VarId v = lex_hint; v < static_cast<VarId>(domains_.size()); ++v) {
       if (domains_[static_cast<std::size_t>(v)].size() > 1) return v;
@@ -289,6 +393,8 @@ VarId Solver::select_variable(const SearchOptions& options, VarId lex_hint,
     }
     return -1;
   }
+
+  if (heap_active_) return select_from_heap(options, rng);
 
   VarId best = -1;
   std::int64_t best_size = 0;
@@ -365,6 +471,30 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
   legacy_ = options.propagation == PropagationMode::kLegacy;
   support::Rng rng(options.seed);
 
+  // Selection-heap setup must precede any domain traffic (the unfixed-set
+  // population below and root propagation both push entries).
+  heap_active_ = options.selection == SelectionMode::kHeap &&
+                 options.var_heuristic != VarHeuristic::kLex;
+  heap_use_wdeg_ = options.var_heuristic == VarHeuristic::kDomWdeg;
+  heap_.clear();
+  heap_seen_.assign(domains_.size(), 0);
+  heap_stamp_ = 0;
+
+  // The nogood store joins the model as a propagator before the watch
+  // lists freeze; it stays empty (and silent) until the first conflict.
+  // kLegacy skips advisors entirely, so watched-literal replay cannot run
+  // there — recording is disabled rather than silently inert.
+  nogood_store_ = nullptr;
+  if (!frozen_ && !legacy_ &&
+      (options.nogoods || options.nogood_pool != nullptr) &&
+      !domains_.empty()) {
+    auto store = std::make_unique<NogoodStore>(
+        variable_count(), options.nogood_max_length, options.nogood_db_limit);
+    nogood_store_ = store.get();
+    add(std::move(store));
+  }
+  if (nogood_store_ != nullptr) nogood_store_->bind_stats(&stats_);
+
   SolveOutcome outcome;
   auto finish = [&](SolveStatus status) {
     stats_.seconds = watch.seconds();
@@ -396,7 +526,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     bump_failure(failing_prop_);
     return finish(SolveStatus::kUnsat);
   }
-  const Mark root_mark = mark();
+  Mark root_mark = mark();  // advanced by restart-time root strengthening
 
   std::int64_t restart_index = 0;
   std::int64_t failures_until_restart = -1;  // -1 = no budget
@@ -418,6 +548,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
   reset_restart_budget();
 
   std::vector<Frame> frames;
+  std::vector<NogoodLit> nogood_buf;
 
   for (;;) {  // restart loop
     bool restart_requested = false;
@@ -484,6 +615,22 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         failing_prop_ = -1;
         backtrack_to(top.mark);
 
+        // Decision-set nogood: the decisions standing below this frame
+        // (still fixed — the backtrack above only unwound the failed
+        // assignment) plus the assignment that just failed.
+        if (nogood_store_ != nullptr &&
+            static_cast<std::int64_t>(frames.size()) <=
+                options.nogood_max_length) {
+          nogood_buf.clear();
+          for (std::size_t k = 0; k + 1 < frames.size(); ++k) {
+            const VarId v = frames[k].var;
+            nogood_buf.push_back(NogoodLit{
+                v, domains_[static_cast<std::size_t>(v)].value()});
+          }
+          nogood_buf.push_back(NogoodLit{top.var, value});
+          nogood_store_->record(nogood_buf, stats_);
+        }
+
         if (failures_until_restart > 0 && --failures_until_restart == 0) {
           restart_requested = true;
           break;
@@ -497,6 +644,23 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     backtrack_to(root_mark);
     ++restart_index;
     ++stats_.restarts;
+
+    // Nogood database maintenance runs at the root: pool exchange, unit
+    // folding, pruning, watch rebuild.  Unit folds strengthen the root
+    // permanently, so the root mark advances past the re-propagated state.
+    if (nogood_store_ != nullptr) {
+      if (!nogood_store_->restart_maintenance(*this, options.nogood_pool,
+                                              options.nogood_lane, stats_)) {
+        return finish(SolveStatus::kUnsat);
+      }
+      if (!propagate_queue()) {
+        bump_failure(failing_prop_);
+        failing_prop_ = -1;
+        return finish(SolveStatus::kUnsat);
+      }
+      root_mark = mark();
+    }
+
     reset_restart_budget();
     if (options.deadline.expired()) return finish(SolveStatus::kTimeout);
   }

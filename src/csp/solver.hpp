@@ -44,6 +44,13 @@ using VarId = std::int32_t;
 using StateSlot = std::int32_t;
 
 class Solver;
+class NogoodStore;
+
+/// Luby restart sequence, 1-based: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+/// Iterative O(log i): strip completed-prefix subtrees until i sits at the
+/// end of one (i + 1 a power of two), whose value is (i + 1) / 2.  Exposed
+/// for the closed-form cross-check test.
+[[nodiscard]] std::int64_t luby(std::int64_t i);
 
 enum class PropResult { kOk, kFail };
 
@@ -80,6 +87,13 @@ class Propagator {
 
   /// Variables whose domain changes wake this propagator.
   [[nodiscard]] virtual const std::vector<VarId>& scope() const = 0;
+
+  /// Variables whose dom/wdeg weight is bumped when this propagator fails;
+  /// defaults to the full scope.  Propagators multiplexing many constraints
+  /// (the nogood store) narrow it to the constraint that actually failed.
+  [[nodiscard]] virtual const std::vector<VarId>& failure_scope() const {
+    return scope();
+  }
 
   /// Human-readable kind, for debugging and stats.
   [[nodiscard]] virtual const char* name() const = 0;
@@ -206,6 +220,26 @@ class Solver {
     return Mark{trail_.size(), state_trail_.size()};
   }
 
+  /// One lazy selection-heap entry: the (size, wdeg) pair the variable had
+  /// when pushed.  Entries are never updated in place — improvements push a
+  /// fresh entry and stale ones are discarded or refreshed at pop time.
+  struct HeapEntry {
+    std::int64_t size;
+    std::int64_t wdeg;
+    VarId var;
+
+    /// std::*_heap comparator ("this sinks below o"): worse size/wdeg
+    /// fractions sink, equal fractions sink the larger variable id — so the
+    /// heap front is exactly the scan's deterministic pick.  Fractions are
+    /// compared by cross multiplication (size <= 64, products fit easily).
+    [[nodiscard]] bool operator<(const HeapEntry& o) const noexcept {
+      const std::int64_t lhs = size * o.wdeg;
+      const std::int64_t rhs = o.size * wdeg;
+      if (lhs != rhs) return lhs > rhs;
+      return var > o.var;
+    }
+  };
+
   void trail_push(VarId v, std::uint64_t old_mask);
   void backtrack_to(const Mark& mark);
   void sync_membership(VarId v);
@@ -216,8 +250,15 @@ class Solver {
   void clear_queue();
   void bump_failure(std::int32_t prop_id);
 
+  // ---- selection heap (SelectionMode::kHeap; DESIGN.md §7) ------------
+  [[nodiscard]] std::int64_t heap_key_wdeg(VarId v) const noexcept;
+  void heap_push(VarId v);
+  void heap_rebuild();
+  [[nodiscard]] VarId select_from_heap(const SearchOptions& options,
+                                       support::Rng& rng);
+
   [[nodiscard]] VarId select_variable(const SearchOptions& options,
-                                      VarId lex_hint, support::Rng& rng) const;
+                                      VarId lex_hint, support::Rng& rng);
   [[nodiscard]] Value select_value(const SearchOptions& options, VarId var,
                                    std::uint64_t tried,
                                    support::Rng& rng) const;
@@ -246,6 +287,17 @@ class Solver {
 
   std::vector<std::int64_t> var_wdeg_;
 
+  // Lazy selection heap: min-heap over (size/wdeg fraction, var id) with
+  // stale entries.  Invariant while heap_active_: every unfixed variable
+  // has at least one entry whose key is <= its current key (improvements —
+  // size drops, wdeg bumps, re-insertions — always push; regressions only
+  // go stale and are refreshed at pop).
+  std::vector<HeapEntry> heap_;
+  std::vector<std::int64_t> heap_seen_;  ///< tie-dedup stamps per variable
+  std::int64_t heap_stamp_ = 0;
+  bool heap_active_ = false;
+  bool heap_use_wdeg_ = false;
+
   struct TrailEntry {
     VarId var;
     std::uint64_t old_mask;
@@ -269,6 +321,10 @@ class Solver {
   bool legacy_ = false;
   SolveStats stats_;
   std::int32_t failing_prop_ = -1;
+
+  /// Owned by propagators_ like any propagator; non-null while the active
+  /// solve records nogoods (see solve()).
+  NogoodStore* nogood_store_ = nullptr;
 };
 
 }  // namespace mgrts::csp

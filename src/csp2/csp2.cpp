@@ -24,6 +24,13 @@ const char* to_string(ValueOrder order) {
   return "CSP2+?";
 }
 
+const std::array<ValueOrder, 4>& informed_value_orders() {
+  static const std::array<ValueOrder, 4> orders = {
+      ValueOrder::kRateMonotonic, ValueOrder::kDeadlineMonotonic,
+      ValueOrder::kTMinusC, ValueOrder::kDMinusC};
+  return orders;
+}
+
 const char* to_string(Status status) {
   switch (status) {
     case Status::kFeasible: return "feasible";

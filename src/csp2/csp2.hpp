@@ -31,6 +31,7 @@
 // heterogeneous ones when the idle rule is disabled.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -52,6 +53,11 @@ enum class ValueOrder {
 };
 
 [[nodiscard]] const char* to_string(ValueOrder order);
+
+/// The four informed §V-C2 heuristics, in paper order.  This is the lane
+/// line-up of core::solve_portfolio (plain input order is dominated by RM
+/// and DM on every paper table, so racing it only burns a core).
+[[nodiscard]] const std::array<ValueOrder, 4>& informed_value_orders();
 
 struct Options {
   ValueOrder value_order = ValueOrder::kInput;

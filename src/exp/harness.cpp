@@ -22,6 +22,17 @@ SolverSpec csp2_spec(csp2::ValueOrder order, std::int64_t time_limit_ms,
   return spec;
 }
 
+SolverSpec portfolio_spec(std::int64_t time_limit_ms,
+                          std::int32_t random_lanes) {
+  SolverSpec spec;
+  spec.label = "CSP2-portfolio";
+  spec.config.method = core::Method::kPortfolio;
+  spec.config.time_limit_ms = time_limit_ms;
+  spec.config.portfolio.random_lanes = random_lanes;
+  spec.config.portfolio.paper_faithful = true;
+  return spec;
+}
+
 std::vector<SolverSpec> paper_lineup(std::int64_t time_limit_ms,
                                      std::uint64_t seed,
                                      csp::SolverLimits limits) {

@@ -42,6 +42,14 @@ struct SolverSpec {
                                    std::int64_t time_limit_ms,
                                    bool paper_faithful = true);
 
+/// A line-up entry racing the four informed value orders (plus
+/// `random_lanes` randomized nogood-recording generic lanes) through
+/// core::solve_portfolio.  The dedicated lanes match csp2_spec's
+/// paper-faithful configuration, so "portfolio vs. the single best fixed
+/// order" is a like-for-like comparison inside one batch.
+[[nodiscard]] SolverSpec portfolio_spec(std::int64_t time_limit_ms,
+                                        std::int32_t random_lanes = 1);
+
 struct RunRecord {
   core::Verdict verdict = core::Verdict::kInfeasible;
   double seconds = 0.0;

@@ -3,12 +3,62 @@
 // The paper imposes a 30 s resolution-time limit per run (§VII-C).  Solvers
 // poll a Deadline at a coarse granularity (every few thousand search nodes)
 // so the steady_clock read does not dominate the node rate.
+//
+// A Deadline can additionally carry a CancelToken: portfolio racing
+// (core::solve_portfolio) hands every lane the same token and the first lane
+// to decide cancels the rest.  Cancellation is cooperative — a cancelled run
+// reports kTimeout at its next deadline poll, exactly like a wall-clock
+// expiry — so no solver needs cancellation-specific control flow.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 namespace mgrts::support {
+
+/// Shared cooperative cancellation flag.  Default-constructed tokens are
+/// empty (no allocation, never cancelled); make() creates a live flag.
+/// Copies share the flag; cancel() is sticky and thread-safe.
+///
+/// linked(parent) creates a token that also reports cancelled once the
+/// parent does, while its own cancel() leaves the parent untouched — a
+/// portfolio race hands its lanes a linked token, so the caller's token
+/// still aborts the whole race but the winner's cancel cannot leak out.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  [[nodiscard]] static CancelToken make() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  [[nodiscard]] static CancelToken linked(const CancelToken& parent) {
+    CancelToken token = make();
+    token.parent_ = parent.flag_;
+    return token;
+  }
+
+  /// True when the token carries a flag (make()-created or a copy thereof).
+  [[nodiscard]] bool engaged() const noexcept { return flag_ != nullptr; }
+
+  /// Cancels this token (not a linked parent).
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return (flag_ && flag_->load(std::memory_order_relaxed)) ||
+           (parent_ && parent_->load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<bool>> parent_;
+};
 
 class Deadline {
  public:
@@ -29,15 +79,23 @@ class Deadline {
     return after(std::chrono::milliseconds(ms));
   }
 
-  [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
+  /// Attaches a cooperative cancel flag; expired() then also reports true
+  /// once the token is cancelled.
+  void set_cancel(CancelToken token) noexcept { cancel_ = std::move(token); }
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return unlimited_ && !cancel_.engaged();
+  }
 
   [[nodiscard]] bool expired() const noexcept {
+    if (cancel_.cancelled()) return true;
     return !unlimited_ && Clock::now() >= end_;
   }
 
  private:
   bool unlimited_ = true;
   Clock::time_point end_{};
+  CancelToken cancel_;
 };
 
 /// Monotonic stopwatch used for reported resolution times.

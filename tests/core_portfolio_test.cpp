@@ -1,0 +1,128 @@
+// Tests for core::solve_portfolio and the cooperative cancel token: lane
+// line-up, first-decisive-wins semantics, loser cancellation, and the
+// Method::kPortfolio plumbing through solve_instance / the harness.
+#include <gtest/gtest.h>
+
+#include "core/solve.hpp"
+#include "exp/harness.hpp"
+#include "rt/validate.hpp"
+#include "support/deadline.hpp"
+#include "testing.hpp"
+
+namespace mgrts::core {
+namespace {
+
+using mgrts::testing::example1;
+using rt::Platform;
+
+TEST(CancelToken, EmptyTokenNeverCancels) {
+  const support::CancelToken token;
+  EXPECT_FALSE(token.engaged());
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();  // no-op on an empty token
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, CopiesShareTheFlagAndDeadlineHonorsIt) {
+  const auto token = support::CancelToken::make();
+  const support::CancelToken copy = token;
+  support::Deadline deadline;  // no wall-clock limit
+  deadline.set_cancel(copy);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_FALSE(deadline.unlimited()) << "a cancellable deadline can expire";
+  token.cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(CancelToken, LinkedTokenSeesParentButNotViceVersa) {
+  const auto parent = support::CancelToken::make();
+  const auto child = support::CancelToken::linked(parent);
+  EXPECT_FALSE(child.cancelled());
+  child.cancel();  // a race winner cancelling its lanes...
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());  // ...must not leak to the caller
+  const auto child2 = support::CancelToken::linked(parent);
+  parent.cancel();  // the caller aborting the whole run...
+  EXPECT_TRUE(child2.cancelled());  // ...reaches every lane
+}
+
+TEST(Portfolio, FeasibleInstanceProducesAValidatedWinner) {
+  SolveConfig config;
+  config.time_limit_ms = 5'000;
+  const PortfolioReport race =
+      solve_portfolio(example1(), Platform::identical(2), config);
+  EXPECT_EQ(race.lanes.size(), 5u);  // four value orders + one random lane
+  ASSERT_GE(race.winner, 0);
+  EXPECT_EQ(race.report.verdict, Verdict::kFeasible);
+  EXPECT_TRUE(race.report.witness_valid);
+  ASSERT_TRUE(race.report.schedule.has_value());
+  EXPECT_TRUE(rt::is_valid_schedule(example1(), Platform::identical(2),
+                                    *race.report.schedule));
+  // The winner's recorded outcome matches the headline report.
+  EXPECT_EQ(race.lanes[static_cast<std::size_t>(race.winner)].verdict,
+            Verdict::kFeasible);
+}
+
+TEST(Portfolio, InfeasibleInstanceYieldsACompleteProof) {
+  // Example 1 needs two processors; on one the race must prove
+  // infeasibility (every dedicated lane is complete on identical
+  // platforms).
+  SolveConfig config;
+  config.time_limit_ms = 5'000;
+  const PortfolioReport race =
+      solve_portfolio(example1(), Platform::identical(1), config);
+  ASSERT_GE(race.winner, 0);
+  EXPECT_EQ(race.report.verdict, Verdict::kInfeasible);
+  EXPECT_TRUE(race.report.complete);
+}
+
+TEST(Portfolio, RandomLanesCanBeDisabled) {
+  SolveConfig config;
+  config.time_limit_ms = 5'000;
+  config.portfolio.random_lanes = 0;
+  const PortfolioReport race =
+      solve_portfolio(example1(), Platform::identical(2), config);
+  EXPECT_EQ(race.lanes.size(), 4u);
+  EXPECT_GE(race.winner, 0);
+}
+
+TEST(Portfolio, ReachableAsAMethodThroughSolveInstance) {
+  SolveConfig config;
+  config.method = Method::kPortfolio;
+  config.time_limit_ms = 5'000;
+  const SolveReport report =
+      solve_instance(example1(), Platform::identical(2), config);
+  EXPECT_EQ(report.verdict, Verdict::kFeasible);
+  EXPECT_TRUE(report.witness_valid);
+  EXPECT_NE(report.detail.find("portfolio winner"), std::string::npos)
+      << "detail: " << report.detail;
+}
+
+TEST(Portfolio, BatchableThroughTheHarnessSpec) {
+  exp::BatchOptions options;
+  options.generator.tasks = 4;
+  options.generator.processors = 2;
+  options.generator.rule = gen::ProcessorRule::kFixed;
+  options.generator.t_max = 4;
+  options.instances = 3;
+  options.seed = 7;
+  options.workers = 1;
+  const exp::BatchResult batch =
+      exp::run_batch(options, {exp::portfolio_spec(/*time_limit_ms=*/5'000)});
+  ASSERT_EQ(batch.labels.size(), 1u);
+  EXPECT_EQ(batch.labels[0], "CSP2-portfolio");
+  for (const auto& inst : batch.instances) {
+    ASSERT_EQ(inst.runs.size(), 1u);
+    // Generous budget on tiny instances: every race must decide, and
+    // feasible verdicts must carry validated witnesses.
+    EXPECT_TRUE(inst.runs[0].verdict == Verdict::kFeasible ||
+                inst.runs[0].verdict == Verdict::kInfeasible);
+    if (inst.runs[0].verdict == Verdict::kFeasible) {
+      EXPECT_TRUE(inst.runs[0].witness_ok);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgrts::core

@@ -51,7 +51,7 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, AllMethods,
     ::testing::Values(Method::kCsp1Generic, Method::kCsp2Generic,
                       Method::kCsp2Dedicated, Method::kFlowOracle,
-                      Method::kEdfSimulation),
+                      Method::kEdfSimulation, Method::kPortfolio),
     [](const ::testing::TestParamInfo<Method>& info) {
       switch (info.param) {
         case Method::kCsp1Generic: return "csp1";
@@ -59,6 +59,7 @@ INSTANTIATE_TEST_SUITE_P(
         case Method::kCsp2Dedicated: return "csp2";
         case Method::kFlowOracle: return "flow";
         case Method::kEdfSimulation: return "edf";
+        case Method::kPortfolio: return "portfolio";
       }
       return "other";
     });

@@ -50,6 +50,41 @@ TEST(ValueOrder, Names) {
   EXPECT_STREQ(to_string(ValueOrder::kDMinusC), "CSP2+(D-C)");
 }
 
+TEST(ValueOrder, GoldenPermutationsWithTieByTaskId) {
+  // All four §V-C2 heuristics on one task set with deliberate key ties —
+  // tau0 and tau1 are exact duplicates, so every heuristic must order them
+  // by task id.  Params (O, C, D, T):
+  //   tau0 (0,1,3,4): RM key 4, DM 3, T-C 3, D-C 2
+  //   tau1 (0,1,3,4): identical keys -> always after tau0
+  //   tau2 (0,2,2,4): RM 4, DM 2, T-C 2, D-C 0
+  //   tau3 (0,1,2,3): RM 3, DM 2, T-C 2, D-C 1
+  const TaskSet ts = TaskSet::from_params(
+      {{0, 1, 3, 4}, {0, 1, 3, 4}, {0, 2, 2, 4}, {0, 1, 2, 3}});
+  EXPECT_EQ(value_order_tasks(ts, ValueOrder::kInput),
+            (std::vector<rt::TaskId>{0, 1, 2, 3}));
+  // RM: periods 4, 4, 4, 3 -> tau3, then the 4-tie in id order.
+  EXPECT_EQ(value_order_tasks(ts, ValueOrder::kRateMonotonic),
+            (std::vector<rt::TaskId>{3, 0, 1, 2}));
+  // DM: deadlines 3, 3, 2, 2 -> ties (2,3) then (0,1), both by id.
+  EXPECT_EQ(value_order_tasks(ts, ValueOrder::kDeadlineMonotonic),
+            (std::vector<rt::TaskId>{2, 3, 0, 1}));
+  // T-C: 3, 3, 2, 2 -> same tie structure as DM.
+  EXPECT_EQ(value_order_tasks(ts, ValueOrder::kTMinusC),
+            (std::vector<rt::TaskId>{2, 3, 0, 1}));
+  // D-C: 2, 2, 0, 1 -> tau2, tau3, then the duplicate pair by id.
+  EXPECT_EQ(value_order_tasks(ts, ValueOrder::kDMinusC),
+            (std::vector<rt::TaskId>{2, 3, 0, 1}));
+}
+
+TEST(ValueOrder, InformedOrdersLineUpMatchesPaper) {
+  const auto& orders = informed_value_orders();
+  ASSERT_EQ(orders.size(), 4u);
+  EXPECT_EQ(orders[0], ValueOrder::kRateMonotonic);
+  EXPECT_EQ(orders[1], ValueOrder::kDeadlineMonotonic);
+  EXPECT_EQ(orders[2], ValueOrder::kTMinusC);
+  EXPECT_EQ(orders[3], ValueOrder::kDMinusC);
+}
+
 // ------------------------------------------------------------------ solving
 
 class AllHeuristics : public ::testing::TestWithParam<ValueOrder> {};

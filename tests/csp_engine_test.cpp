@@ -2,12 +2,16 @@
 // filtering (kFixedOnly watchers never see prune events), trailed
 // propagator state surviving backtracking and restarts, and a randomized
 // differential check that the incremental mode explores exactly the tree
-// the from-scratch reference explores.
+// the from-scratch reference explores.  The search-stack layer rides the
+// same harness: heap selection must explore the scan's tree bit-for-bit,
+// nogood-enabled search must return the scan on verdicts, and the
+// symmetry-chain pair worklist must match the full-sweep reference.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
+#include "csp/nogoods.hpp"
 #include "csp/propagators.hpp"
 #include "csp/solver.hpp"
 #include "encodings/csp1.hpp"
@@ -267,6 +271,225 @@ TEST(EventEngine, IncrementalRunsFarFewerSweepsThanEvents) {
   ASSERT_GT(outcome.stats.events, 0);
   EXPECT_LT(outcome.stats.propagations, outcome.stats.events / 4)
       << "advisors are not filtering wakes";
+}
+
+// ------------------------------------------------------- selection heap
+
+TEST(SelectionHeap, HeapExploresSameTreeAsScanOnCsp2) {
+  // Deterministic tie-breaking: the lazy heap must reproduce the scan's
+  // pick — minimum size/wdeg fraction, then minimum id — at every node,
+  // across backtracking, wdeg bumps, and Luby restarts.
+  gen::GeneratorOptions workload;
+  workload.tasks = 10;
+  workload.processors = 5;
+  workload.rule = gen::ProcessorRule::kFixed;
+  workload.t_max = 7;
+  workload.order = gen::ParamOrder::kDFirst;
+
+  for (const VarHeuristic heuristic :
+       {VarHeuristic::kDomWdeg, VarHeuristic::kMinDomain}) {
+    for (std::uint64_t index = 0; index < 6; ++index) {
+      const gen::Instance inst = gen::generate_indexed(workload, 555, index);
+      auto run = [&](SelectionMode mode) {
+        const auto model = enc::build_csp2_generic(
+            inst.tasks, rt::Platform::identical(inst.processors));
+        SearchOptions options;
+        options.var_heuristic = heuristic;
+        options.val_heuristic = ValHeuristic::kMin;
+        options.selection = mode;
+        options.restart = RestartPolicy::kLuby;
+        options.restart_scale = 16;
+        options.max_nodes = 20'000;
+        return model.solver->solve(options);
+      };
+      const auto heap = run(SelectionMode::kHeap);
+      const auto scan = run(SelectionMode::kScan);
+      EXPECT_EQ(heap.status, scan.status) << "instance " << index;
+      EXPECT_EQ(heap.stats.nodes, scan.stats.nodes) << "instance " << index;
+      EXPECT_EQ(heap.stats.failures, scan.stats.failures)
+          << "instance " << index;
+      EXPECT_EQ(heap.stats.restarts, scan.stats.restarts)
+          << "instance " << index;
+      EXPECT_EQ(heap.assignment, scan.assignment) << "instance " << index;
+    }
+  }
+}
+
+TEST(SelectionHeap, HeapMatchesScanVerdictWithRandomTies) {
+  // Random tie-breaking draws from the same tie set but in a different
+  // stream order, so trees may differ; exhaustive verdicts may not.
+  gen::GeneratorOptions workload;
+  workload.tasks = 4;
+  workload.processors = 2;
+  workload.rule = gen::ProcessorRule::kFixed;
+  workload.t_max = 4;
+
+  for (std::uint64_t index = 0; index < 6; ++index) {
+    const gen::Instance inst = gen::generate_indexed(workload, 999, index);
+    auto run = [&](SelectionMode mode) {
+      const auto model = enc::build_csp2_generic(
+          inst.tasks, rt::Platform::identical(inst.processors));
+      SearchOptions options;
+      options.var_heuristic = VarHeuristic::kDomWdeg;
+      options.val_heuristic = ValHeuristic::kRandom;
+      options.random_var_ties = true;
+      options.selection = mode;
+      options.seed = index + 7;
+      return model.solver->solve(options);
+    };
+    const auto heap = run(SelectionMode::kHeap);
+    const auto scan = run(SelectionMode::kScan);
+    EXPECT_EQ(heap.status, scan.status) << "instance " << index;
+  }
+}
+
+// -------------------------------------------------------------- nogoods
+
+TEST(Nogoods, SameVerdictsAsPlainRestartSearchOnCsp2) {
+  // Nogood replay prunes refuted prefixes but never solutions: on
+  // exhaustively-decided instances the verdict must match the plain run.
+  gen::GeneratorOptions workload;
+  workload.tasks = 4;
+  workload.processors = 2;
+  workload.rule = gen::ProcessorRule::kFixed;
+  workload.t_max = 4;
+
+  std::int64_t recorded = 0;
+  for (std::uint64_t index = 0; index < 8; ++index) {
+    const gen::Instance inst = gen::generate_indexed(workload, 20090911,
+                                                     index);
+    auto run = [&](bool nogoods) {
+      const auto model = enc::build_csp2_generic(
+          inst.tasks, rt::Platform::identical(inst.processors));
+      SearchOptions options;
+      options.var_heuristic = VarHeuristic::kDomWdeg;
+      options.val_heuristic = ValHeuristic::kRandom;
+      options.random_var_ties = true;
+      options.restart = RestartPolicy::kLuby;
+      options.restart_scale = 4;
+      options.seed = index + 1;
+      options.nogoods = nogoods;
+      return model.solver->solve(options);
+    };
+    const auto with = run(true);
+    const auto without = run(false);
+    ASSERT_TRUE(decided(with.status)) << "instance " << index;
+    EXPECT_EQ(with.status, without.status) << "instance " << index;
+    recorded += with.stats.nogoods_recorded;
+  }
+  EXPECT_GT(recorded, 0) << "workload produced no conflicts to record";
+}
+
+TEST(Nogoods, SameVerdictsAsPlainRestartSearchOnCsp1) {
+  gen::GeneratorOptions workload;
+  workload.tasks = 4;
+  workload.processors = 2;
+  workload.rule = gen::ProcessorRule::kFixed;
+  workload.t_max = 4;
+
+  for (std::uint64_t index = 0; index < 4; ++index) {
+    const gen::Instance inst = gen::generate_indexed(workload, 4242, index);
+    auto run = [&](bool nogoods) {
+      const auto model = enc::build_csp1(
+          inst.tasks, rt::Platform::identical(inst.processors));
+      SearchOptions options;
+      options.var_heuristic = VarHeuristic::kDomWdeg;
+      options.val_heuristic = ValHeuristic::kRandom;
+      options.random_var_ties = true;
+      options.restart = RestartPolicy::kLuby;
+      options.restart_scale = 8;
+      options.seed = index + 3;
+      options.nogoods = nogoods;
+      return model.solver->solve(options);
+    };
+    const auto with = run(true);
+    const auto without = run(false);
+    ASSERT_TRUE(decided(with.status)) << "instance " << index;
+    EXPECT_EQ(with.status, without.status) << "instance " << index;
+  }
+}
+
+TEST(Nogoods, PoolSharesRecordingsAcrossLanes) {
+  // Two lanes solve the same UNSAT model sequentially through one pool:
+  // lane 0 publishes at its restarts, lane 1 imports at its own.
+  auto build = [](Solver& solver, std::vector<VarId>& vars) {
+    for (int k = 0; k < 8; ++k) vars.push_back(solver.add_variable(0, 6));
+    solver.add(make_all_different_except(vars, /*except=*/-9));
+    solver.add(make_count_eq(vars, /*value=*/6, /*target=*/1));
+  };
+  NogoodPool pool;
+  auto run = [&](std::int32_t lane) {
+    Solver solver;
+    std::vector<VarId> vars;
+    build(solver, vars);
+    SearchOptions options;
+    options.val_heuristic = ValHeuristic::kRandom;
+    options.random_var_ties = true;
+    options.restart = RestartPolicy::kLuby;
+    options.restart_scale = 2;
+    options.seed = 17 + static_cast<std::uint64_t>(lane);
+    options.nogoods = true;
+    options.nogood_pool = &pool;
+    options.nogood_lane = lane;
+    return solver.solve(options);
+  };
+  const auto first = run(0);
+  EXPECT_EQ(first.status, SolveStatus::kUnsat);
+  EXPECT_GT(first.stats.nogoods_recorded, 0);
+  EXPECT_GT(pool.size(), 0u);
+  const auto second = run(1);
+  EXPECT_EQ(second.status, SolveStatus::kUnsat);
+  EXPECT_GT(second.stats.nogoods_imported, 0)
+      << "lane 1 restarted without adopting lane 0's nogoods";
+}
+
+// ------------------------------------------------- symmetry-chain finesse
+
+TEST(SymmetryChainFinesse, FixedMiddleForcesAscendingNeighbours) {
+  // Chain over {v0..v3}, values 0..3, idle = 3.  Fixing v1 = 1 forces
+  // v0 = 0 (only key below 1) and v3 = idle (no key above v2's minimum 2).
+  Solver solver;
+  std::vector<VarId> vars;
+  for (int k = 0; k < 4; ++k) vars.push_back(solver.add_variable(0, 3));
+  solver.add(make_symmetry_chain(vars, /*idle=*/3));
+  ASSERT_TRUE(solver.post_fix(vars[1], 1));
+  SearchOptions options;
+  options.var_heuristic = VarHeuristic::kLex;
+  const auto outcome = solver.solve(options);
+  ASSERT_EQ(outcome.status, SolveStatus::kSat);
+  EXPECT_EQ(outcome.assignment, (std::vector<Value>{0, 1, 2, 3}));
+}
+
+TEST(SymmetryChainFinesse, PairWorklistMatchesScratchOnChainHeavyModel) {
+  // A deep chain plus counting rules under randomized restarts: the dirty
+  // pairs survive backtracks and restarts as stale marks, and the worklist
+  // fixpoint must equal the full-sweep fixpoint at every node.
+  auto run = [&](PropagationMode mode) {
+    Solver solver;
+    std::vector<VarId> vars;
+    for (int k = 0; k < 10; ++k) vars.push_back(solver.add_variable(0, 10));
+    solver.add(make_symmetry_chain(vars, /*idle=*/10));
+    solver.add(make_count_eq(vars, /*value=*/2, /*target=*/1));
+    solver.add(make_count_eq(vars, /*value=*/5, /*target=*/2));
+    solver.add(make_all_different_except(vars, /*except=*/10));
+    SearchOptions options;
+    options.var_heuristic = VarHeuristic::kDomWdeg;
+    options.val_heuristic = ValHeuristic::kRandom;
+    options.random_var_ties = true;
+    options.restart = RestartPolicy::kLuby;
+    options.restart_scale = 8;
+    options.propagation = mode;
+    options.seed = 31;
+    options.max_nodes = 20'000;
+    return solver.solve(options);
+  };
+  const auto inc = run(PropagationMode::kIncremental);
+  const auto ref = run(PropagationMode::kScratch);
+  EXPECT_EQ(inc.status, ref.status);
+  EXPECT_EQ(inc.stats.nodes, ref.stats.nodes);
+  EXPECT_EQ(inc.stats.failures, ref.stats.failures);
+  EXPECT_EQ(inc.stats.restarts, ref.stats.restarts);
+  EXPECT_EQ(inc.assignment, ref.assignment);
 }
 
 TEST(EventEngine, ScratchModeSolvesAndMatchesStatusOnUnsat) {

@@ -234,6 +234,77 @@ TEST(Solver, StatsArePopulated) {
   EXPECT_GE(outcome.stats.seconds, 0.0);
 }
 
+TEST(Solver, LubyMatchesClosedForm) {
+  // Closed form: luby(i) = 2^(k-1) when i = 2^k - 1; otherwise recurse on
+  // i - (2^(k-1) - 1) where k is minimal with 2^k - 1 >= i.
+  struct Ref {
+    static std::int64_t at(std::int64_t i) {
+      std::int64_t pow = 1;
+      while (2 * pow - 1 < i) pow *= 2;
+      if (2 * pow - 1 == i) return pow;
+      return at(i - (pow - 1));
+    }
+  };
+  const std::vector<std::int64_t> prefix = {1, 1, 2, 1, 1, 2, 4, 1,
+                                            1, 2, 1, 1, 2, 4, 8};
+  for (std::size_t k = 0; k < prefix.size(); ++k) {
+    EXPECT_EQ(luby(static_cast<std::int64_t>(k) + 1), prefix[k])
+        << "i=" << k + 1;
+  }
+  for (std::int64_t i = 1; i <= 2000; ++i) {
+    ASSERT_EQ(luby(i), Ref::at(i)) << "i=" << i;
+  }
+  // End-of-subtree milestones: luby(2^k - 1) = 2^(k-1).
+  for (int k = 1; k <= 40; ++k) {
+    EXPECT_EQ(luby((std::int64_t{1} << k) - 1), std::int64_t{1} << (k - 1));
+  }
+}
+
+TEST(Solver, RestartSearchIsSeedDeterministic) {
+  // The whole restart-driven stack — randomized value order and ties, Luby
+  // budgets, nogood recording, heap selection — must replay identically
+  // under a fixed seed.
+  auto run = [&](std::uint64_t seed) {
+    Solver solver;
+    std::vector<VarId> vars;
+    for (int k = 0; k < 8; ++k) vars.push_back(solver.add_variable(0, 6));
+    solver.add(make_all_different_except(vars, -9));  // pigeonhole: UNSAT
+    solver.add(make_count_eq(vars, /*value=*/5, /*target=*/1));
+    SearchOptions options;
+    options.val_heuristic = ValHeuristic::kRandom;
+    options.random_var_ties = true;
+    options.restart = RestartPolicy::kLuby;
+    options.restart_scale = 2;
+    options.nogoods = true;
+    options.seed = seed;
+    return solver.solve(options);
+  };
+  const auto a = run(23);
+  const auto b = run(23);
+  EXPECT_EQ(a.status, SolveStatus::kUnsat);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+  EXPECT_EQ(a.stats.failures, b.stats.failures);
+  EXPECT_EQ(a.stats.restarts, b.stats.restarts);
+  EXPECT_EQ(a.stats.nogoods_recorded, b.stats.nogoods_recorded);
+  EXPECT_GT(a.stats.restarts, 0);
+}
+
+TEST(Solver, CancelledTokenReportsTimeout) {
+  // Cooperative cancellation surfaces as a deadline expiry at the next
+  // poll, even with no wall-clock limit set.
+  Solver solver;
+  std::vector<VarId> vars;
+  for (int k = 0; k < 10; ++k) vars.push_back(solver.add_variable(0, 8));
+  solver.add(make_all_different_except(vars, -9));  // pigeonhole: slow proof
+  const auto token = support::CancelToken::make();
+  token.cancel();
+  SearchOptions options;
+  options.deadline.set_cancel(token);
+  const auto outcome = solver.solve(options);
+  EXPECT_EQ(outcome.status, SolveStatus::kTimeout);
+}
+
 TEST(Solver, LexHeuristicAssignsInDeclarationOrder) {
   Solver solver;
   const VarId a = solver.add_variable(0, 1);

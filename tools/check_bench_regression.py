@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Enforce the bench_micro perf ledger.
+
+Compares a freshly produced BENCH_micro.json against the committed baseline
+and fails (exit 1) when any gated throughput metric regresses by more than
+the threshold.  Gated metrics are rates (useful_propagations_per_sec,
+nodes_per_sec); wall-clock totals (the portfolio entries) stay advisory
+because they are budget- and machine-shaped rather than throughput-shaped.
+
+Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
+
+threshold is the maximum tolerated fractional drop (default 0.30: fail
+below 70% of the committed rate).  Entries present in the baseline must
+exist in the fresh output — a silently dropped workload would otherwise
+retire its ledger line.
+"""
+
+import json
+import sys
+
+GATED_METRICS = ("useful_propagations_per_sec", "nodes_per_sec")
+
+
+def load_entries(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    return {entry["name"]: entry for entry in data.get("entries", [])}
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    fresh = load_entries(argv[1])
+    baseline = load_entries(argv[2])
+    threshold = float(argv[3]) if len(argv) == 4 else 0.30
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        new = fresh.get(name)
+        if new is None:
+            failures.append(f"{name}: entry missing from fresh output")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in base:
+                continue
+            if metric not in new:
+                failures.append(f"{name}.{metric}: metric missing")
+                continue
+            old_rate, new_rate = float(base[metric]), float(new[metric])
+            if old_rate <= 0:
+                continue
+            ratio = new_rate / old_rate
+            status = "FAIL" if ratio < 1.0 - threshold else "ok"
+            print(f"{status:4s} {name}.{metric}: {new_rate:.3g} vs "
+                  f"{old_rate:.3g} committed ({ratio:.2f}x)")
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{name}.{metric}: {new_rate:.3g} is {ratio:.2f}x of the "
+                    f"committed {old_rate:.3g} (floor {1.0 - threshold:.2f}x)")
+
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench regression gate passed "
+          f"(threshold: >{(1.0 - threshold) * 100:.0f}% of committed rates)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
