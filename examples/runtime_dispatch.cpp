@@ -34,6 +34,17 @@ int main(int argc, char** argv) {
     std::printf("unexpected: instance infeasible\n");
     return 1;
   }
+  // The default facade path is the staged pipeline; on this identical
+  // platform the flow-oracle presolve stage supplies the witness before
+  // any search runs.  The exit code asserts the provenance (this example
+  // doubles as a ctest smoke test).
+  std::printf("decided by: %s (witness validated: %s)\n",
+              report.decided_by.c_str(), report.witness_valid ? "yes" : "NO");
+  if (report.decided_by != "flow-oracle" || !report.witness_valid ||
+      !report.schedule.has_value()) {
+    std::printf("FAIL: expected a validated flow-oracle presolve witness\n");
+    return 1;
+  }
   std::printf("cyclic table (WCET budget):\n%s\n",
               rt::render_schedule(tasks, *report.schedule).c_str());
 

@@ -22,18 +22,8 @@ const char* to_string(Method method) {
     case Method::kCsp2Dedicated: return "CSP2(dedicated)";
     case Method::kFlowOracle: return "flow-oracle";
     case Method::kEdfSimulation: return "EDF-sim";
+    case Method::kLocalSearch: return "min-conflicts";
     case Method::kPortfolio: return "CSP2-portfolio";
-  }
-  return "?";
-}
-
-const char* to_string(Verdict verdict) {
-  switch (verdict) {
-    case Verdict::kFeasible: return "feasible";
-    case Verdict::kInfeasible: return "infeasible";
-    case Verdict::kTimeout: return "timeout";
-    case Verdict::kNodeLimit: return "node-limit";
-    case Verdict::kMemoryLimit: return "memory-limit";
   }
   return "?";
 }
@@ -51,75 +41,66 @@ csp::SearchOptions choco_like_defaults(std::uint64_t seed) {
 
 namespace {
 
-Verdict from_generic(csp::SolveStatus status) {
-  switch (status) {
-    case csp::SolveStatus::kSat: return Verdict::kFeasible;
-    case csp::SolveStatus::kUnsat: return Verdict::kInfeasible;
-    case csp::SolveStatus::kTimeout: return Verdict::kTimeout;
-    case csp::SolveStatus::kNodeLimit: return Verdict::kNodeLimit;
-    case csp::SolveStatus::kMemoryLimit: return Verdict::kMemoryLimit;
+/// The terminal pipeline stage: dispatches to the requested search method.
+/// ResourceError surfaces as kMemoryLimit (Table IV's "-"); structural
+/// ValidationError (e.g. the flow oracle on a heterogeneous platform)
+/// propagates to the caller as before.
+class MethodBackend final : public Backend {
+ public:
+  explicit MethodBackend(Method method) : method_(method) {}
+
+  [[nodiscard]] const char* name() const override {
+    return core::to_string(method_);
   }
-  return Verdict::kInfeasible;
-}
 
-Verdict from_csp2(csp2::Status status) {
-  switch (status) {
-    case csp2::Status::kFeasible: return Verdict::kFeasible;
-    case csp2::Status::kInfeasible: return Verdict::kInfeasible;
-    case csp2::Status::kTimeout: return Verdict::kTimeout;
-    case csp2::Status::kNodeLimit: return Verdict::kNodeLimit;
+  [[nodiscard]] StageResult run(const rt::TaskSet& ts,
+                                const rt::Platform& platform,
+                                const SolveConfig& config,
+                                const support::Deadline& deadline)
+      const override {
+    StageResult out;
+    try {
+      dispatch(ts, platform, config, deadline, out);
+    } catch (const ResourceError& e) {
+      out = StageResult{};
+      out.verdict = Verdict::kMemoryLimit;
+      out.detail = e.what();
+    }
+    return out;
   }
-  return Verdict::kInfeasible;
-}
 
-}  // namespace
-
-SolveReport solve_instance(const rt::TaskSet& input,
-                           const rt::Platform& platform,
-                           const SolveConfig& config) {
-  support::Stopwatch watch;
-  SolveReport report;
-
-  // §VI-B: arbitrary-deadline systems are solved through their clone
-  // expansion; every downstream component expects constrained deadlines.
-  const bool cloned = !input.is_constrained();
-  const rt::TaskSet ts = cloned ? input.to_constrained() : input;
-  if (cloned) report.solved_tasks = ts;
-
-  auto deadline = config.time_limit_ms < 0
-                      ? support::Deadline()
-                      : support::Deadline::after_ms(config.time_limit_ms);
-  deadline.set_cancel(config.cancel);
-
-  try {
-    switch (config.method) {
+ private:
+  void dispatch(const rt::TaskSet& ts, const rt::Platform& platform,
+                const SolveConfig& config, const support::Deadline& deadline,
+                StageResult& out) const {
+    switch (method_) {
       case Method::kCsp1Generic: {
         auto model = enc::build_csp1(ts, platform, config.limits);
         csp::SearchOptions options = config.generic;
         options.deadline = deadline;
         options.max_nodes = config.max_nodes;
         const csp::SolveOutcome outcome = model.solver->solve(options);
-        report.verdict = from_generic(outcome.status);
-        report.nodes = outcome.stats.nodes;
-        report.failures = outcome.stats.failures;
+        out.verdict = canonical_verdict(outcome.status);
+        out.nodes = outcome.stats.nodes;
+        out.failures = outcome.stats.failures;
         if (outcome.status == csp::SolveStatus::kSat) {
-          report.schedule = enc::decode_csp1(model, outcome.assignment);
+          out.schedule = enc::decode_csp1(model, outcome.assignment);
         }
         break;
       }
       case Method::kCsp2Generic: {
-        auto model =
-            enc::build_csp2_generic(ts, platform, config.csp2_generic,
-                                    config.limits);
+        auto model = enc::build_csp2_generic(ts, platform,
+                                             config.csp2_generic,
+                                             config.limits);
         csp::SearchOptions options = config.generic;
         options.deadline = deadline;
         options.max_nodes = config.max_nodes;
         const csp::SolveOutcome outcome = model.solver->solve(options);
-        report.verdict = from_generic(outcome.status);
-        report.nodes = outcome.stats.nodes;
-        report.failures = outcome.stats.failures;
+        out.verdict = canonical_verdict(outcome.status);
+        out.nodes = outcome.stats.nodes;
+        out.failures = outcome.stats.failures;
         if (outcome.status == csp::SolveStatus::kSat) {
-          report.schedule = enc::decode_csp2_generic(model, outcome.assignment);
+          out.schedule = enc::decode_csp2_generic(model, outcome.assignment);
         }
         break;
       }
@@ -128,62 +109,85 @@ SolveReport solve_instance(const rt::TaskSet& input,
         options.deadline = deadline;
         options.max_nodes = config.max_nodes;
         csp2::Result result = csp2::solve(ts, platform, options);
-        report.verdict = from_csp2(result.status);
-        report.complete = result.search_complete;
-        report.nodes = result.stats.nodes;
-        report.failures = result.stats.failures;
-        report.schedule = std::move(result.schedule);
+        out.verdict = canonical_verdict(result.status);
+        out.complete = result.search_complete;
+        out.nodes = result.stats.nodes;
+        out.failures = result.stats.failures;
+        out.schedule = std::move(result.schedule);
         break;
       }
       case Method::kFlowOracle: {
         flow::OracleResult oracle = flow::decide_feasibility(ts, platform);
-        report.verdict = oracle.verdict == flow::OracleVerdict::kFeasible
-                             ? Verdict::kFeasible
-                             : Verdict::kInfeasible;
-        report.schedule = std::move(oracle.schedule);
+        out.verdict = canonical_verdict(oracle.verdict);
+        out.schedule = std::move(oracle.schedule);
+        break;
+      }
+      case Method::kLocalSearch: {
+        ls::Options options = config.localsearch;
+        options.deadline = deadline;
+        ls::Result result = ls::solve(ts, platform, options);
+        out.verdict = canonical_verdict(result.status);
+        out.complete = false;  // can never prove infeasibility (§VIII)
+        out.nodes = result.stats.iterations;
+        out.schedule = std::move(result.schedule);
+        if (out.verdict != Verdict::kFeasible) {
+          out.detail = "min-conflicts gave up at cost " +
+                       std::to_string(result.stats.best_cost);
+        }
         break;
       }
       case Method::kPortfolio: {
-        // ts is already constrained, so the lanes' own clone expansion is a
-        // no-op; the lane methods are concrete, so no recursion.
-        const PortfolioReport race = solve_portfolio(ts, platform, config);
-        report = race.report;
-        report.detail =
+        // The caller's pipeline already ran its presolve stages in front of
+        // this backend; the lanes must not repeat them, and their budget is
+        // what remains of the caller's deadline, not a fresh clock.
+        SolveConfig inner = config;
+        inner.pipeline = PipelineOptions::none();
+        inner.time_limit_ms = deadline.remaining_ms();
+        PortfolioReport race = solve_portfolio(ts, platform, inner);
+        out.verdict = race.report.verdict;
+        out.complete = race.report.complete;
+        out.schedule = std::move(race.report.schedule);
+        out.nodes = race.report.nodes;
+        out.failures = race.report.failures;
+        out.decided_by = std::move(race.report.decided_by);
+        out.detail =
             race.winner >= 0
                 ? std::string("portfolio winner: ") +
                       race.lanes[static_cast<std::size_t>(race.winner)].label
                 : std::string("portfolio: no lane decided");
-        if (cloned) report.solved_tasks = ts;
         break;
       }
       case Method::kEdfSimulation: {
         sim::SimOptions options;
         options.policy = sim::Policy::kEdf;
         const sim::SimResult result = sim::simulate(ts, platform, options);
-        report.complete = false;  // EDF is not an optimal global policy
+        out.complete = false;  // EDF is not an optimal global policy
         if (result.status == sim::SimStatus::kSchedulable) {
-          report.verdict = Verdict::kFeasible;
+          out.verdict = Verdict::kFeasible;
           if (result.schedule.has_value()) {
-            report.schedule = result.schedule;
+            out.schedule = result.schedule;
           } else {
             // Schedulable with a steady state longer than one hyperperiod:
             // no compact witness to validate.
-            report.detail = "schedulable; steady state period exceeds T";
+            out.detail = "schedulable; steady state period exceeds T";
           }
         } else {
-          report.verdict = Verdict::kInfeasible;
-          report.detail = std::string("EDF ") + sim::to_string(result.status);
+          out.verdict = Verdict::kInfeasible;
+          out.detail = std::string("EDF ") + sim::to_string(result.status);
         }
         break;
       }
     }
-  } catch (const ResourceError& e) {
-    report.verdict = Verdict::kMemoryLimit;
-    report.detail = e.what();
-    report.seconds = watch.seconds();
-    return report;
   }
 
+  Method method_;
+};
+
+/// Witness validation shared by solve_instance and the portfolio's
+/// presolve short-circuit: re-checks any schedule with the independent
+/// validator and flags solver bugs loudly.
+void validate_report(const rt::TaskSet& ts, const rt::Platform& platform,
+                     const SolveConfig& config, SolveReport& report) {
   if (report.schedule.has_value() && config.validate_witness) {
     report.witness_valid =
         rt::is_valid_schedule(ts, platform, *report.schedule);
@@ -191,23 +195,90 @@ SolveReport solve_instance(const rt::TaskSet& input,
     report.witness_valid = true;  // validation skipped by request
   }
 
-  // A "feasible" claim without a checkable or valid witness is a solver bug;
-  // surface it loudly in the detail string rather than silently trusting it.
+  // A "feasible" claim whose witness fails the validator is a solver bug;
+  // surface it loudly in the detail string rather than silently trusting
+  // it.
   if (report.verdict == Verdict::kFeasible && report.schedule.has_value() &&
       config.validate_witness && !report.witness_valid) {
     report.detail = "INVALID WITNESS: " +
                     rt::validate_schedule(ts, platform, *report.schedule)
                         .to_string();
   }
+}
 
+/// Lifts a pipeline stage/backend result into the public report shape.
+SolveReport to_report(PipelineOutcome&& outcome) {
+  SolveReport report;
+  report.verdict = outcome.result.verdict;
+  report.complete = outcome.result.complete;
+  report.schedule = std::move(outcome.result.schedule);
+  report.nodes = outcome.result.nodes;
+  report.failures = outcome.result.failures;
+  report.detail = std::move(outcome.result.detail);
+  report.decided_by = std::move(outcome.decided_by);
+  report.stage_times = std::move(outcome.stages);
+  return report;
+}
+
+}  // namespace
+
+SolveReport solve_instance(const rt::TaskSet& input,
+                           const rt::Platform& platform,
+                           const SolveConfig& config) {
+  support::Stopwatch watch;
+
+  // §VI-B: arbitrary-deadline systems are solved through their clone
+  // expansion; every downstream component expects constrained deadlines.
+  const bool cloned = !input.is_constrained();
+  const rt::TaskSet ts = cloned ? input.to_constrained() : input;
+
+  auto deadline = config.time_limit_ms < 0
+                      ? support::Deadline()
+                      : support::Deadline::after_ms(config.time_limit_ms);
+  deadline.set_cancel(config.cancel);
+
+  Pipeline pipeline = make_pipeline(config.pipeline);
+  pipeline.set_backend(std::make_unique<MethodBackend>(config.method));
+  SolveReport report = to_report(pipeline.run(ts, platform, config, deadline));
+  if (cloned) report.solved_tasks = ts;
+
+  validate_report(ts, platform, config, report);
   report.seconds = watch.seconds();
   return report;
 }
 
-PortfolioReport solve_portfolio(const rt::TaskSet& ts,
+PortfolioReport solve_portfolio(const rt::TaskSet& input,
                                 const rt::Platform& platform,
                                 const SolveConfig& config) {
   support::Stopwatch watch;
+
+  const bool cloned = !input.is_constrained();
+  const rt::TaskSet ts = cloned ? input.to_constrained() : input;
+
+  auto race_deadline = config.time_limit_ms < 0
+                           ? support::Deadline()
+                           : support::Deadline::after_ms(config.time_limit_ms);
+  race_deadline.set_cancel(config.cancel);
+
+  PortfolioReport out;
+
+  // Presolve prefilter: the pipeline stages run once, before any lane
+  // launches.  A decisive stage answer is the portfolio's answer — no lane
+  // ever starts, which is where the flow oracle converts whole identical-
+  // platform workloads into polynomial time.
+  {
+    PipelineOutcome pre =
+        make_pipeline(config.pipeline).run_stages(ts, platform, race_deadline);
+    out.presolve = pre.stages;
+    if (pre.result.decisive()) {
+      out.report = to_report(std::move(pre));
+      if (cloned) out.report.solved_tasks = ts;
+      validate_report(ts, platform, config, out.report);
+      out.report.seconds = watch.seconds();
+      out.seconds = watch.seconds();
+      return out;
+    }
+  }
 
   struct Lane {
     std::string label;
@@ -215,17 +286,52 @@ PortfolioReport solve_portfolio(const rt::TaskSet& ts,
   };
   std::vector<Lane> lanes;
 
+  // Lanes never re-run the presolve stages (they just ran above), race over
+  // what remains of this call's wall budget (a fresh clock would let the
+  // race overshoot it by whatever presolve consumed), and the lane methods
+  // are concrete, so no recursion.
+  SolveConfig lane_base = config;
+  lane_base.pipeline = PipelineOptions::none();
+  lane_base.time_limit_ms = race_deadline.remaining_ms();
+
   // The four dedicated value-order lanes, configured like exp::csp2_spec.
   for (const csp2::ValueOrder order : csp2::informed_value_orders()) {
     Lane lane;
     lane.label = csp2::to_string(order);
-    lane.config = config;
+    lane.config = lane_base;
     lane.config.method = Method::kCsp2Dedicated;
     lane.config.csp2.value_order = order;
     if (config.portfolio.paper_faithful) {
       lane.config.csp2.slack_prune = false;
       lane.config.csp2.tight_demand_prune = false;
     }
+    lanes.push_back(std::move(lane));
+  }
+
+  // Anticorrelated lane: the same dedicated search with this repo's
+  // slack/demand prunes ON — where the paper-faithful lanes all time out on
+  // an infeasible instance, this lane often proves it instantly.
+  if (config.portfolio.pruned_lane) {
+    Lane lane;
+    lane.label = "CSP2+(D-C)+prunes";
+    lane.config = lane_base;
+    lane.config.method = Method::kCsp2Dedicated;
+    lane.config.csp2.value_order = csp2::ValueOrder::kDMinusC;
+    lane.config.csp2.slack_prune = true;
+    lane.config.csp2.tight_demand_prune = true;
+    lanes.push_back(std::move(lane));
+  }
+
+  // Anticorrelated lane: min-conflicts local search — a SAT specialist for
+  // feasible instances the tree searches thrash on.  Identical platforms
+  // only (ls::solve's domain); its kUnknown give-up is never decisive.
+  if (config.portfolio.local_search_lane && platform.is_identical()) {
+    Lane lane;
+    lane.label = "min-conflicts";
+    lane.config = lane_base;
+    lane.config.method = Method::kLocalSearch;
+    lane.config.localsearch.seed =
+        config.localsearch.seed ^ (config.generic.seed * 0x9e3779b97f4a7c15ULL);
     lanes.push_back(std::move(lane));
   }
 
@@ -239,7 +345,7 @@ PortfolioReport solve_portfolio(const rt::TaskSet& ts,
   for (std::int32_t r = 0; r < config.portfolio.random_lanes; ++r) {
     Lane lane;
     lane.label = "CSP2(generic)+rand" + std::to_string(r);
-    lane.config = config;
+    lane.config = lane_base;
     lane.config.method = Method::kCsp2Generic;
     lane.config.generic = choco_like_defaults(
         config.generic.seed ^
@@ -263,7 +369,6 @@ PortfolioReport solve_portfolio(const rt::TaskSet& ts,
                               : support::CancelToken::make();
   for (Lane& lane : lanes) lane.config.cancel = token;
 
-  PortfolioReport out;
   std::vector<SolveReport> reports(lanes.size());
   std::vector<std::exception_ptr> errors(lanes.size());
   // One thread per lane by default: the race mechanism is overlapping
@@ -276,9 +381,7 @@ PortfolioReport solve_portfolio(const rt::TaskSet& ts,
   support::parallel_for_index(lanes.size(), workers, [&](std::size_t k) {
     try {
       reports[k] = solve_instance(ts, platform, lanes[k].config);
-      const Verdict v = reports[k].verdict;
-      if (v == Verdict::kFeasible ||
-          (v == Verdict::kInfeasible && reports[k].complete)) {
+      if (decisive(reports[k].verdict, reports[k].complete)) {
         token.cancel();  // decisive: the race is over, stop the losers
       }
     } catch (...) {
@@ -293,11 +396,7 @@ PortfolioReport solve_portfolio(const rt::TaskSet& ts,
   for (std::size_t k = 0; k < lanes.size(); ++k) {
     out.lanes.push_back(LaneOutcome{lanes[k].label, reports[k].verdict,
                                     reports[k].seconds, reports[k].nodes});
-    const Verdict v = reports[k].verdict;
-    const bool decisive =
-        v == Verdict::kFeasible ||
-        (v == Verdict::kInfeasible && reports[k].complete);
-    if (!decisive) continue;
+    if (!decisive(reports[k].verdict, reports[k].complete)) continue;
     if (out.winner < 0 ||
         reports[k].seconds <
             reports[static_cast<std::size_t>(out.winner)].seconds) {
@@ -307,6 +406,17 @@ PortfolioReport solve_portfolio(const rt::TaskSet& ts,
   out.report = out.winner >= 0
                    ? reports[static_cast<std::size_t>(out.winner)]
                    : reports.front();
+  // Honest provenance either way: the winning lane, or an explicit "none"
+  // instead of whatever backend label lane 0's undecided run carried.
+  out.report.decided_by =
+      out.winner >= 0
+          ? "portfolio:" + lanes[static_cast<std::size_t>(out.winner)].label
+          : std::string("portfolio:none");
+  // Provenance for callers that only see the headline report: the presolve
+  // stages ran (undecided) before the race.
+  out.report.stage_times.insert(out.report.stage_times.begin(),
+                                out.presolve.begin(), out.presolve.end());
+  if (cloned) out.report.solved_tasks = ts;
   out.seconds = watch.seconds();
   return out;
 }

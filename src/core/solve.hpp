@@ -1,6 +1,7 @@
-// Public facade: solve one MGRTS instance with a chosen method.
+// Public facade: solve one MGRTS instance with a chosen method, through
+// the staged presolve->backend pipeline (core/pipeline.hpp).
 //
-// Methods:
+// Backends (Method):
 //   kCsp1Generic    — the paper's CSP1 route: boolean encoding (§IV) handed
 //                     to the generic engine (src/csp) with a randomized
 //                     Choco-like default strategy;
@@ -9,8 +10,18 @@
 //   kCsp2Dedicated  — the paper's CSP2 solver with hand-made search (§V-C);
 //   kFlowOracle     — exact polynomial feasibility via max-flow (identical
 //                     platforms; this repo's ground-truth baseline);
+//   kLocalSearch    — min-conflicts over the CSP formalization (§VIII's
+//                     first future-work bullet; finds witnesses, proves
+//                     nothing — kUnknown when it gives up);
 //   kEdfSimulation  — global EDF baseline (incomplete: a deadline miss does
 //                     not prove infeasibility).
+//
+// Every method runs behind the presolve stages selected by
+// `SolveConfig::pipeline` (exact analytical tests and the flow oracle by
+// default), so cheap proofs short-circuit search uniformly;
+// `SolveReport::decided_by` records which stage or backend answered.
+// `PipelineOptions::none()` restores the paper-faithful direct-method
+// behavior (exp::paper_lineup uses it).
 //
 // Arbitrary-deadline task sets are clone-expanded (§VI-B) transparently;
 // the report then carries the constrained clone system the schedule refers
@@ -23,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hpp"
+#include "core/verdict.hpp"
 #include "csp/options.hpp"
 #include "csp2/csp2.hpp"
 #include "encodings/csp2_generic.hpp"
+#include "localsearch/min_conflicts.hpp"
 #include "rt/platform.hpp"
 #include "rt/schedule.hpp"
 #include "rt/task_set.hpp"
@@ -38,20 +52,11 @@ enum class Method {
   kCsp2Dedicated,
   kFlowOracle,
   kEdfSimulation,
-  kPortfolio,  ///< race the §V-C2 value orders + randomized lanes (below)
+  kLocalSearch,  ///< min-conflicts (feasible-only; kUnknown when it gives up)
+  kPortfolio,    ///< race diversified lanes (below) behind shared presolve
 };
 
 [[nodiscard]] const char* to_string(Method method);
-
-enum class Verdict {
-  kFeasible,
-  kInfeasible,
-  kTimeout,      ///< the paper's "overrun"
-  kNodeLimit,
-  kMemoryLimit,  ///< model exceeded the variable/memory budget (Table IV "-")
-};
-
-[[nodiscard]] const char* to_string(Verdict verdict);
 
 /// Lane line-up knobs for Method::kPortfolio / solve_portfolio.
 struct PortfolioConfig {
@@ -65,6 +70,14 @@ struct PortfolioConfig {
   /// Configure the dedicated lanes exactly as §V-C describes them (no
   /// slack/demand pruning extensions), like exp::csp2_spec.
   bool paper_faithful = true;
+  /// Anticorrelated extra lane: CSP2+(D-C) with the slack/demand prunes ON
+  /// — converts many of the paper-faithful lanes' shared timeouts into
+  /// infeasibility proofs (see bench_ablation_csp2_rules).
+  bool pruned_lane = true;
+  /// Anticorrelated extra lane: min-conflicts local search — finds feasible
+  /// witnesses where tree search thrashes (identical platforms only; the
+  /// lane is skipped elsewhere).
+  bool local_search_lane = true;
   /// Variable budget for the randomized generic lanes; keeps a lane from
   /// burning the whole race budget building a model it cannot search.
   std::int64_t random_lane_max_variables = 250'000;
@@ -82,6 +95,10 @@ struct SolveConfig {
   /// Node budget for the searching methods; -1 = unlimited.
   std::int64_t max_nodes = -1;
 
+  /// Presolve stages run in front of the backend (short-circuit on any
+  /// decisive answer).  Default: analysis + flow oracle.
+  PipelineOptions pipeline;
+
   /// Knobs for kCsp2Dedicated (deadline/max_nodes fields are overridden by
   /// the budgets above).
   csp2::Options csp2;
@@ -89,6 +106,8 @@ struct SolveConfig {
   csp::SearchOptions generic;
   /// Encoding options for kCsp2Generic.
   enc::Csp2GenericOptions csp2_generic;
+  /// Knobs for kLocalSearch (deadline is overridden by the budgets above).
+  ls::Options localsearch;
   /// Variable budget for generic models (Choco-OOM stand-in).
   csp::SolverLimits limits;
   /// Lane knobs for Method::kPortfolio (seeds derive from generic.seed).
@@ -109,20 +128,30 @@ struct SolveConfig {
 
 struct SolveReport {
   Verdict verdict = Verdict::kInfeasible;
-  std::optional<rt::Schedule> schedule;  ///< present iff kFeasible
+  std::optional<rt::Schedule> schedule;  ///< present iff a witness exists
 
   /// The constrained-deadline system the schedule refers to (differs from
   /// the input when clones were expanded).
   std::optional<rt::TaskSet> solved_tasks;
 
   /// True when the witness passed the independent validator (always true
-  /// for kFeasible results unless validation was disabled).
+  /// for witness-backed kFeasible results unless validation was disabled).
+  /// Analytical stages can prove feasibility without constructing a
+  /// witness (detail says which test); schedule is then absent.
   bool witness_valid = false;
 
   /// For kInfeasible: whether the verdict is a proof.  False for the EDF
   /// baseline and for rule-1 CSP2 searches on heterogeneous platforms
   /// (csp2.hpp header discussion).
   bool complete = true;
+
+  /// Provenance: which pipeline stage or backend produced the verdict —
+  /// "analysis:<test>", "flow-oracle", "csp2-presolve",
+  /// "backend:<method>", or "portfolio:<lane>".
+  std::string decided_by;
+  /// Stages (and the backend) in execution order, with verdict and wall
+  /// time each.
+  std::vector<StageTiming> stage_times;
 
   double seconds = 0.0;
   std::int64_t nodes = 0;
@@ -147,23 +176,32 @@ struct LaneOutcome {
 };
 
 struct PortfolioReport {
-  /// The winning lane's full report; when no lane decides, lane 0's report
-  /// (a timeout) so callers can treat this like any SolveReport.
+  /// The decisive report: the presolve stages' when they decided before
+  /// any lane launched (winner == -1, lanes empty), else the winning
+  /// lane's; when nobody decides, lane 0's report (a timeout) so callers
+  /// can treat this like any SolveReport.
   SolveReport report;
-  std::int32_t winner = -1;  ///< index into lanes; -1 = nobody decided
+  std::int32_t winner = -1;  ///< index into lanes; -1 = no lane decided
   std::vector<LaneOutcome> lanes;
+  /// Presolve stage timings (also mirrored into report.stage_times).
+  std::vector<StageTiming> presolve;
   double seconds = 0.0;  ///< race wall time (not the sum over lanes)
 };
 
-/// Races the four informed CSP2 value orders (dedicated solver) plus
-/// `config.portfolio.random_lanes` randomized generic lanes — Choco-like
-/// strategy with Luby restarts and nogood recording, sharing one nogood
-/// pool read-only — over the solve_batch thread pool.  The first lane with
-/// a decisive verdict (feasible, or a complete infeasibility proof) cancels
-/// the rest through the shared token; the winner's stats are reported.
-/// Uses config.time_limit_ms / max_nodes / csp2 / generic / portfolio;
-/// config.method is ignored.  Also reachable as Method::kPortfolio through
-/// solve_instance, which makes portfolios batchable by the harness.
+/// Races the diversified lane line-up behind the shared presolve stages:
+/// the four informed CSP2 value orders (dedicated solver, paper-faithful),
+/// a slack/demand-pruned CSP2 lane, a min-conflicts local-search lane
+/// (identical platforms), and `config.portfolio.random_lanes` randomized
+/// generic lanes — Choco-like strategy with Luby restarts and nogood
+/// recording, sharing one nogood pool read-only — over the solve_batch
+/// thread pool.  The presolve stages of `config.pipeline` run once before
+/// any lane launches; when they decide, no lane runs at all.  Otherwise the
+/// first lane with a decisive verdict (feasible, or a complete
+/// infeasibility proof) cancels the rest through the shared token; the
+/// winner's stats are reported.  Uses config.time_limit_ms / max_nodes /
+/// csp2 / generic / portfolio; config.method is ignored.  Also reachable as
+/// Method::kPortfolio through solve_instance, which makes portfolios
+/// batchable by the harness.
 [[nodiscard]] PortfolioReport solve_portfolio(const rt::TaskSet& ts,
                                               const rt::Platform& platform,
                                               const SolveConfig& config = {});

@@ -1,0 +1,67 @@
+#include "core/verdict.hpp"
+
+#include "analysis/tests.hpp"
+#include "csp/options.hpp"
+#include "csp2/csp2.hpp"
+#include "flow/oracle.hpp"
+#include "localsearch/min_conflicts.hpp"
+
+namespace mgrts::core {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kFeasible: return "feasible";
+    case Verdict::kInfeasible: return "infeasible";
+    case Verdict::kTimeout: return "timeout";
+    case Verdict::kNodeLimit: return "node-limit";
+    case Verdict::kMemoryLimit: return "memory-limit";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Verdict canonical_verdict(csp::SolveStatus status) {
+  switch (status) {
+    case csp::SolveStatus::kSat: return Verdict::kFeasible;
+    case csp::SolveStatus::kUnsat: return Verdict::kInfeasible;
+    case csp::SolveStatus::kTimeout: return Verdict::kTimeout;
+    case csp::SolveStatus::kNodeLimit: return Verdict::kNodeLimit;
+    case csp::SolveStatus::kMemoryLimit: return Verdict::kMemoryLimit;
+  }
+  return Verdict::kUnknown;
+}
+
+Verdict canonical_verdict(csp2::Status status) {
+  switch (status) {
+    case csp2::Status::kFeasible: return Verdict::kFeasible;
+    case csp2::Status::kInfeasible: return Verdict::kInfeasible;
+    case csp2::Status::kTimeout: return Verdict::kTimeout;
+    case csp2::Status::kNodeLimit: return Verdict::kNodeLimit;
+  }
+  return Verdict::kUnknown;
+}
+
+Verdict canonical_verdict(flow::OracleVerdict verdict) {
+  return verdict == flow::OracleVerdict::kFeasible ? Verdict::kFeasible
+                                                   : Verdict::kInfeasible;
+}
+
+Verdict canonical_verdict(analysis::TestVerdict verdict) {
+  switch (verdict) {
+    case analysis::TestVerdict::kFeasible: return Verdict::kFeasible;
+    case analysis::TestVerdict::kInfeasible: return Verdict::kInfeasible;
+    case analysis::TestVerdict::kUnknown: return Verdict::kUnknown;
+  }
+  return Verdict::kUnknown;
+}
+
+Verdict canonical_verdict(ls::Status status) {
+  switch (status) {
+    case ls::Status::kFeasible: return Verdict::kFeasible;
+    case ls::Status::kUnknown: return Verdict::kUnknown;
+    case ls::Status::kTimeout: return Verdict::kTimeout;
+  }
+  return Verdict::kUnknown;
+}
+
+}  // namespace mgrts::core

@@ -1,7 +1,9 @@
 #include "encodings/csp2_generic.hpp"
 
 #include <string>
+#include <vector>
 
+#include "analysis/tests.hpp"
 #include "csp/propagators.hpp"
 #include "rt/jobs.hpp"
 #include "support/assert.hpp"
@@ -96,6 +98,42 @@ Csp2GenericModel build_csp2_generic(const rt::TaskSet& ts,
                                              job.wcet));
     } else {
       solver.add(csp::make_count_eq(std::move(vars), job.task, job.wcet));
+    }
+  }
+
+  // Promoted slack/demand rules (root_demand_prunes; identical platforms
+  // only).  All three are necessary conditions — they tighten propagation
+  // but can never flip a verdict.  Root infeasibility is posted as an
+  // unsatisfiable CountEq so it flows through the normal solve path
+  // (kUnsat at root propagation, zero search nodes).
+  if (options.root_demand_prunes && platform.is_identical()) {
+    bool root_infeasible =
+        analysis::forced_demand_test(ts, m).verdict ==
+        analysis::TestVerdict::kInfeasible;
+    std::vector<std::int32_t> tight_per_slot(static_cast<std::size_t>(T), 0);
+    for (const rt::Job& job : jobs.jobs()) {
+      const auto capacity = static_cast<std::int64_t>(job.slots.size());
+      if (job.wcet > capacity) root_infeasible = true;  // slack rule
+      if (root_infeasible) break;
+      if (job.wcet != capacity) continue;
+      // Tight job: it must occupy exactly one processor in *every* slot of
+      // its window (the dedicated solver's slack rule, made declarative).
+      for (const Time t : job.slots) {
+        ++tight_per_slot[static_cast<std::size_t>(t)];
+        std::vector<VarId> column;
+        column.reserve(static_cast<std::size_t>(m));
+        for (ProcId j = 0; j < m; ++j) column.push_back(model.var(j, t));
+        solver.add(csp::make_count_eq(std::move(column), job.task, 1));
+      }
+    }
+    // Counting variant: more tight jobs over one slot than processors is a
+    // pigeonhole the per-job counters cannot see at the root.
+    for (const std::int32_t tight : tight_per_slot) {
+      if (tight > m) root_infeasible = true;
+    }
+    if (root_infeasible) {
+      // count(idle over {x}) == 2 is unsatisfiable over a single variable.
+      solver.add(csp::make_count_eq({model.var(0, 0)}, idle, 2));
     }
   }
 

@@ -12,6 +12,11 @@ SolverSpec csp2_spec(csp2::ValueOrder order, std::int64_t time_limit_ms,
   spec.config.method = core::Method::kCsp2Dedicated;
   spec.config.time_limit_ms = time_limit_ms;
   spec.config.csp2.value_order = order;
+  // The paper's solvers run with no presolve in front (§VII filters only by
+  // r > 1, which the harness applies separately); the pipeline stages would
+  // otherwise decide most identical-platform instances before the search
+  // under measurement ever ran.
+  spec.config.pipeline = core::PipelineOptions::none();
   if (paper_faithful) {
     // §V-C describes rules 1 and 2 plus the closure checks of (9), nothing
     // more; the slack/demand prunes are this repo's extensions and are
@@ -23,13 +28,28 @@ SolverSpec csp2_spec(csp2::ValueOrder order, std::int64_t time_limit_ms,
 }
 
 SolverSpec portfolio_spec(std::int64_t time_limit_ms,
-                          std::int32_t random_lanes) {
+                          std::int32_t random_lanes, bool presolve,
+                          bool diverse_lanes) {
   SolverSpec spec;
-  spec.label = "CSP2-portfolio";
+  spec.label = presolve ? "CSP2-pipeline" : "CSP2-portfolio";
   spec.config.method = core::Method::kPortfolio;
   spec.config.time_limit_ms = time_limit_ms;
+  spec.config.pipeline =
+      presolve ? core::PipelineOptions::full() : core::PipelineOptions::none();
   spec.config.portfolio.random_lanes = random_lanes;
   spec.config.portfolio.paper_faithful = true;
+  spec.config.portfolio.pruned_lane = diverse_lanes;
+  spec.config.portfolio.local_search_lane = diverse_lanes;
+  return spec;
+}
+
+SolverSpec pipeline_spec(std::int64_t time_limit_ms) {
+  SolverSpec spec;
+  spec.label = "pipeline-CSP2";
+  spec.config.method = core::Method::kCsp2Dedicated;
+  spec.config.time_limit_ms = time_limit_ms;
+  spec.config.csp2.value_order = csp2::ValueOrder::kDMinusC;
+  spec.config.pipeline = core::PipelineOptions::full();
   return spec;
 }
 
@@ -44,6 +64,7 @@ std::vector<SolverSpec> paper_lineup(std::int64_t time_limit_ms,
   csp1.config.time_limit_ms = time_limit_ms;
   csp1.config.generic = core::choco_like_defaults(seed);
   csp1.config.limits = limits;
+  csp1.config.pipeline = core::PipelineOptions::none();  // paper-faithful
   specs.push_back(std::move(csp1));
 
   specs.push_back(csp2_spec(csp2::ValueOrder::kInput, time_limit_ms));
@@ -97,9 +118,10 @@ BatchResult run_batch(const BatchOptions& options,
     const gen::Instance& inst = instances[k];
 
     core::SolveConfig config = specs[s].config;
-    // Give randomized generic searches a per-instance stream, like
-    // independent Choco invocations (§VII-B).
+    // Give randomized generic searches (and local-search restarts) a
+    // per-instance stream, like independent Choco invocations (§VII-B).
     config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (k + 1);
+    config.localsearch.seed ^= 0x9e3779b97f4a7c15ULL * (k + 1);
 
     const core::SolveReport report = core::solve_instance(
         inst.tasks, rt::Platform::identical(inst.processors), config);
@@ -110,6 +132,7 @@ BatchResult run_batch(const BatchOptions& options,
     run.witness_ok = report.witness_valid;
     run.complete = report.complete;
     run.nodes = report.nodes;
+    run.decided_by = report.decided_by;
   });
 
   return result;

@@ -42,13 +42,24 @@ struct SolverSpec {
                                    std::int64_t time_limit_ms,
                                    bool paper_faithful = true);
 
-/// A line-up entry racing the four informed value orders (plus
-/// `random_lanes` randomized nogood-recording generic lanes) through
-/// core::solve_portfolio.  The dedicated lanes match csp2_spec's
-/// paper-faithful configuration, so "portfolio vs. the single best fixed
-/// order" is a like-for-like comparison inside one batch.
+/// A line-up entry racing the diversified lane line-up through
+/// core::solve_portfolio.  The dedicated value-order lanes match
+/// csp2_spec's paper-faithful configuration, so "portfolio vs. the single
+/// best fixed order" is a like-for-like comparison inside one batch.
+/// `presolve` runs the full pipeline stages (analysis, flow oracle,
+/// csp2-presolve) before lanes launch and relabels the spec
+/// "CSP2-pipeline"; `diverse_lanes` adds the slack/demand-pruned CSP2 and
+/// min-conflicts lanes.  Defaults give the full diversified pipeline
+/// portfolio; portfolio_spec(ms, n, false, false) is PR 2's raw four-order
+/// race.
 [[nodiscard]] SolverSpec portfolio_spec(std::int64_t time_limit_ms,
-                                        std::int32_t random_lanes = 1);
+                                        std::int32_t random_lanes = 1,
+                                        bool presolve = true,
+                                        bool diverse_lanes = true);
+
+/// A line-up entry for the staged pipeline with the CSP2+(D-C) backend:
+/// every presolve stage on, then the dedicated search for the residue.
+[[nodiscard]] SolverSpec pipeline_spec(std::int64_t time_limit_ms);
 
 struct RunRecord {
   core::Verdict verdict = core::Verdict::kInfeasible;
@@ -56,12 +67,23 @@ struct RunRecord {
   bool witness_ok = false;
   bool complete = true;
   std::int64_t nodes = 0;
+  /// Pipeline provenance: the stage or backend that produced the verdict
+  /// (SolveReport::decided_by).
+  std::string decided_by;
 
   /// The paper's "overrun": the run did not decide within its budget.
   [[nodiscard]] bool overrun() const noexcept {
     return verdict == core::Verdict::kTimeout ||
            verdict == core::Verdict::kNodeLimit ||
-           verdict == core::Verdict::kMemoryLimit;
+           verdict == core::Verdict::kMemoryLimit ||
+           verdict == core::Verdict::kUnknown;
+  }
+
+  /// Decided before the search backend ran (a presolve stage answered).
+  [[nodiscard]] bool decided_by_presolve() const noexcept {
+    return !overrun() && !decided_by.empty() &&
+           decided_by.rfind("backend:", 0) != 0 &&
+           decided_by.rfind("portfolio:", 0) != 0;
   }
   [[nodiscard]] bool found_schedule() const noexcept {
     return verdict == core::Verdict::kFeasible;

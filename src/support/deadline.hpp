@@ -92,6 +92,19 @@ class Deadline {
     return !unlimited_ && Clock::now() >= end_;
   }
 
+  /// Remaining wall budget in milliseconds: -1 when unlimited, floored at
+  /// 0 once past the end.  Lets nested runs (portfolio lanes behind a
+  /// presolve prefilter) re-derive a budget that expires with the caller's
+  /// instead of restarting the clock.  Cancellation does not shorten the
+  /// estimate — cancel tokens are forwarded separately.
+  [[nodiscard]] std::int64_t remaining_ms() const noexcept {
+    if (unlimited_) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          end_ - Clock::now())
+                          .count();
+    return left > 0 ? left : 0;
+  }
+
  private:
   bool unlimited_ = true;
   Clock::time_point end_{};

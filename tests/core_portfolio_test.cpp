@@ -50,26 +50,35 @@ TEST(CancelToken, LinkedTokenSeesParentButNotViceVersa) {
 TEST(Portfolio, FeasibleInstanceProducesAValidatedWinner) {
   SolveConfig config;
   config.time_limit_ms = 5'000;
+  config.pipeline = PipelineOptions::none();  // exercise the race itself
   const PortfolioReport race =
       solve_portfolio(example1(), Platform::identical(2), config);
-  EXPECT_EQ(race.lanes.size(), 5u);  // four value orders + one random lane
+  // Four value orders + pruned lane + min-conflicts + one random lane.
+  EXPECT_EQ(race.lanes.size(), 7u);
   ASSERT_GE(race.winner, 0);
   EXPECT_EQ(race.report.verdict, Verdict::kFeasible);
   EXPECT_TRUE(race.report.witness_valid);
   ASSERT_TRUE(race.report.schedule.has_value());
   EXPECT_TRUE(rt::is_valid_schedule(example1(), Platform::identical(2),
                                     *race.report.schedule));
-  // The winner's recorded outcome matches the headline report.
+  // The winner's recorded outcome matches the headline report, and the
+  // provenance names the winning lane.
   EXPECT_EQ(race.lanes[static_cast<std::size_t>(race.winner)].verdict,
             Verdict::kFeasible);
+  EXPECT_EQ(race.report.decided_by,
+            "portfolio:" +
+                race.lanes[static_cast<std::size_t>(race.winner)].label);
 }
 
 TEST(Portfolio, InfeasibleInstanceYieldsACompleteProof) {
   // Example 1 needs two processors; on one the race must prove
   // infeasibility (every dedicated lane is complete on identical
-  // platforms).
+  // platforms; the min-conflicts lane's kUnknown give-up is not decisive).
   SolveConfig config;
   config.time_limit_ms = 5'000;
+  config.pipeline = PipelineOptions::none();
+  config.localsearch.restarts = 1;  // hopeless here; keep the lane short
+  config.localsearch.iterations_per_restart = 2'000;
   const PortfolioReport race =
       solve_portfolio(example1(), Platform::identical(1), config);
   ASSERT_GE(race.winner, 0);
@@ -77,26 +86,65 @@ TEST(Portfolio, InfeasibleInstanceYieldsACompleteProof) {
   EXPECT_TRUE(race.report.complete);
 }
 
-TEST(Portfolio, RandomLanesCanBeDisabled) {
+TEST(Portfolio, LaneLineUpMatchesConfig) {
   SolveConfig config;
   config.time_limit_ms = 5'000;
+  config.pipeline = PipelineOptions::none();
   config.portfolio.random_lanes = 0;
+  config.portfolio.pruned_lane = false;
+  config.portfolio.local_search_lane = false;
   const PortfolioReport race =
       solve_portfolio(example1(), Platform::identical(2), config);
-  EXPECT_EQ(race.lanes.size(), 4u);
+  EXPECT_EQ(race.lanes.size(), 4u);  // just the §V-C2 value orders
   EXPECT_GE(race.winner, 0);
+
+  config.portfolio.pruned_lane = true;
+  config.portfolio.local_search_lane = true;
+  const PortfolioReport diverse =
+      solve_portfolio(example1(), Platform::identical(2), config);
+  ASSERT_EQ(diverse.lanes.size(), 6u);
+  EXPECT_EQ(diverse.lanes[4].label, "CSP2+(D-C)+prunes");
+  EXPECT_EQ(diverse.lanes[5].label, "min-conflicts");
+}
+
+TEST(Portfolio, PresolveDecidesBeforeAnyLaneLaunches) {
+  // Default pipeline: the flow oracle settles Example 1 in the prefilter,
+  // so the race never starts (no lanes, winner == -1) and the provenance
+  // names the stage.
+  SolveConfig config;
+  config.time_limit_ms = 5'000;
+  const PortfolioReport race =
+      solve_portfolio(example1(), Platform::identical(2), config);
+  EXPECT_TRUE(race.lanes.empty());
+  EXPECT_EQ(race.winner, -1);
+  EXPECT_EQ(race.report.verdict, Verdict::kFeasible);
+  EXPECT_EQ(race.report.decided_by, "flow-oracle");
+  EXPECT_TRUE(race.report.witness_valid);
+  ASSERT_FALSE(race.presolve.empty());
+  EXPECT_EQ(race.presolve.back().stage, "flow-oracle");
 }
 
 TEST(Portfolio, ReachableAsAMethodThroughSolveInstance) {
   SolveConfig config;
   config.method = Method::kPortfolio;
   config.time_limit_ms = 5'000;
+  config.pipeline = PipelineOptions::none();
   const SolveReport report =
       solve_instance(example1(), Platform::identical(2), config);
   EXPECT_EQ(report.verdict, Verdict::kFeasible);
   EXPECT_TRUE(report.witness_valid);
   EXPECT_NE(report.detail.find("portfolio winner"), std::string::npos)
       << "detail: " << report.detail;
+
+  // With the default pipeline the presolve stages answer instead, and the
+  // provenance says so.
+  SolveConfig piped;
+  piped.method = Method::kPortfolio;
+  piped.time_limit_ms = 5'000;
+  const SolveReport presolved =
+      solve_instance(example1(), Platform::identical(2), piped);
+  EXPECT_EQ(presolved.verdict, Verdict::kFeasible);
+  EXPECT_EQ(presolved.decided_by, "flow-oracle");
 }
 
 TEST(Portfolio, BatchableThroughTheHarnessSpec) {
@@ -111,16 +159,24 @@ TEST(Portfolio, BatchableThroughTheHarnessSpec) {
   const exp::BatchResult batch =
       exp::run_batch(options, {exp::portfolio_spec(/*time_limit_ms=*/5'000)});
   ASSERT_EQ(batch.labels.size(), 1u);
-  EXPECT_EQ(batch.labels[0], "CSP2-portfolio");
+  EXPECT_EQ(batch.labels[0], "CSP2-pipeline");
   for (const auto& inst : batch.instances) {
     ASSERT_EQ(inst.runs.size(), 1u);
     // Generous budget on tiny instances: every race must decide, and
-    // feasible verdicts must carry validated witnesses.
+    // feasible verdicts must carry validated witnesses.  With the full
+    // pipeline in front, these identical-platform instances are settled by
+    // a presolve stage before any lane launches.
     EXPECT_TRUE(inst.runs[0].verdict == Verdict::kFeasible ||
                 inst.runs[0].verdict == Verdict::kInfeasible);
     if (inst.runs[0].verdict == Verdict::kFeasible) {
-      EXPECT_TRUE(inst.runs[0].witness_ok);
+      // Witness-backed unless the analysis density test proved existence
+      // analytically (the one stage that decides without constructing).
+      EXPECT_TRUE(inst.runs[0].witness_ok ||
+                  inst.runs[0].decided_by.rfind("analysis:", 0) == 0)
+          << inst.runs[0].decided_by;
     }
+    EXPECT_TRUE(inst.runs[0].decided_by_presolve())
+        << inst.runs[0].decided_by;
   }
 }
 

@@ -19,11 +19,14 @@ using rt::TaskSet;
 
 class AllMethods : public ::testing::TestWithParam<Method> {};
 
+// The sweep tests disable the presolve pipeline so each backend answers
+// for itself (core_pipeline_test covers the staged path).
 TEST_P(AllMethods, Example1FeasibleOnTwoProcessors) {
   SolveConfig config;
   config.method = GetParam();
   config.time_limit_ms = 10'000;
   config.generic = choco_like_defaults(1);
+  config.pipeline = PipelineOptions::none();
   const SolveReport report =
       solve_instance(example1(), Platform::identical(2), config);
   if (GetParam() == Method::kEdfSimulation) {
@@ -35,6 +38,13 @@ TEST_P(AllMethods, Example1FeasibleOnTwoProcessors) {
   ASSERT_EQ(report.verdict, Verdict::kFeasible);
   EXPECT_TRUE(report.witness_valid) << report.detail;
   EXPECT_TRUE(report.schedule.has_value());
+  if (GetParam() == Method::kPortfolio) {
+    EXPECT_EQ(report.decided_by.rfind("portfolio:", 0), 0u)
+        << report.decided_by;
+  } else {
+    EXPECT_EQ(report.decided_by,
+              std::string("backend:") + to_string(GetParam()));
+  }
 }
 
 TEST_P(AllMethods, Example1InfeasibleOnOneProcessor) {
@@ -42,8 +52,18 @@ TEST_P(AllMethods, Example1InfeasibleOnOneProcessor) {
   config.method = GetParam();
   config.time_limit_ms = 10'000;
   config.generic = choco_like_defaults(2);
+  config.pipeline = PipelineOptions::none();
+  config.localsearch.restarts = 2;  // keep the hopeless SAT search short
+  config.localsearch.iterations_per_restart = 5'000;
   const SolveReport report =
       solve_instance(example1(), Platform::identical(1), config);
+  if (GetParam() == Method::kLocalSearch) {
+    // Local search can only find witnesses; on an infeasible instance it
+    // gives up with kUnknown (§VIII's asymmetry).
+    EXPECT_EQ(report.verdict, Verdict::kUnknown);
+    EXPECT_FALSE(report.complete);
+    return;
+  }
   EXPECT_EQ(report.verdict, Verdict::kInfeasible);
 }
 
@@ -51,7 +71,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, AllMethods,
     ::testing::Values(Method::kCsp1Generic, Method::kCsp2Generic,
                       Method::kCsp2Dedicated, Method::kFlowOracle,
-                      Method::kEdfSimulation, Method::kPortfolio),
+                      Method::kEdfSimulation, Method::kLocalSearch,
+                      Method::kPortfolio),
     [](const ::testing::TestParamInfo<Method>& info) {
       switch (info.param) {
         case Method::kCsp1Generic: return "csp1";
@@ -59,6 +80,7 @@ INSTANTIATE_TEST_SUITE_P(
         case Method::kCsp2Dedicated: return "csp2";
         case Method::kFlowOracle: return "flow";
         case Method::kEdfSimulation: return "edf";
+        case Method::kLocalSearch: return "minconflicts";
         case Method::kPortfolio: return "portfolio";
       }
       return "other";
@@ -82,6 +104,7 @@ TEST(SolveInstance, ArbitraryDeadlinesCloneTransparently) {
 TEST(SolveInstance, MemoryLimitSurfacesAsVerdict) {
   SolveConfig config;
   config.method = Method::kCsp1Generic;
+  config.pipeline = PipelineOptions::none();  // let the backend hit the wall
   config.limits.max_variables = 10;
   const SolveReport report =
       solve_instance(example1(), Platform::identical(2), config);
@@ -106,6 +129,7 @@ TEST(SolveInstance, TimeLimitProducesTimeout) {
 TEST(SolveInstance, NodeLimitRespected) {
   SolveConfig config;
   config.method = Method::kCsp2Dedicated;
+  config.pipeline = PipelineOptions::none();
   config.max_nodes = 1;
   std::vector<rt::TaskParams> params;
   for (int k = 0; k < 5; ++k) params.push_back({0, 1, 3, 4});
@@ -159,6 +183,7 @@ TEST(MinProcessors, ArbitraryDeadlineInputAccepted) {
 TEST(MinProcessors, UndecidedRunStopsSearch) {
   SolveConfig config;
   config.method = Method::kCsp2Dedicated;
+  config.pipeline = PipelineOptions::none();  // presolve would decide m=2
   config.max_nodes = 0;  // every run exhausts instantly
   const MinProcessorsResult result = min_processors(example1(), config);
   EXPECT_FALSE(result.found);

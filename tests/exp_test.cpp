@@ -51,6 +51,35 @@ TEST(Harness, PaperLineupIsPaperFaithful) {
   // The CSP1 entry gets the randomized Choco-like strategy.
   EXPECT_EQ(specs[0].config.generic.restart, csp::RestartPolicy::kLuby);
   EXPECT_TRUE(specs[0].config.generic.random_var_ties);
+  // No presolve stage may shadow the solvers under measurement (§VII runs
+  // the CSP searches directly; only the r > 1 filter applies, separately).
+  for (const auto& spec : specs) {
+    EXPECT_FALSE(spec.config.pipeline.analysis) << spec.label;
+    EXPECT_FALSE(spec.config.pipeline.flow_oracle) << spec.label;
+    EXPECT_FALSE(spec.config.pipeline.csp2_presolve) << spec.label;
+  }
+}
+
+TEST(Harness, PortfolioAndPipelineSpecsSelectTheStages) {
+  const SolverSpec raw = portfolio_spec(100, 1, /*presolve=*/false,
+                                        /*diverse_lanes=*/false);
+  EXPECT_EQ(raw.label, "CSP2-portfolio");
+  EXPECT_FALSE(raw.config.pipeline.flow_oracle);
+  EXPECT_FALSE(raw.config.portfolio.pruned_lane);
+  EXPECT_FALSE(raw.config.portfolio.local_search_lane);
+
+  const SolverSpec piped = portfolio_spec(100);
+  EXPECT_EQ(piped.label, "CSP2-pipeline");
+  EXPECT_TRUE(piped.config.pipeline.analysis);
+  EXPECT_TRUE(piped.config.pipeline.flow_oracle);
+  EXPECT_TRUE(piped.config.pipeline.csp2_presolve);
+  EXPECT_TRUE(piped.config.portfolio.pruned_lane);
+  EXPECT_TRUE(piped.config.portfolio.local_search_lane);
+
+  const SolverSpec staged = pipeline_spec(100);
+  EXPECT_EQ(staged.label, "pipeline-CSP2");
+  EXPECT_EQ(staged.config.method, core::Method::kCsp2Dedicated);
+  EXPECT_TRUE(staged.config.pipeline.csp2_presolve);
 }
 
 TEST(Harness, PaperLineupHasSixSolversWithPaperLabels) {
@@ -178,6 +207,7 @@ TEST(Tables, Table4RowAveragesAndMemoryDash) {
   broken.config.method = core::Method::kCsp1Generic;
   broken.config.time_limit_ms = 1000;
   broken.config.limits.max_variables = 1;
+  broken.config.pipeline = core::PipelineOptions::none();  // let it OOM
   specs.push_back(broken);
 
   const BatchResult batch = run_batch(options, specs);

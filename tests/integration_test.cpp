@@ -61,6 +61,9 @@ TEST_P(SolverAgreement, AllCompleteMethodsMatchOracle) {
       config.method = method;
       config.time_limit_ms = 5'000;
       config.generic = core::choco_like_defaults(param.seed + 1);
+      // Presolve off: agreement must come from the searches themselves
+      // (the pipeline-vs-direct equivalence lives in core_pipeline_test).
+      config.pipeline = core::PipelineOptions::none();
       const core::SolveReport report =
           core::solve_instance(inst.tasks, platform, config);
       const bool decided = report.verdict == core::Verdict::kFeasible ||
@@ -127,6 +130,7 @@ TEST_P(BaselineSoundness, IncompleteMethodsNeverContradictOracle) {
     // EDF-schedulable => feasible.
     core::SolveConfig edf;
     edf.method = core::Method::kEdfSimulation;
+    edf.pipeline = core::PipelineOptions::none();  // judge EDF itself
     const auto edf_report = core::solve_instance(inst.tasks, platform, edf);
     if (edf_report.verdict == core::Verdict::kFeasible) {
       EXPECT_TRUE(oracle) << "EDF found a schedule for an infeasible "

@@ -211,6 +211,19 @@ TEST(Deadline, FutureBudgetNotExpired) {
   EXPECT_FALSE(d.expired());
 }
 
+TEST(Deadline, RemainingMsTracksTheBudget) {
+  EXPECT_EQ(Deadline().remaining_ms(), -1);  // unlimited
+  EXPECT_EQ(Deadline::after_ms(0).remaining_ms(), 0);
+  const auto d = Deadline::after_ms(60'000);
+  const std::int64_t left = d.remaining_ms();
+  EXPECT_GT(left, 0);
+  EXPECT_LE(left, 60'000);
+  // A cancel token does not shorten the wall estimate.
+  Deadline cancellable;
+  cancellable.set_cancel(CancelToken::make());
+  EXPECT_EQ(cancellable.remaining_ms(), -1);
+}
+
 TEST(Stopwatch, MeasuresForwardTime) {
   Stopwatch w;
   EXPECT_GE(w.seconds(), 0.0);

@@ -2,10 +2,14 @@
 """Enforce the bench_micro perf ledger.
 
 Compares a freshly produced BENCH_micro.json against the committed baseline
-and fails (exit 1) when any gated throughput metric regresses by more than
-the threshold.  Gated metrics are rates (useful_propagations_per_sec,
-nodes_per_sec); wall-clock totals (the portfolio entries) stay advisory
-because they are budget- and machine-shaped rather than throughput-shaped.
+and fails (exit 1) when any gated metric regresses by more than the
+threshold.  Gated metrics are throughput rates (useful_propagations_per_sec,
+nodes_per_sec) plus the pipeline headline ratios: the fraction of the
+Table-I workload the presolve stages settle before search
+(presolve_decided_fraction) and the diversified portfolio's wall-time ratio
+against the post-hoc best fixed value order (portfolio_vs_best_order).
+Plain wall-clock totals stay advisory because they are budget- and
+machine-shaped rather than throughput-shaped.
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 
@@ -18,7 +22,12 @@ retire its ledger line.
 import json
 import sys
 
-GATED_METRICS = ("useful_propagations_per_sec", "nodes_per_sec")
+GATED_METRICS = (
+    "useful_propagations_per_sec",
+    "nodes_per_sec",
+    "presolve_decided_fraction",
+    "portfolio_vs_best_order",
+)
 
 
 def load_entries(path):
