@@ -72,17 +72,30 @@ int main() {
                 csp2_report.witness_valid ? "yes" : "NO");
   }
 
-  // Same instance through CSP1 on the generic engine (the Choco role).
+  // Same instance through CSP1 on the generic engine (the Choco role),
+  // with nogood learning on so the report's learning stats are live.
   config.method = core::Method::kCsp1Generic;
   config.generic = core::choco_like_defaults(/*seed=*/1);
+  config.generic.nogoods = true;
   config.time_limit_ms = 5000;
   const core::SolveReport csp1_report =
       core::solve_instance(tasks, platform, config);
   std::printf("== CSP1 on the generic solver ==\n");
-  std::printf("verdict: %s in %.4fs (%lld nodes, witness %s)\n",
+  std::printf("verdict: %s in %.4fs (%lld nodes, witness %s, decided by %s)\n",
               core::to_string(csp1_report.verdict), csp1_report.seconds,
               static_cast<long long>(csp1_report.nodes),
-              csp1_report.witness_valid ? "valid" : "absent");
+              csp1_report.witness_valid ? "valid" : "absent",
+              csp1_report.decided_by.c_str());
+  // Nogood learning provenance (SolveReport::nogoods): how many conflicts
+  // were recorded, how far conflict analysis shrank them, and how often
+  // the replayed clauses fired.  Pool exchanges stay 0 outside portfolios.
+  const core::NogoodStats& learn = csp1_report.nogoods;
+  std::printf("nogoods: %lld recorded (shrink ratio %.2f), %lld replay "
+              "hits, %lld exported / %lld imported\n",
+              static_cast<long long>(learn.recorded), learn.shrink_ratio(),
+              static_cast<long long>(learn.replay_hits),
+              static_cast<long long>(learn.exported),
+              static_cast<long long>(learn.imported));
 
   // Smoke assertions: the pipeline's provenance must name the flow oracle
   // (the first decisive stage here), and the paper's route must agree with

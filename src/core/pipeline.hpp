@@ -81,6 +81,29 @@ struct StageContext {
   std::int64_t presolve_max_nodes = 20'000;
 };
 
+/// Nogood-learning statistics of a generic-engine backend run (zeros when
+/// the method does not record nogoods).  Mirrors csp::SolveStats' nogood
+/// counters so provenance reports and the bench ledger can track learning
+/// quality without reaching into the engine.
+struct NogoodStats {
+  std::int64_t recorded = 0;     ///< nogoods stored (incl. root units)
+  std::int64_t imported = 0;     ///< adopted from a shared pool
+  std::int64_t exported = 0;     ///< published to a shared pool
+  std::int64_t replay_hits = 0;  ///< unit removals + clause conflicts
+  /// Literal totals over recorded nogoods: raw decision-set length vs the
+  /// length stored after conflict-analysis shrinking.
+  std::int64_t lits_before = 0;
+  std::int64_t lits_after = 0;
+
+  /// Average recorded length over average decision-set length; 1.0 when
+  /// nothing was recorded (or shrinking is off and nothing was dropped).
+  [[nodiscard]] double shrink_ratio() const noexcept {
+    return lits_before > 0 ? static_cast<double>(lits_after) /
+                                 static_cast<double>(lits_before)
+                           : 1.0;
+  }
+};
+
 /// What a stage (or backend) found.  Stages leave `verdict` at kUnknown to
 /// pass the instance on; backends report whatever their search produced.
 struct StageResult {
@@ -94,6 +117,7 @@ struct StageResult {
   std::string detail;
   std::int64_t nodes = 0;
   std::int64_t failures = 0;
+  NogoodStats nogoods;  ///< generic-engine backends only; zeros elsewhere
 
   [[nodiscard]] bool decisive() const noexcept {
     return core::decisive(verdict, complete);

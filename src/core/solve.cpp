@@ -41,6 +41,18 @@ csp::SearchOptions choco_like_defaults(std::uint64_t seed) {
 
 namespace {
 
+/// Lifts the engine's nogood counters into the provenance shape.
+NogoodStats to_nogood_stats(const csp::SolveStats& stats) {
+  NogoodStats out;
+  out.recorded = stats.nogoods_recorded;
+  out.imported = stats.nogoods_imported;
+  out.exported = stats.nogoods_exported;
+  out.replay_hits = stats.nogood_props + stats.nogood_conflicts;
+  out.lits_before = stats.nogood_lits_before;
+  out.lits_after = stats.nogood_lits_after;
+  return out;
+}
+
 /// The terminal pipeline stage: dispatches to the requested search method.
 /// ResourceError surfaces as kMemoryLimit (Table IV's "-"); structural
 /// ValidationError (e.g. the flow oracle on a heterogeneous platform)
@@ -83,6 +95,7 @@ class MethodBackend final : public Backend {
         out.verdict = canonical_verdict(outcome.status);
         out.nodes = outcome.stats.nodes;
         out.failures = outcome.stats.failures;
+        out.nogoods = to_nogood_stats(outcome.stats);
         if (outcome.status == csp::SolveStatus::kSat) {
           out.schedule = enc::decode_csp1(model, outcome.assignment);
         }
@@ -99,6 +112,7 @@ class MethodBackend final : public Backend {
         out.verdict = canonical_verdict(outcome.status);
         out.nodes = outcome.stats.nodes;
         out.failures = outcome.stats.failures;
+        out.nogoods = to_nogood_stats(outcome.stats);
         if (outcome.status == csp::SolveStatus::kSat) {
           out.schedule = enc::decode_csp2_generic(model, outcome.assignment);
         }
@@ -149,6 +163,7 @@ class MethodBackend final : public Backend {
         out.schedule = std::move(race.report.schedule);
         out.nodes = race.report.nodes;
         out.failures = race.report.failures;
+        out.nogoods = race.report.nogoods;
         out.decided_by = std::move(race.report.decided_by);
         out.detail =
             race.winner >= 0
@@ -214,6 +229,7 @@ SolveReport to_report(PipelineOutcome&& outcome) {
   report.schedule = std::move(outcome.result.schedule);
   report.nodes = outcome.result.nodes;
   report.failures = outcome.result.failures;
+  report.nogoods = outcome.result.nogoods;
   report.detail = std::move(outcome.result.detail);
   report.decided_by = std::move(outcome.decided_by);
   report.stage_times = std::move(outcome.stages);
@@ -351,6 +367,12 @@ PortfolioReport solve_portfolio(const rt::TaskSet& input,
         config.generic.seed ^
         (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r + 1)));
     lane.config.generic.nogoods = true;
+    // The caller's learning knobs survive the strategy reset, so shrink
+    // ablations (and LBD / database-size cuts) reach the racing lanes.
+    lane.config.generic.nogood_shrink = config.generic.nogood_shrink;
+    lane.config.generic.nogood_max_length = config.generic.nogood_max_length;
+    lane.config.generic.nogood_max_lbd = config.generic.nogood_max_lbd;
+    lane.config.generic.nogood_db_limit = config.generic.nogood_db_limit;
     if (share) {
       lane.config.generic.nogood_pool = &pool;
       lane.config.generic.nogood_lane = r;

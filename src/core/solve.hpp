@@ -156,6 +156,9 @@ struct SolveReport {
   double seconds = 0.0;
   std::int64_t nodes = 0;
   std::int64_t failures = 0;
+  /// Nogood-learning stats of the deciding backend (zeros unless a
+  /// generic-engine method with SearchOptions::nogoods ran).
+  NogoodStats nogoods;
   std::string detail;  ///< human-readable note (e.g. memory-limit reason)
 };
 

@@ -7,22 +7,32 @@
 
 namespace mgrts::csp {
 
+std::int32_t block_lbd(const std::int32_t* depths, std::int32_t n) {
+  MGRTS_EXPECTS(n >= 1);
+  std::int32_t runs = 1;
+  for (std::int32_t k = 1; k < n; ++k) {
+    MGRTS_ASSERT(depths[k] > depths[k - 1]);
+    runs += depths[k] == depths[k - 1] + 1 ? 0 : 1;
+  }
+  return runs;
+}
+
 // ----------------------------------------------------------------- pool
 
 void NogoodPool::publish(std::int32_t lane, const NogoodLit* lits,
-                         std::int32_t len) {
+                         std::int32_t len, std::int32_t lbd) {
   MGRTS_EXPECTS(len > 0);
   std::lock_guard lock(mutex_);
   entries_.push_back(
-      Entry{lane, std::vector<NogoodLit>(lits, lits + len)});
+      Entry{lane, PooledNogood{std::vector<NogoodLit>(lits, lits + len),
+                               lbd}});
 }
 
-std::size_t NogoodPool::import_since(
-    std::size_t cursor, std::int32_t lane,
-    std::vector<std::vector<NogoodLit>>& out) const {
+std::size_t NogoodPool::import_since(std::size_t cursor, std::int32_t lane,
+                                     std::vector<PooledNogood>& out) const {
   std::lock_guard lock(mutex_);
   for (std::size_t k = cursor; k < entries_.size(); ++k) {
-    if (entries_[k].lane != lane) out.push_back(entries_[k].lits);
+    if (entries_[k].lane != lane) out.push_back(entries_[k].clause);
   }
   return entries_.size();
 }
@@ -35,10 +45,11 @@ std::size_t NogoodPool::size() const {
 // ---------------------------------------------------------------- store
 
 NogoodStore::NogoodStore(std::int64_t vars, std::int32_t max_length,
-                         std::int32_t db_limit)
-    : max_length_(max_length), db_limit_(db_limit) {
+                         std::int32_t max_lbd, std::int32_t db_limit)
+    : max_length_(max_length), max_lbd_(max_lbd), db_limit_(db_limit) {
   MGRTS_EXPECTS(vars > 0);
   MGRTS_EXPECTS(max_length_ >= 1);
+  MGRTS_EXPECTS(max_lbd_ >= 1);
   MGRTS_EXPECTS(db_limit_ >= 1);
   scope_.resize(static_cast<std::size_t>(vars));
   std::iota(scope_.begin(), scope_.end(), VarId{0});
@@ -52,23 +63,26 @@ const std::vector<VarId>& NogoodStore::failure_scope() const {
 }
 
 void NogoodStore::add_clause(const NogoodLit* lits, std::int32_t len,
-                             bool imported) {
+                             std::int32_t lbd, bool imported) {
   MGRTS_EXPECTS(len >= 2);
   const auto offset = static_cast<std::int32_t>(lits_.size());
   lits_.insert(lits_.end(), lits, lits + len);
   const auto id = static_cast<std::int32_t>(clauses_.size());
-  clauses_.push_back(Clause{offset, len, imported});
+  clauses_.push_back(Clause{offset, len, lbd, imported});
   watch_[static_cast<std::size_t>(lits[0].var)].push_back(id);
   watch_[static_cast<std::size_t>(lits[1].var)].push_back(id);
 }
 
 void NogoodStore::record(const std::vector<NogoodLit>& decisions,
+                         std::int32_t raw_len, std::int32_t lbd,
                          SolveStats& stats) {
   const auto len = static_cast<std::int32_t>(decisions.size());
   if (len == 0 || len > max_length_) return;
   if (len == 1) {
     root_units_.push_back(decisions.front());
     ++stats.nogoods_recorded;
+    stats.nogood_lits_before += raw_len;
+    stats.nogood_lits_after += len;
     return;
   }
   // Pause recording when the database has outgrown twice its soft limit;
@@ -87,8 +101,10 @@ void NogoodStore::record(const std::vector<NogoodLit>& decisions,
   for (std::int32_t k = 0; k < len - 2; ++k) {
     ordered.push_back(decisions[static_cast<std::size_t>(k)]);
   }
-  add_clause(ordered.data(), len, /*imported=*/false);
+  add_clause(ordered.data(), len, lbd, /*imported=*/false);
   ++stats.nogoods_recorded;
+  stats.nogood_lits_before += raw_len;
+  stats.nogood_lits_after += len;
 }
 
 bool NogoodStore::on_event(Solver& solver, std::int32_t pos,
@@ -147,7 +163,15 @@ PropResult NogoodStore::examine(Solver& solver, std::int32_t clause_id) {
       return PropResult::kFail;
     }
     if (stats_ != nullptr) ++stats_->nogood_props;
+    // The unit removal follows from this clause's other literals alone, not
+    // from the store's all-variable scope — narrow the reason so conflict
+    // analysis can chase the falsifying fixes instead of keeping every
+    // decision (conflict_vars_ is exactly the clause's variables).
+    solver.begin_explicit_reason(conflict_vars_.data(),
+                                 static_cast<std::int32_t>(
+                                     conflict_vars_.size()));
     const PropResult unit = solver.remove(lits[o].var, lits[o].val);
+    solver.end_explicit_reason();
     if (unit == PropResult::kFail && stats_ != nullptr) {
       ++stats_->nogood_conflicts;
     }
@@ -186,21 +210,25 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
 
   if (pool != nullptr) {
     // Publish everything recorded since the previous restart, then adopt
-    // the other lanes' entries.  Length filtering applies on import too.
+    // the other lanes' entries.  Admission is by block LBD, not length: a
+    // long clause glued into one depth run replays cheaply, a short one
+    // scattered across the tree does not.
     for (std::size_t k = export_cursor_; k < clauses_.size(); ++k) {
       const Clause& c = clauses_[k];
       if (c.imported) continue;
-      pool->publish(lane, &lits_[static_cast<std::size_t>(c.offset)], c.len);
+      pool->publish(lane, &lits_[static_cast<std::size_t>(c.offset)], c.len,
+                    c.lbd);
+      ++stats.nogoods_exported;
     }
-    std::vector<std::vector<NogoodLit>> fresh;
+    std::vector<PooledNogood> fresh;
     pool_cursor_ = pool->import_since(pool_cursor_, lane, fresh);
-    for (const auto& lits : fresh) {
-      const auto len = static_cast<std::int32_t>(lits.size());
-      if (len > max_length_) continue;
+    for (const auto& clause : fresh) {
+      const auto len = static_cast<std::int32_t>(clause.lits.size());
+      if (clause.lbd > max_lbd_ || len > max_length_) continue;
       if (len == 1) {
-        root_units_.push_back(lits.front());
+        root_units_.push_back(clause.lits.front());
       } else {
-        add_clause(lits.data(), len, /*imported=*/true);
+        add_clause(clause.lits.data(), len, clause.lbd, /*imported=*/true);
       }
       ++stats.nogoods_imported;
     }
@@ -217,20 +245,23 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
   root_units_.clear();
   pending_.clear();
 
-  // Prune: decision nogoods have length == LBD, so keep every short clause
-  // and fill the remaining budget newest-first.
-  constexpr std::int32_t kCoreLen = 4;
+  // Prune by glue: core clauses (block LBD <= kCoreLbd) are kept ahead of
+  // the rest, newest-first within each class, and the whole database is
+  // bounded by db_limit_ (a core flood cannot exceed it).
+  constexpr std::int32_t kCoreLbd = 2;
   std::vector<Clause> kept;
   if (clause_count() > static_cast<std::int64_t>(db_limit_)) {
-    std::int64_t shorts = 0;
-    for (const Clause& c : clauses_) shorts += c.len <= kCoreLen ? 1 : 0;
-    std::int64_t long_budget =
-        std::max<std::int64_t>(0, db_limit_ - shorts);
-    kept.reserve(static_cast<std::size_t>(
-        std::min<std::int64_t>(db_limit_, clause_count())));
+    std::int64_t cores = 0;
+    for (const Clause& c : clauses_) cores += c.lbd <= kCoreLbd ? 1 : 0;
+    std::int64_t core_budget = std::min<std::int64_t>(cores, db_limit_);
+    std::int64_t long_budget = db_limit_ - core_budget;
+    kept.reserve(static_cast<std::size_t>(db_limit_));
     for (auto it = clauses_.rbegin(); it != clauses_.rend(); ++it) {
-      if (it->len <= kCoreLen) {
-        kept.push_back(*it);
+      if (it->lbd <= kCoreLbd) {
+        if (core_budget > 0) {
+          kept.push_back(*it);
+          --core_budget;
+        }
       } else if (long_budget > 0) {
         kept.push_back(*it);
         --long_budget;
@@ -279,8 +310,10 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
     const auto offset = static_cast<std::int32_t>(new_lits.size());
     new_lits.insert(new_lits.end(), live.begin(), live.end());
     const auto id = static_cast<std::int32_t>(new_clauses.size());
+    // Root folds shorten the clause but the recorded glue stays: LBD is a
+    // property of the conflict, length of the storage.
     new_clauses.push_back(Clause{
-        offset, static_cast<std::int32_t>(live.size()), c.imported});
+        offset, static_cast<std::int32_t>(live.size()), c.lbd, c.imported});
     watch_[static_cast<std::size_t>(live[0].var)].push_back(id);
     watch_[static_cast<std::size_t>(live[1].var)].push_back(id);
   }

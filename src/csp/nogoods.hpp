@@ -18,11 +18,14 @@
 // Database hygiene happens at restarts (the only point where the trail is
 // at the root): satisfied-at-root clauses are dropped, clauses that became
 // unit at the root strengthen the root permanently, and when the database
-// exceeds its soft limit the longest/oldest entries are pruned (for
-// decision nogoods every literal sits at its own level, so length == LBD
-// and length-based pruning is the LBD policy).  A NogoodPool lets portfolio
-// lanes solving the same model share databases: lanes publish their fresh
-// recordings at each restart and import the other lanes' entries read-only.
+// exceeds its soft limit the worst entries are pruned by *block LBD* (the
+// number of maximal runs of consecutive decision depths at recording time —
+// see block_lbd and DESIGN.md §10), newest-first within a glue class.  A
+// NogoodPool lets portfolio lanes solving the same model share databases:
+// lanes publish their fresh recordings (with their LBD) at each restart and
+// import the other lanes' entries read-only, admitting by LBD rather than
+// length — a long clause whose literals sit in one tight depth block beats
+// a short one scattered across the tree.
 #pragma once
 
 #include <cstdint>
@@ -40,24 +43,41 @@ struct NogoodLit {
   Value val;
 };
 
+/// Block LBD (DESIGN.md §10): the number of maximal runs of consecutive
+/// decision depths in `depths` (ascending, n >= 1).  Under chronological
+/// backtracking, literals at consecutive depths falsify and un-falsify
+/// together, so each run behaves like one glued literal; unminimized
+/// decision sets are a single run (LBD 1), while conflict-analysis
+/// shrinking opens gaps and scattered clauses replay poorly.
+[[nodiscard]] std::int32_t block_lbd(const std::int32_t* depths,
+                                     std::int32_t n);
+
+/// A clause in flight between lanes: its literals plus the block LBD it
+/// was recorded with (the importing lane's admission key).
+struct PooledNogood {
+  std::vector<NogoodLit> lits;
+  std::int32_t lbd = 1;
+};
+
 /// Thread-safe exchange of nogoods between lanes solving the same model.
 /// Entries are append-only; each lane keeps its own import cursor and skips
 /// entries it published itself.
 class NogoodPool {
  public:
-  void publish(std::int32_t lane, const NogoodLit* lits, std::int32_t len);
+  void publish(std::int32_t lane, const NogoodLit* lits, std::int32_t len,
+               std::int32_t lbd);
 
   /// Copies entries in [cursor, end) published by other lanes into `out`
   /// (appending) and returns the new cursor.
   std::size_t import_since(std::size_t cursor, std::int32_t lane,
-                           std::vector<std::vector<NogoodLit>>& out) const;
+                           std::vector<PooledNogood>& out) const;
 
   [[nodiscard]] std::size_t size() const;
 
  private:
   struct Entry {
     std::int32_t lane;
-    std::vector<NogoodLit> lits;
+    PooledNogood clause;
   };
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;
@@ -69,8 +89,9 @@ class NogoodPool {
 class NogoodStore final : public Propagator {
  public:
   /// `vars` is the total variable count; the store watches every variable.
+  /// `max_lbd` is the pool-import admission cut (block LBD at recording).
   NogoodStore(std::int64_t vars, std::int32_t max_length,
-              std::int32_t db_limit);
+              std::int32_t max_lbd, std::int32_t db_limit);
 
   // ---- Propagator interface ------------------------------------------
   PropResult propagate(Solver& solver) override;
@@ -90,12 +111,16 @@ class NogoodStore final : public Propagator {
 
   // ---- solver hooks ---------------------------------------------------
 
-  /// Records one decision-set nogood.  `decisions` lists the refuted
-  /// decisions shallowest-first, the failed assignment last; the caller
-  /// invokes this right after backtracking the failed assignment, so the
-  /// last literal is free and every other literal is still falsified.
-  /// Length-1 nogoods queue a permanent root removal instead of a clause.
-  void record(const std::vector<NogoodLit>& decisions, SolveStats& stats);
+  /// Records one (possibly conflict-analysis-minimized) nogood.
+  /// `decisions` lists the kept decisions shallowest-first, the failed
+  /// assignment last; the caller invokes this right after backtracking the
+  /// failed assignment, so the last literal is free and every other
+  /// literal is still falsified.  `raw_len` is the full decision-set
+  /// length before shrinking and `lbd` the block LBD of the kept depths
+  /// (both feed the stats and the clause's admission key).  Length-1
+  /// nogoods queue a permanent root removal instead of a clause.
+  void record(const std::vector<NogoodLit>& decisions, std::int32_t raw_len,
+              std::int32_t lbd, SolveStats& stats);
 
   /// Restart-time database maintenance; must run with the trail at the
   /// root.  Publishes fresh recordings to / imports from `pool` (may be
@@ -119,7 +144,8 @@ class NogoodStore final : public Propagator {
   struct Clause {
     std::int32_t offset;  ///< span start in lits_
     std::int32_t len;
-    bool imported;  ///< pool-provided; never re-published
+    std::int32_t lbd;  ///< block LBD at recording (kept through compaction)
+    bool imported;     ///< pool-provided; never re-published
   };
 
   [[nodiscard]] static bool falsified(const Solver& solver,
@@ -132,7 +158,8 @@ class NogoodStore final : public Propagator {
     return !solver.domain(lit.var).contains(lit.val);
   }
 
-  void add_clause(const NogoodLit* lits, std::int32_t len, bool imported);
+  void add_clause(const NogoodLit* lits, std::int32_t len, std::int32_t lbd,
+                  bool imported);
   PropResult examine(Solver& solver, std::int32_t clause_id);
   /// Applies one permanent root removal; false when it proves UNSAT.
   [[nodiscard]] bool apply_root_unit(Solver& solver, const NogoodLit& unit,
@@ -152,6 +179,7 @@ class NogoodStore final : public Propagator {
   std::size_t pool_cursor_ = 0;        ///< pool read position
   SolveStats* stats_ = nullptr;        ///< bound by the active solve
   std::int32_t max_length_;
+  std::int32_t max_lbd_;
   std::int32_t db_limit_;
 };
 

@@ -70,15 +70,28 @@ struct SearchOptions {
   std::int64_t max_nodes = -1;       ///< -1 = unlimited
   support::Deadline deadline;        ///< default: unlimited
 
-  // ---- nogood recording (DESIGN.md §6) --------------------------------
+  // ---- nogood recording (DESIGN.md §6, §10) ---------------------------
   /// Record the decision-set nogood at every conflict and replay the
   /// database as 2-watched-literal constraints.  Nogoods survive restarts,
   /// so this mainly pays off combined with RestartPolicy::kLuby/kGeometric.
   /// Ignored under PropagationMode::kLegacy (replay needs advisors).
   bool nogoods = false;
-  /// Conflicts deeper than this record nothing (long nogoods barely prune;
-  /// for decision nogoods length == LBD, so this is the LBD cut).
+  /// Minimize nogoods by conflict analysis before recording (DESIGN.md
+  /// §10): the solver tracks a reason per trail entry and keeps only the
+  /// decisions reachable from the failing propagator's scope through the
+  /// implication trail.  Also enables recording at conflicts deeper than
+  /// `nogood_max_length` whenever the *minimized* clause fits the cut.
+  bool nogood_shrink = true;
+  /// Conflicts whose recorded clause would exceed this record nothing
+  /// (long nogoods barely prune).  With shrinking on the cut applies to
+  /// the minimized length, not the raw decision-set length.
   std::int32_t nogood_max_length = 24;
+  /// Pool-import admission cut on the block LBD (the number of maximal
+  /// runs of consecutive decision depths among a clause's literals at
+  /// recording time — DESIGN.md §10).  Unminimized decision sets are one
+  /// contiguous run (LBD 1); shrinking opens gaps, and scattered clauses
+  /// replay poorly under chronological backtracking.
+  std::int32_t nogood_max_lbd = 8;
   /// Soft database size; exceeded entries are pruned (shortest-first, then
   /// most recent) at the next restart.  Recording pauses at 2x this size.
   std::int32_t nogood_db_limit = 10'000;
@@ -88,6 +101,11 @@ struct SearchOptions {
   /// solve the same model (identical variable ids).
   NogoodPool* nogood_pool = nullptr;
   std::int32_t nogood_lane = 0;  ///< this run's id inside nogood_pool
+
+  /// Build the reason trail even when nogood recording is off.  Testing /
+  /// diagnostics hook: the determinism tests use it to prove the trail
+  /// build is a pure observer (bit-identical trees with it on or off).
+  bool force_reason_trail = false;
 };
 
 enum class SolveStatus {
@@ -111,8 +129,14 @@ struct SolveStats {
   std::int64_t max_depth = 0;
   std::int64_t nogoods_recorded = 0;  ///< decision-set nogoods stored
   std::int64_t nogoods_imported = 0;  ///< nogoods adopted from the pool
+  std::int64_t nogoods_exported = 0;  ///< nogoods published to the pool
   std::int64_t nogood_props = 0;      ///< unit removals by the nogood store
   std::int64_t nogood_conflicts = 0;  ///< conflicts detected by the store
+  /// Literal totals over recorded nogoods: the raw decision-set length and
+  /// the length actually stored after conflict-analysis shrinking (equal
+  /// when shrinking is off); after/before is the shrink ratio.
+  std::int64_t nogood_lits_before = 0;
+  std::int64_t nogood_lits_after = 0;
   double seconds = 0.0;
 };
 

@@ -52,13 +52,19 @@ bool AtMostOneTrue::on_event(Solver& solver, std::int32_t pos,
 }
 
 PropResult AtMostOneTrue::broadcast(Solver& solver, std::size_t one_pos) {
+  // Every removal here follows from the one fixed variable alone, not the
+  // whole scope — narrow the reason for conflict analysis (DESIGN.md §10).
+  solver.begin_explicit_reason(&vars_[one_pos], 1);
+  PropResult result = PropResult::kOk;
   for (std::size_t k = 0; k < vars_.size(); ++k) {
     if (k == one_pos) continue;
     if (solver.remove(vars_[k], 1) == PropResult::kFail) {
-      return PropResult::kFail;
+      result = PropResult::kFail;
+      break;
     }
   }
-  return PropResult::kOk;
+  solver.end_explicit_reason();
+  return result;
 }
 
 PropResult AtMostOneTrue::propagate(Solver& solver) {
@@ -73,11 +79,19 @@ PropResult AtMostOneTrue::propagate(Solver& solver) {
       }
     }
     if (fixed_one < 0) return PropResult::kOk;
+    // Same narrowed reason as broadcast(), so scratch and incremental runs
+    // leave identical implication trails.
+    solver.begin_explicit_reason(&fixed_one, 1);
+    PropResult result = PropResult::kOk;
     for (const VarId v : vars_) {
       if (v == fixed_one) continue;
-      if (solver.remove(v, 1) == PropResult::kFail) return PropResult::kFail;
+      if (solver.remove(v, 1) == PropResult::kFail) {
+        result = PropResult::kFail;
+        break;
+      }
     }
-    return PropResult::kOk;
+    solver.end_explicit_reason();
+    return result;
   }
 
   if (!primed_) {
@@ -334,13 +348,19 @@ bool AllDifferentExcept::on_event(Solver& solver, std::int32_t pos,
 
 PropResult AllDifferentExcept::broadcast(Solver& solver, std::size_t pos,
                                          Value v) {
+  // Forward checking from one fixed variable: the removals depend on that
+  // variable only, so the reason narrows to it (DESIGN.md §10).
+  solver.begin_explicit_reason(&vars_[pos], 1);
+  PropResult result = PropResult::kOk;
   for (std::size_t other = 0; other < vars_.size(); ++other) {
     if (other == pos) continue;
     if (solver.remove(vars_[other], v) == PropResult::kFail) {
-      return PropResult::kFail;
+      result = PropResult::kFail;
+      break;
     }
   }
-  return PropResult::kOk;
+  solver.end_explicit_reason();
+  return result;
 }
 
 PropResult AllDifferentExcept::propagate(Solver& solver) {
@@ -424,7 +444,14 @@ PropResult SymmetryChain::process_pair(Solver& solver, std::size_t k,
   // bounds reasoning achieves arc consistency per pair; iterating until
   // stable achieves the pair-local fixpoint.  Pruning candidates are
   // gathered into a mask first because Domain64::for_each iterates a
-  // snapshot.
+  // snapshot.  Every removal depends on the two pair domains only, so the
+  // reason narrows from the whole chain to the pair (DESIGN.md §10).
+  struct ReasonGuard {
+    Solver& solver;
+    ~ReasonGuard() { solver.end_explicit_reason(); }
+  };
+  solver.begin_explicit_reason(&vars_[k], 2);
+  ReasonGuard guard{solver};
   for (;;) {
     bool local = false;
     const VarId a = vars_[k];

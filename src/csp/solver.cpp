@@ -76,7 +76,34 @@ bool Solver::post_remove(VarId v, Value a) {
 }
 
 void Solver::trail_push(VarId v, std::uint64_t old_mask) {
-  trail_.push_back(TrailEntry{v, old_mask});
+  // active_reason_ is pinned at kReasonNone while tracking is off, so the
+  // reason slot costs one dead store (and one always-false compare) on the
+  // untracked path.
+  if (pending_reason_len_ > 0) {
+    // First trailed change under an explicit-reason window: commit the
+    // span now, so windows that prune nothing never touch the pool.
+    const auto idx = static_cast<std::int32_t>(reason_offset_.size()) - 1;
+    reason_vars_.insert(reason_vars_.end(), pending_reason_vars_,
+                        pending_reason_vars_ + pending_reason_len_);
+    reason_offset_.push_back(static_cast<std::int32_t>(reason_vars_.size()));
+    active_reason_ = kReasonExplicit - idx;
+    pending_reason_len_ = 0;
+  }
+  trail_.push_back(TrailEntry{old_mask, v, active_reason_});
+}
+
+void Solver::begin_explicit_reason(const VarId* vars, std::int32_t n) {
+  if (!track_reasons_) return;
+  MGRTS_ASSERT(n > 0);
+  saved_reason_ = active_reason_;
+  pending_reason_vars_ = vars;
+  pending_reason_len_ = n;
+}
+
+void Solver::end_explicit_reason() {
+  if (!track_reasons_) return;
+  active_reason_ = saved_reason_;
+  pending_reason_len_ = 0;
 }
 
 void Solver::sync_membership(VarId v) {
@@ -168,6 +195,12 @@ PropResult Solver::fix(VarId v, Value a) {
 }
 
 void Solver::backtrack_to(const Mark& mark) {
+  if (track_reasons_ && reason_offset_.size() - 1 > mark.reasons) {
+    // Explicit reasons are only referenced by trail entries newer than
+    // their creation, all unwound below — the pool truncates with them.
+    reason_offset_.resize(mark.reasons + 1);
+    reason_vars_.resize(static_cast<std::size_t>(reason_offset_.back()));
+  }
   while (state_trail_.size() > mark.state) {
     const StateTrailEntry entry = state_trail_.back();
     state_trail_.pop_back();
@@ -230,12 +263,55 @@ bool Solver::propagate_queue() {
     Propagator& p = *propagators_[static_cast<std::size_t>(id)];
     p.queued_ = false;
     ++stats_.propagations;
-    if (p.propagate(*this) == PropResult::kFail) {
+    if (track_reasons_) active_reason_ = id;
+    const PropResult result = p.propagate(*this);
+    if (track_reasons_) active_reason_ = kReasonNone;
+    if (result == PropResult::kFail) {
       failing_prop_ = id;
       clear_queue();
       return false;
     }
   }
+}
+
+bool Solver::analyze_conflict(std::size_t root_trail) {
+  MGRTS_ASSERT(failing_prop_ >= 0);
+  ++relevant_epoch_;
+  auto mark_var = [&](VarId v) {
+    relevant_stamp_[static_cast<std::size_t>(v)] = relevant_epoch_;
+  };
+  auto is_relevant = [&](VarId v) {
+    return relevant_stamp_[static_cast<std::size_t>(v)] == relevant_epoch_;
+  };
+  for (const VarId v :
+       propagators_[static_cast<std::size_t>(failing_prop_)]->failure_scope()) {
+    mark_var(v);
+  }
+
+  // Dependencies point strictly backwards in time, so one newest-first pass
+  // closes the set: an entry's reason read only domain states older than the
+  // entry itself.  Entries at or below the root mark are root-implied (true
+  // under no decision) and need no explanation.
+  for (std::size_t k = trail_.size(); k > root_trail;) {
+    --k;
+    const TrailEntry& e = trail_[k];
+    if (!is_relevant(e.var)) continue;
+    if (e.reason == kReasonDecision) continue;  // kept; collected by caller
+    if (e.reason >= 0) {
+      for (const VarId v :
+           propagators_[static_cast<std::size_t>(e.reason)]->scope()) {
+        mark_var(v);
+      }
+    } else if (e.reason <= kReasonExplicit) {
+      const auto idx = static_cast<std::size_t>(kReasonExplicit - e.reason);
+      const auto begin = static_cast<std::size_t>(reason_offset_[idx]);
+      const auto end = static_cast<std::size_t>(reason_offset_[idx + 1]);
+      for (std::size_t i = begin; i < end; ++i) mark_var(reason_vars_[i]);
+    } else {
+      return false;  // untracked entry: minimization would be unsound
+    }
+  }
+  return true;
 }
 
 void Solver::build_watch_lists() {
@@ -489,11 +565,27 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
       (options.nogoods || options.nogood_pool != nullptr) &&
       !domains_.empty()) {
     auto store = std::make_unique<NogoodStore>(
-        variable_count(), options.nogood_max_length, options.nogood_db_limit);
+        variable_count(), options.nogood_max_length, options.nogood_max_lbd,
+        options.nogood_db_limit);
     nogood_store_ = store.get();
     add(std::move(store));
   }
   if (nogood_store_ != nullptr) nogood_store_->bind_stats(&stats_);
+
+  // Reason tracking (DESIGN.md §10) is built only when conflict-analysis
+  // shrinking can use it (or the determinism probe forces it); otherwise
+  // active_reason_ stays kReasonNone and no per-change work happens.
+  track_reasons_ =
+      !legacy_ && !domains_.empty() &&
+      ((options.nogood_shrink && nogood_store_ != nullptr) ||
+       options.force_reason_trail);
+  active_reason_ = kReasonNone;
+  if (track_reasons_) {
+    reason_offset_.assign(1, 0);
+    reason_vars_.clear();
+    relevant_stamp_.assign(domains_.size(), 0);
+    relevant_epoch_ = 0;
+  }
 
   SolveOutcome outcome;
   auto finish = [&](SolveStatus status) {
@@ -549,6 +641,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
 
   std::vector<Frame> frames;
   std::vector<NogoodLit> nogood_buf;
+  std::vector<std::int32_t> depth_buf;  ///< frame depths of nogood_buf lits
 
   for (;;) {  // restart loop
     bool restart_requested = false;
@@ -606,29 +699,55 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
           return finish(SolveStatus::kNodeLimit);
         }
 
+        if (track_reasons_) active_reason_ = kReasonDecision;
         const PropResult fixed = fix(top.var, value);
+        if (track_reasons_) active_reason_ = kReasonNone;
         const bool ok = fixed == PropResult::kOk && propagate_queue();
         if (ok) break;  // descend
 
         ++stats_.failures;
         bump_failure(failing_prop_);
+
+        // Conflict analysis must read the implication trail before the
+        // backtrack below unwinds the conflicting subtree.
+        const bool shrink = nogood_store_ != nullptr && track_reasons_ &&
+                            failing_prop_ >= 0 &&
+                            analyze_conflict(root_mark.domain);
         failing_prop_ = -1;
         backtrack_to(top.mark);
 
-        // Decision-set nogood: the decisions standing below this frame
-        // (still fixed — the backtrack above only unwound the failed
-        // assignment) plus the assignment that just failed.
+        // Nogood: the decisions standing below this frame (still fixed —
+        // the backtrack above only unwound the failed assignment) plus the
+        // assignment that just failed.  With analysis available, only the
+        // decisions the conflict is actually reachable from are kept, and
+        // the length cut applies to the minimized clause — deep conflicts
+        // with local causes still record.
         if (nogood_store_ != nullptr &&
-            static_cast<std::int64_t>(frames.size()) <=
-                options.nogood_max_length) {
+            (shrink || static_cast<std::int64_t>(frames.size()) <=
+                           options.nogood_max_length)) {
           nogood_buf.clear();
+          depth_buf.clear();
           for (std::size_t k = 0; k + 1 < frames.size(); ++k) {
             const VarId v = frames[k].var;
+            if (shrink &&
+                relevant_stamp_[static_cast<std::size_t>(v)] !=
+                    relevant_epoch_) {
+              continue;
+            }
             nogood_buf.push_back(NogoodLit{
                 v, domains_[static_cast<std::size_t>(v)].value()});
+            depth_buf.push_back(static_cast<std::int32_t>(k));
           }
           nogood_buf.push_back(NogoodLit{top.var, value});
-          nogood_store_->record(nogood_buf, stats_);
+          depth_buf.push_back(static_cast<std::int32_t>(frames.size()) - 1);
+          if (static_cast<std::int64_t>(nogood_buf.size()) <=
+              options.nogood_max_length) {
+            nogood_store_->record(
+                nogood_buf, static_cast<std::int32_t>(frames.size()),
+                block_lbd(depth_buf.data(),
+                          static_cast<std::int32_t>(depth_buf.size())),
+                stats_);
+          }
         }
 
         if (failures_until_restart > 0 && --failures_until_restart == 0) {

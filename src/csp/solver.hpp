@@ -22,6 +22,11 @@
 //     cheapest level first and re-checks it after every run, so expensive
 //     propagators only fire on states the cheap ones could not refute;
 //   * dom/wdeg failure weights are maintained incrementally;
+//   * while nogood shrinking is active every trail entry carries a *reason*
+//     (the decision or propagator that caused it), forming an implication
+//     trail; conflict analysis walks it backwards to minimize the recorded
+//     nogood (DESIGN.md §10).  With recording off the reason slot is a dead
+//     constant and search trees are bit-identical to a reason-free build;
 //   * search is iterative (explicit frame stack), so model size — not
 //     recursion depth — is the only memory bound.
 #pragma once
@@ -53,6 +58,25 @@ class NogoodStore;
 [[nodiscard]] std::int64_t luby(std::int64_t i);
 
 enum class PropResult { kOk, kFail };
+
+// ---- trail reasons (DESIGN.md §10) -----------------------------------
+//
+// Every trail entry records why the change happened, encoded in one int32:
+//   reason >= 0                 — the propagator with that id pruned; its
+//                                 scope() is the dependency set;
+//   reason == kReasonDecision   — a search decision fixed the variable;
+//   reason <= kReasonExplicit   — an explicit reason: index
+//                                 (kReasonExplicit - reason) into the
+//                                 solver's reason-var pool, for propagators
+//                                 whose pruning depends on fewer variables
+//                                 than their scope (clause replays, pair
+//                                 rules, broadcast-from-one-fix);
+//   reason == kReasonNone       — tracking was off when the entry was
+//                                 written (never seen above the root mark
+//                                 while tracking is on).
+inline constexpr std::int32_t kReasonNone = -1;
+inline constexpr std::int32_t kReasonDecision = -2;
+inline constexpr std::int32_t kReasonExplicit = -3;
 
 /// Which domain events wake a propagator.  A change that leaves the domain
 /// with one value is a *fix* event; any other narrowing is a *prune* event.
@@ -186,16 +210,29 @@ class Solver {
   /// trailed counters (differential-testing reference).
   [[nodiscard]] bool scratch_mode() const noexcept { return scratch_; }
 
+  /// Narrowed reason scope (DESIGN.md §10): until end_explicit_reason, the
+  /// running propagator's fix/remove calls are explained by `vars` instead
+  /// of its full scope — use when a pruning provably depends on fewer
+  /// variables (a violated clause's literals, one fixed broadcast source, a
+  /// chain pair).  No-ops while reason tracking is off; one level only (no
+  /// nesting).  The span is committed to the reason pool lazily, at the
+  /// first trailed change it explains — a window that prunes nothing costs
+  /// nothing — so `vars` must stay alive until end_explicit_reason.
+  void begin_explicit_reason(const VarId* vars, std::int32_t n);
+  void end_explicit_reason();
+
   // ---- solving ---------------------------------------------------------
 
   /// Runs the search.  May be called once per Solver instance.
   [[nodiscard]] SolveOutcome solve(const SearchOptions& options);
 
  private:
-  /// Joint position in the domain and propagator-state trails.
+  /// Joint position in the domain, propagator-state and explicit-reason
+  /// trails.
   struct Mark {
     std::size_t domain = 0;
     std::size_t state = 0;
+    std::size_t reasons = 0;  ///< explicit-reason count (0 unless tracking)
   };
 
   struct Frame {
@@ -217,7 +254,7 @@ class Solver {
   };
 
   [[nodiscard]] Mark mark() const noexcept {
-    return Mark{trail_.size(), state_trail_.size()};
+    return Mark{trail_.size(), state_trail_.size(), reason_offset_.size() - 1};
   }
 
   /// One lazy selection-heap entry: the (size, wdeg) pair the variable had
@@ -299,10 +336,37 @@ class Solver {
   bool heap_use_wdeg_ = false;
 
   struct TrailEntry {
-    VarId var;
     std::uint64_t old_mask;
+    VarId var;
+    std::int32_t reason;  ///< kReasonNone unless tracking (DESIGN.md §10)
   };
   std::vector<TrailEntry> trail_;
+
+  // ---- reason tracking (active only while track_reasons_) --------------
+  // Explicit reasons live in a CSR pool: reason i spans reason_vars_
+  // [reason_offset_[i], reason_offset_[i+1]).  The pool unwinds with the
+  // trail (Mark::reasons), so entries never outlive the trail entries that
+  // reference them.
+  bool track_reasons_ = false;
+  std::int32_t active_reason_ = kReasonNone;
+  std::int32_t saved_reason_ = kReasonNone;  ///< begin/end_explicit_reason
+  /// Pending explicit span, committed to the pool by the first trail_push
+  /// it explains (len 0 = none; always 0 while tracking is off).
+  const VarId* pending_reason_vars_ = nullptr;
+  std::int32_t pending_reason_len_ = 0;
+  std::vector<std::int32_t> reason_offset_ = {0};
+  std::vector<VarId> reason_vars_;
+  // Epoch-stamped "relevant" set of the conflict-analysis walk.
+  std::vector<std::int64_t> relevant_stamp_;
+  std::int64_t relevant_epoch_ = 0;
+
+  /// Conflict analysis (DESIGN.md §10): stamps every variable the conflict
+  /// transitively depends on — seeded with failing_prop_'s failure scope,
+  /// closed by walking trail entries in (root_trail, end) newest-first and
+  /// expanding each relevant entry's reason.  Must run before the conflict
+  /// is backtracked.  Returns false (analysis unusable, caller falls back
+  /// to the full decision set) when an untracked entry is met.
+  [[nodiscard]] bool analyze_conflict(std::size_t root_trail);
 
   // Trailed propagator state (incremental counters etc.).
   std::vector<std::int64_t> pstate_;

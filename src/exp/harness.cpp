@@ -53,6 +53,40 @@ SolverSpec pipeline_spec(std::int64_t time_limit_ms) {
   return spec;
 }
 
+SolverSpec presolve_probe_spec(std::int64_t time_limit_ms, bool flow_oracle,
+                               std::int64_t presolve_max_nodes) {
+  SolverSpec spec;
+  spec.label = "presolve-probe";
+  // A one-node dedicated backend: cheap enough that a decided run means
+  // "the presolve stages (or a trivial search) absorbed it" — anything
+  // still undecided is the residue the real searches race over.
+  spec.config.method = core::Method::kCsp2Dedicated;
+  spec.config.csp2.value_order = csp2::ValueOrder::kDMinusC;
+  spec.config.max_nodes = 1;
+  spec.config.time_limit_ms = time_limit_ms;
+  spec.config.pipeline = core::PipelineOptions::full();
+  spec.config.pipeline.flow_oracle = flow_oracle;
+  spec.config.pipeline.presolve_max_nodes = presolve_max_nodes;
+  return spec;
+}
+
+ResidueSpec residue_spec(const BatchOptions& options,
+                         const SolverSpec& probe) {
+  const BatchResult probed = run_batch(options, {probe});
+  ResidueSpec residue;
+  residue.batch = options;
+  residue.batch.indices.clear();
+  residue.probed = static_cast<std::int64_t>(probed.instances.size());
+  for (const InstanceRecord& inst : probed.instances) {
+    if (inst.runs.front().overrun()) {
+      residue.batch.indices.push_back(inst.index);
+    } else {
+      ++residue.absorbed;
+    }
+  }
+  return residue;
+}
+
 std::vector<SolverSpec> paper_lineup(std::int64_t time_limit_ms,
                                      std::uint64_t seed,
                                      csp::SolverLimits limits) {
@@ -86,15 +120,22 @@ BatchResult run_batch(const BatchOptions& options,
   for (const auto& spec : specs) result.labels.push_back(spec.label);
 
   // Materialize the instance stream first; generate_indexed makes instance
-  // k independent of worker scheduling.
-  const auto count = static_cast<std::size_t>(options.instances);
+  // k independent of worker scheduling, and an explicit index list (a
+  // residue set, a shard) simply reshapes which draws the batch runs.
+  const auto count = options.indices.empty()
+                         ? static_cast<std::size_t>(options.instances)
+                         : options.indices.size();
   std::vector<gen::Instance> instances;
   instances.reserve(count);
   result.instances.resize(count);
   for (std::size_t k = 0; k < count; ++k) {
+    const std::uint64_t index =
+        options.indices.empty() ? static_cast<std::uint64_t>(k)
+                                : options.indices[k];
     instances.push_back(
-        gen::generate_indexed(options.generator, options.seed, k));
+        gen::generate_indexed(options.generator, options.seed, index));
     InstanceRecord& record = result.instances[k];
+    record.index = index;
     const auto& inst = instances.back();
     record.tasks = inst.tasks.size();
     record.processors = inst.processors;
@@ -120,8 +161,11 @@ BatchResult run_batch(const BatchOptions& options,
     core::SolveConfig config = specs[s].config;
     // Give randomized generic searches (and local-search restarts) a
     // per-instance stream, like independent Choco invocations (§VII-B).
-    config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (k + 1);
-    config.localsearch.seed ^= 0x9e3779b97f4a7c15ULL * (k + 1);
+    // Keyed by the generator index (== k for plain batches), so a residue
+    // or shard run replays the exact seeds of the full-stream run.
+    const std::uint64_t index = result.instances[k].index;
+    config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
+    config.localsearch.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
 
     const core::SolveReport report = core::solve_instance(
         inst.tasks, rt::Platform::identical(inst.processors), config);
@@ -133,6 +177,7 @@ BatchResult run_batch(const BatchOptions& options,
     run.complete = report.complete;
     run.nodes = report.nodes;
     run.decided_by = report.decided_by;
+    run.nogoods = report.nogoods;
   });
 
   return result;

@@ -61,6 +61,16 @@ struct SolverSpec {
 /// every presolve stage on, then the dedicated search for the residue.
 [[nodiscard]] SolverSpec pipeline_spec(std::int64_t time_limit_ms);
 
+/// A probe entry that is "all presolve": the selected pipeline stages in
+/// front of a one-node CSP2 backend, so a run decides essentially iff a
+/// stage absorbs the instance.  `flow_oracle=false` models the regimes
+/// where the polynomial oracle is unavailable (heterogeneous platforms,
+/// memory-guarded hyperperiods) and a genuine search residue exists;
+/// `presolve_max_nodes` budgets the csp2-presolve stage.
+[[nodiscard]] SolverSpec presolve_probe_spec(
+    std::int64_t time_limit_ms, bool flow_oracle = true,
+    std::int64_t presolve_max_nodes = 20'000);
+
 struct RunRecord {
   core::Verdict verdict = core::Verdict::kInfeasible;
   double seconds = 0.0;
@@ -70,6 +80,9 @@ struct RunRecord {
   /// Pipeline provenance: the stage or backend that produced the verdict
   /// (SolveReport::decided_by).
   std::string decided_by;
+  /// Nogood-learning stats of the run (SolveReport::nogoods; zeros unless
+  /// a generic-engine method recorded).
+  core::NogoodStats nogoods;
 
   /// The paper's "overrun": the run did not decide within its budget.
   [[nodiscard]] bool overrun() const noexcept {
@@ -95,6 +108,9 @@ struct RunRecord {
 };
 
 struct InstanceRecord {
+  /// Generator-stream index this instance was drawn from (== its position
+  /// in the batch unless BatchOptions::indices reshaped the stream).
+  std::uint64_t index = 0;
   std::int32_t tasks = 0;
   std::int32_t processors = 0;
   rt::Time hyperperiod = 0;
@@ -127,11 +143,43 @@ struct BatchOptions {
   std::int64_t instances = 100;
   std::uint64_t seed = 42;
   std::size_t workers = 0;  ///< 0 = hardware concurrency
+  /// Explicit generator-stream indices.  Empty means 0..instances-1; when
+  /// set it overrides `instances` and the batch runs exactly these draws.
+  /// The generator is index-addressable, so an index list is a complete,
+  /// machine-independent description of an instance subset — residue sets,
+  /// failure reproductions, and (next step) cross-machine shards are all
+  /// just index lists.
+  std::vector<std::uint64_t> indices;
 };
 
-/// Generates `options.instances` instances (reproducible from the seed,
-/// independent of worker count) and runs every spec on every instance.
+/// Generates the instance stream (reproducible from the seed, independent
+/// of worker count) and runs every spec on every instance.
 [[nodiscard]] BatchResult run_batch(const BatchOptions& options,
                                     const std::vector<SolverSpec>& specs);
+
+/// An index-addressable instance filter over run_batch: the batch options
+/// restricted to the generator indices a probe left undecided.
+struct ResidueSpec {
+  /// The source options with `indices` set to the residue (feed straight
+  /// back into run_batch).  Caveat: empty `indices` is run_batch's
+  /// "full stream" sentinel — check indices().empty() before running a
+  /// batch that must mean "nothing survived".
+  BatchOptions batch;
+  std::int64_t probed = 0;    ///< instances examined
+  std::int64_t absorbed = 0;  ///< decided by the probe (not residue)
+
+  [[nodiscard]] const std::vector<std::uint64_t>& indices() const noexcept {
+    return batch.indices;
+  }
+};
+
+/// Runs `probe` over the stream described by `options` and keeps the
+/// indices it leaves undecided — the *pipeline residue* when the probe is
+/// presolve_probe_spec.  Reproducible: same options + probe give the same
+/// index set on any machine that reaches the same verdicts (probe budgets
+/// are wall-clock-free only if the probe's stages are; keep probe time
+/// limits generous enough that verdicts are budget-insensitive).
+[[nodiscard]] ResidueSpec residue_spec(const BatchOptions& options,
+                                       const SolverSpec& probe);
 
 }  // namespace mgrts::exp

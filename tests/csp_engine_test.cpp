@@ -409,6 +409,87 @@ TEST(Nogoods, SameVerdictsAsPlainRestartSearchOnCsp1) {
   }
 }
 
+TEST(Nogoods, ShrinkKeepsVerdictsAndNeverCostsNodesOnCsp2) {
+  // Conflict-analysis shrinking drops decisions the conflict is not
+  // reachable from, so the recorded clauses are at least as strong as the
+  // raw decision sets: on exhaustively-decided instances the verdicts must
+  // match and the family-total node count must not grow.  Deterministic
+  // heuristics so the comparison is tree-vs-tree, not draw-vs-draw.
+  gen::GeneratorOptions workload;
+  workload.tasks = 4;
+  workload.processors = 2;
+  workload.rule = gen::ProcessorRule::kFixed;
+  workload.t_max = 4;
+
+  std::int64_t nodes_on = 0;
+  std::int64_t nodes_off = 0;
+  std::int64_t before = 0;
+  std::int64_t after = 0;
+  for (std::uint64_t index = 0; index < 8; ++index) {
+    const gen::Instance inst = gen::generate_indexed(workload, 20090911,
+                                                     index);
+    auto run = [&](bool shrink) {
+      const auto model = enc::build_csp2_generic(
+          inst.tasks, rt::Platform::identical(inst.processors));
+      SearchOptions options;
+      options.var_heuristic = VarHeuristic::kDomWdeg;
+      options.val_heuristic = ValHeuristic::kMin;
+      options.restart = RestartPolicy::kLuby;
+      options.restart_scale = 4;
+      options.nogoods = true;
+      options.nogood_shrink = shrink;
+      return model.solver->solve(options);
+    };
+    const auto shrunk = run(true);
+    const auto raw = run(false);
+    ASSERT_TRUE(decided(shrunk.status)) << "instance " << index;
+    EXPECT_EQ(shrunk.status, raw.status) << "instance " << index;
+    nodes_on += shrunk.stats.nodes;
+    nodes_off += raw.stats.nodes;
+    before += shrunk.stats.nogood_lits_before;
+    after += shrunk.stats.nogood_lits_after;
+    EXPECT_LE(shrunk.stats.nogood_lits_after,
+              shrunk.stats.nogood_lits_before)
+        << "instance " << index;
+  }
+  EXPECT_LE(nodes_on, nodes_off);
+  EXPECT_GT(before, 0) << "workload produced no conflicts to shrink";
+  EXPECT_LT(after, before) << "conflict analysis never dropped a decision";
+}
+
+TEST(Nogoods, ShrinkKeepsVerdictsUnderRandomizedSearchOnCsp2) {
+  // Under the Choco-like randomized strategy the trees diverge (replay
+  // changes domain sizes, hence tie sets), but exhaustive verdicts may
+  // not: shrinking must never prune a solution.
+  gen::GeneratorOptions workload;
+  workload.tasks = 4;
+  workload.processors = 2;
+  workload.rule = gen::ProcessorRule::kFixed;
+  workload.t_max = 4;
+
+  for (std::uint64_t index = 0; index < 6; ++index) {
+    const gen::Instance inst = gen::generate_indexed(workload, 777, index);
+    auto run = [&](bool shrink) {
+      const auto model = enc::build_csp2_generic(
+          inst.tasks, rt::Platform::identical(inst.processors));
+      SearchOptions options;
+      options.var_heuristic = VarHeuristic::kDomWdeg;
+      options.val_heuristic = ValHeuristic::kRandom;
+      options.random_var_ties = true;
+      options.restart = RestartPolicy::kLuby;
+      options.restart_scale = 4;
+      options.seed = index + 1;
+      options.nogoods = true;
+      options.nogood_shrink = shrink;
+      return model.solver->solve(options);
+    };
+    const auto shrunk = run(true);
+    const auto raw = run(false);
+    ASSERT_TRUE(decided(shrunk.status)) << "instance " << index;
+    EXPECT_EQ(shrunk.status, raw.status) << "instance " << index;
+  }
+}
+
 TEST(Nogoods, PoolSharesRecordingsAcrossLanes) {
   // Two lanes solve the same UNSAT model sequentially through one pool:
   // lane 0 publishes at its restarts, lane 1 imports at its own.

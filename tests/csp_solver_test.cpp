@@ -287,7 +287,43 @@ TEST(Solver, RestartSearchIsSeedDeterministic) {
   EXPECT_EQ(a.stats.failures, b.stats.failures);
   EXPECT_EQ(a.stats.restarts, b.stats.restarts);
   EXPECT_EQ(a.stats.nogoods_recorded, b.stats.nogoods_recorded);
+  // Conflict analysis (on by default with nogoods) must replay too: the
+  // same conflicts shrink to the same clauses.
+  EXPECT_EQ(a.stats.nogood_lits_before, b.stats.nogood_lits_before);
+  EXPECT_EQ(a.stats.nogood_lits_after, b.stats.nogood_lits_after);
   EXPECT_GT(a.stats.restarts, 0);
+}
+
+TEST(Solver, ReasonTrailIsAPureObserver) {
+  // With nogood recording off, building the reason trail anyway
+  // (force_reason_trail) must leave the search bit-identical: reasons are
+  // written, never read.  This is the zero-cost contract of DESIGN.md §10.
+  auto run = [&](bool force) {
+    Solver solver;
+    std::vector<VarId> vars;
+    for (int k = 0; k < 8; ++k) vars.push_back(solver.add_variable(0, 6));
+    solver.add(make_all_different_except(vars, -9));  // pigeonhole: UNSAT
+    solver.add(make_count_eq(vars, /*value=*/5, /*target=*/1));
+    SearchOptions options;
+    options.val_heuristic = ValHeuristic::kRandom;
+    options.random_var_ties = true;
+    options.restart = RestartPolicy::kLuby;
+    options.restart_scale = 2;
+    options.nogoods = false;
+    options.force_reason_trail = force;
+    options.seed = 23;
+    return solver.solve(options);
+  };
+  const auto plain = run(false);
+  const auto traced = run(true);
+  EXPECT_EQ(plain.status, SolveStatus::kUnsat);
+  EXPECT_EQ(plain.status, traced.status);
+  EXPECT_EQ(plain.stats.nodes, traced.stats.nodes);
+  EXPECT_EQ(plain.stats.failures, traced.stats.failures);
+  EXPECT_EQ(plain.stats.restarts, traced.stats.restarts);
+  EXPECT_EQ(plain.stats.propagations, traced.stats.propagations);
+  EXPECT_EQ(plain.stats.events, traced.stats.events);
+  EXPECT_EQ(plain.assignment, traced.assignment);
 }
 
 TEST(Solver, CancelledTokenReportsTimeout) {

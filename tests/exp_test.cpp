@@ -29,6 +29,62 @@ std::vector<SolverSpec> small_lineup() {
           csp2_spec(csp2::ValueOrder::kDMinusC, 2000)};
 }
 
+TEST(Harness, ResidueSpecIsIndexAddressableAndReproducible) {
+  // The residue filter is pure bookkeeping over generator indices: the
+  // same options + probe give the same index set, and feeding the indices
+  // back through run_batch reproduces exactly those instances.
+  BatchOptions options = small_batch_options();
+  options.instances = 12;
+  options.workers = 1;
+  // Flow oracle off and a one-node csp2-presolve budget so some instances
+  // genuinely survive presolve on this tiny workload.
+  const SolverSpec probe =
+      presolve_probe_spec(500, /*flow_oracle=*/false,
+                          /*presolve_max_nodes=*/1);
+  const ResidueSpec residue = residue_spec(options, probe);
+  EXPECT_EQ(residue.probed, 12);
+  EXPECT_EQ(residue.absorbed +
+                static_cast<std::int64_t>(residue.indices().size()),
+            12);
+  EXPECT_FALSE(residue.indices().empty())
+      << "probe absorbed everything; weaken it further";
+
+  const ResidueSpec again = residue_spec(options, probe);
+  EXPECT_EQ(residue.indices(), again.indices());
+
+  const BatchResult sub = run_batch(residue.batch, {probe});
+  ASSERT_EQ(sub.instances.size(), residue.indices().size());
+  for (std::size_t k = 0; k < sub.instances.size(); ++k) {
+    EXPECT_EQ(sub.instances[k].index, residue.indices()[k]);
+    // Residue members stay undecided under the same probe.
+    EXPECT_TRUE(sub.instances[k].runs[0].overrun()) << "index " << k;
+  }
+}
+
+TEST(Harness, RunBatchHonorsExplicitIndices) {
+  BatchOptions options = small_batch_options();
+  options.workers = 1;
+  const std::vector<std::uint64_t> picks{7, 2, 11};
+  options.indices = picks;
+  const BatchResult batch =
+      run_batch(options, {csp2_spec(csp2::ValueOrder::kDMinusC, 2000)});
+  ASSERT_EQ(batch.instances.size(), picks.size());
+  // Each record carries its generator index and matches the instance that
+  // a full-stream batch draws at that index.
+  BatchOptions full = small_batch_options();
+  full.workers = 1;
+  const BatchResult reference =
+      run_batch(full, {csp2_spec(csp2::ValueOrder::kDMinusC, 2000)});
+  for (std::size_t k = 0; k < picks.size(); ++k) {
+    EXPECT_EQ(batch.instances[k].index, picks[k]);
+    const InstanceRecord& ref =
+        reference.instances[static_cast<std::size_t>(picks[k])];
+    EXPECT_EQ(batch.instances[k].tasks, ref.tasks);
+    EXPECT_EQ(batch.instances[k].hyperperiod, ref.hyperperiod);
+    EXPECT_EQ(batch.instances[k].runs[0].verdict, ref.runs[0].verdict);
+  }
+}
+
 TEST(Harness, Csp2SpecPaperFaithfulTogglesPruning) {
   const SolverSpec faithful =
       csp2_spec(csp2::ValueOrder::kDMinusC, 100, /*paper_faithful=*/true);

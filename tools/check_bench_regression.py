@@ -4,17 +4,21 @@
 Compares a freshly produced BENCH_micro.json against the committed baseline
 and fails (exit 1) when any gated metric regresses by more than the
 threshold.  Gated metrics are throughput rates (useful_propagations_per_sec,
-nodes_per_sec) plus the pipeline headline ratios: the fraction of the
-Table-I workload the presolve stages settle before search
-(presolve_decided_fraction) and the diversified portfolio's wall-time ratio
-against the post-hoc best fixed value order (portfolio_vs_best_order).
-Plain wall-clock totals stay advisory because they are budget- and
-machine-shaped rather than throughput-shaped.
+nodes_per_sec, residue_nodes_per_sec) plus the headline ratios: the fraction
+of the Table-I workload the presolve stages settle before search
+(presolve_decided_fraction), the diversified portfolio's wall-time ratio
+against the post-hoc best fixed value order (portfolio_vs_best_order), and
+the conflict-analysis nogood shrink ratio on the pipeline residue
+(nogood_shrink_ratio — the one gated metric where LOWER is better: it may
+shrink freely but must not creep back towards 1.0).  Plain wall-clock
+totals stay advisory because they are budget- and machine-shaped rather
+than throughput-shaped.
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 
 threshold is the maximum tolerated fractional drop (default 0.30: fail
-below 70% of the committed rate).  Entries present in the baseline must
+below 70% of the committed rate; for lower-is-better metrics, fail above
+1/70% ~ 143% of the committed value).  Entries present in the baseline must
 exist in the fresh output — a silently dropped workload would otherwise
 retire its ledger line.
 """
@@ -27,7 +31,12 @@ GATED_METRICS = (
     "nodes_per_sec",
     "presolve_decided_fraction",
     "portfolio_vs_best_order",
+    "residue_nodes_per_sec",
+    "nogood_shrink_ratio",
 )
+
+# Metrics where smaller values are better; their regression test inverts.
+LOWER_IS_BETTER = frozenset({"nogood_shrink_ratio"})
 
 
 def load_entries(path):
@@ -60,13 +69,21 @@ def main(argv):
             if old_rate <= 0:
                 continue
             ratio = new_rate / old_rate
-            status = "FAIL" if ratio < 1.0 - threshold else "ok"
+            if metric in LOWER_IS_BETTER:
+                # Invert: shrinking further is fine, growing past the same
+                # fractional band regresses.
+                failed = ratio > 1.0 / (1.0 - threshold)
+                bound = f"ceiling {1.0 / (1.0 - threshold):.2f}x"
+            else:
+                failed = ratio < 1.0 - threshold
+                bound = f"floor {1.0 - threshold:.2f}x"
+            status = "FAIL" if failed else "ok"
             print(f"{status:4s} {name}.{metric}: {new_rate:.3g} vs "
                   f"{old_rate:.3g} committed ({ratio:.2f}x)")
-            if ratio < 1.0 - threshold:
+            if failed:
                 failures.append(
                     f"{name}.{metric}: {new_rate:.3g} is {ratio:.2f}x of the "
-                    f"committed {old_rate:.3g} (floor {1.0 - threshold:.2f}x)")
+                    f"committed {old_rate:.3g} ({bound})")
 
     if failures:
         print("\nbench regression gate FAILED:")
