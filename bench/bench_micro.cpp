@@ -415,12 +415,15 @@ void report_portfolio(bench::BenchJson& json) {
 // flow oracle (modelling the heterogeneous / memory-guarded regimes where
 // a search residue actually exists — on identical platforms the exact
 // oracle would absorb everything) and trims the csp2-presolve node budget,
-// then generic-engine nogood lanes race over the surviving indices with
-// conflict-analysis shrinking on vs off.  Gated ledger entries:
-// `residue_nodes_per_sec` (shrink-on lane throughput) and
-// `nogood_shrink_ratio` (recorded/raw literal ratio, lower is better).
-// The residue set is reproducible across PRs from the --seed flag
-// (default 20090911); exp::residue_spec re-derives it anywhere.
+// then generic-engine nogood lanes race over the surviving indices: true
+// 1-UIP learning (the default), decision-set learning (the PR-4 baseline),
+// and shrinking off.  Gated ledger entries: `residue_nodes_per_sec` (1-UIP
+// lane throughput), `nogood_shrink_ratio` (recorded/raw literal ratio,
+// lower is better) and `uip_clause_len_ratio` (1-UIP vs decision-set
+// clause length for the same conflicts, lower is better and <= 1.0 by
+// construction).  The residue set is reproducible across PRs from the
+// --seed flag (default 20090911); exp::residue_spec re-derives it
+// anywhere.
 
 void report_residue(bench::BenchJson& json, std::uint64_t seed) {
   exp::BatchOptions options;
@@ -446,23 +449,30 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
     return;
   }
 
-  auto lane = [&](bool shrink) {
+  auto lane = [&](const char* label, bool shrink, csp::NogoodLearn learn) {
     exp::SolverSpec spec;
-    spec.label = shrink ? "residue-shrink-on" : "residue-shrink-off";
+    spec.label = label;
     spec.config.method = core::Method::kCsp2Generic;
     spec.config.time_limit_ms = limit_ms;
     spec.config.pipeline = core::PipelineOptions::none();
     spec.config.generic = core::choco_like_defaults(seed);
     spec.config.generic.nogoods = true;
     spec.config.generic.nogood_shrink = shrink;
+    spec.config.generic.nogood_learn = learn;
     return spec;
   };
-  const exp::BatchResult batch =
-      exp::run_batch(residue.batch, {lane(true), lane(false)});
+  const exp::BatchResult batch = exp::run_batch(
+      residue.batch,
+      {lane("residue-1uip", true, csp::NogoodLearn::kUip1),
+       lane("residue-dset", true, csp::NogoodLearn::kDecisionSet),
+       lane("residue-shrink-off", false, csp::NogoodLearn::kUip1)});
+  const char* names[] = {"residue_1uip", "residue_dset",
+                         "residue_shrink_off"};
 
-  double nodes_per_sec_on = 0.0;
-  double shrink_ratio_on = 1.0;
-  std::vector<double> verdict_nodes(2, 0.0);
+  double nodes_per_sec_uip = 0.0;
+  double shrink_ratio_uip = 1.0;
+  double uip_len_ratio = 1.0;
+  std::vector<double> verdict_nodes(batch.labels.size(), 0.0);
   for (std::size_t s = 0; s < batch.labels.size(); ++s) {
     double wall = 0.0;
     std::int64_t nodes = 0;
@@ -477,6 +487,10 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
       learn.replay_hits += run.nogoods.replay_hits;
       learn.lits_before += run.nogoods.lits_before;
       learn.lits_after += run.nogoods.lits_after;
+      learn.lits_uip += run.nogoods.lits_uip;
+      learn.lits_ds += run.nogoods.lits_ds;
+      learn.subsumed += run.nogoods.subsumed;
+      learn.lbd_refreshed += run.nogoods.lbd_refreshed;
     }
     const double nodes_per_sec =
         wall > 0.0 ? static_cast<double>(nodes) / wall : 0.0;
@@ -488,11 +502,12 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
                     : static_cast<double>(nodes);
     verdict_nodes[s] = nodes_to_verdict;
     if (s == 0) {
-      nodes_per_sec_on = nodes_per_sec;
-      shrink_ratio_on = learn.shrink_ratio();
+      nodes_per_sec_uip = nodes_per_sec;
+      shrink_ratio_uip = learn.shrink_ratio();
+      uip_len_ratio = learn.uip_len_ratio();
     }
-    json.record("residue_" + batch.labels[s])
-        .metric("wall_seconds_total", wall)
+    auto& record = json.record(names[s]);
+    record.metric("wall_seconds_total", wall)
         .metric("nodes", static_cast<double>(nodes))
         .metric("decided", static_cast<double>(decided))
         .metric("nodes_per_sec", nodes_per_sec)
@@ -500,30 +515,42 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
         .metric("nogoods_recorded", static_cast<double>(learn.recorded))
         .metric("nogood_replay_hits",
                 static_cast<double>(learn.replay_hits))
+        .metric("nogoods_subsumed", static_cast<double>(learn.subsumed))
+        .metric("nogood_lbd_refreshes",
+                static_cast<double>(learn.lbd_refreshed))
         .metric("shrink_ratio", learn.shrink_ratio());
+    if (s == 0) record.metric("uip_clause_len_ratio", uip_len_ratio);
     std::printf("%-32s %10.3fs  %8lld nodes  %2lld decided  "
-                "%6.0f nodes/verdict  shrink %.2f\n",
+                "%6.0f nodes/verdict  shrink %.2f  uip/ds %.2f\n",
                 batch.labels[s].c_str(), wall,
                 static_cast<long long>(nodes),
                 static_cast<long long>(decided), nodes_to_verdict,
-                learn.shrink_ratio());
+                learn.shrink_ratio(), learn.uip_len_ratio());
   }
   json.record("residue_summary")
       .metric("residue_instances",
               static_cast<double>(residue.indices().size()))
-      .metric("residue_nodes_per_sec", nodes_per_sec_on)
-      .metric("nogood_shrink_ratio", shrink_ratio_on)
-      .metric("nodes_to_verdict_on", verdict_nodes[0])
-      .metric("nodes_to_verdict_off", verdict_nodes[1])
-      .metric("verdict_cost_vs_off",
+      .metric("residue_nodes_per_sec", nodes_per_sec_uip)
+      .metric("nogood_shrink_ratio", shrink_ratio_uip)
+      .metric("uip_clause_len_ratio", uip_len_ratio)
+      .metric("nodes_to_verdict_uip", verdict_nodes[0])
+      .metric("nodes_to_verdict_dset", verdict_nodes[1])
+      .metric("nodes_to_verdict_off", verdict_nodes[2])
+      .metric("verdict_cost_vs_dset",
               verdict_nodes[1] > 0.0 ? verdict_nodes[0] / verdict_nodes[1]
+                                     : 1.0)
+      .metric("verdict_cost_vs_off",
+              verdict_nodes[2] > 0.0 ? verdict_nodes[0] / verdict_nodes[2]
                                      : 1.0);
-  std::printf("%-32s shrink-on costs %.2fx the nodes per verdict of "
-              "shrink-off (shrink ratio %.2f)\n",
+  std::printf("%-32s 1-UIP costs %.2fx the nodes per verdict of the "
+              "decision set, %.2fx of shrink-off (shrink %.2f, uip/ds "
+              "length %.2f)\n",
               "residue_summary",
               verdict_nodes[1] > 0.0 ? verdict_nodes[0] / verdict_nodes[1]
                                      : 1.0,
-              shrink_ratio_on);
+              verdict_nodes[2] > 0.0 ? verdict_nodes[0] / verdict_nodes[2]
+                                     : 1.0,
+              shrink_ratio_uip, uip_len_ratio);
 }
 
 // --------------------------------------------------- presolve absorption

@@ -87,13 +87,19 @@ int main() {
               csp1_report.witness_valid ? "valid" : "absent",
               csp1_report.decided_by.c_str());
   // Nogood learning provenance (SolveReport::nogoods): how many conflicts
-  // were recorded, how far conflict analysis shrank them, and how often
-  // the replayed clauses fired.  Pool exchanges stay 0 outside portfolios.
+  // were recorded, how far conflict analysis shrank them, how the 1-UIP
+  // clauses compare against the decision-set baseline for the very same
+  // conflicts, and how often the replayed clauses fired.  Pool exchanges
+  // stay 0 outside portfolios.
   const core::NogoodStats& learn = csp1_report.nogoods;
-  std::printf("nogoods: %lld recorded (shrink ratio %.2f), %lld replay "
-              "hits, %lld exported / %lld imported\n",
+  std::printf("nogoods: %lld recorded (shrink ratio %.2f, 1-UIP/decision-set "
+              "length %.2f), %lld replay hits, %lld subsumed, %lld LBD "
+              "refreshes, %lld exported / %lld imported\n",
               static_cast<long long>(learn.recorded), learn.shrink_ratio(),
+              learn.uip_len_ratio(),
               static_cast<long long>(learn.replay_hits),
+              static_cast<long long>(learn.subsumed),
+              static_cast<long long>(learn.lbd_refreshed),
               static_cast<long long>(learn.exported),
               static_cast<long long>(learn.imported));
 

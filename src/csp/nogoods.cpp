@@ -1,11 +1,19 @@
 #include "csp/nogoods.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "support/assert.hpp"
 
 namespace mgrts::csp {
+
+namespace {
+/// Clauses at or below this block LBD form the protected core of the
+/// database: never pruned, and the promotion target of replay-hit LBD
+/// refreshes.
+constexpr std::int32_t kCoreLbd = 2;
+}  // namespace
 
 std::int32_t block_lbd(const std::int32_t* depths, std::int32_t n) {
   MGRTS_EXPECTS(n >= 1);
@@ -19,13 +27,12 @@ std::int32_t block_lbd(const std::int32_t* depths, std::int32_t n) {
 
 // ----------------------------------------------------------------- pool
 
-void NogoodPool::publish(std::int32_t lane, const NogoodLit* lits,
+void NogoodPool::publish(std::int32_t lane, const Lit* lits,
                          std::int32_t len, std::int32_t lbd) {
   MGRTS_EXPECTS(len > 0);
   std::lock_guard lock(mutex_);
   entries_.push_back(
-      Entry{lane, PooledNogood{std::vector<NogoodLit>(lits, lits + len),
-                               lbd}});
+      Entry{lane, PooledNogood{std::vector<Lit>(lits, lits + len), lbd}});
 }
 
 std::size_t NogoodPool::import_since(std::size_t cursor, std::int32_t lane,
@@ -45,8 +52,12 @@ std::size_t NogoodPool::size() const {
 // ---------------------------------------------------------------- store
 
 NogoodStore::NogoodStore(std::int64_t vars, std::int32_t max_length,
-                         std::int32_t max_lbd, std::int32_t db_limit)
-    : max_length_(max_length), max_lbd_(max_lbd), db_limit_(db_limit) {
+                         std::int32_t max_lbd, std::int32_t db_limit,
+                         bool general)
+    : max_length_(max_length),
+      max_lbd_(max_lbd),
+      db_limit_(db_limit),
+      general_(general) {
   MGRTS_EXPECTS(vars > 0);
   MGRTS_EXPECTS(max_length_ >= 1);
   MGRTS_EXPECTS(max_lbd_ >= 1);
@@ -62,24 +73,24 @@ const std::vector<VarId>& NogoodStore::failure_scope() const {
   return conflict_vars_.empty() ? scope_ : conflict_vars_;
 }
 
-void NogoodStore::add_clause(const NogoodLit* lits, std::int32_t len,
+void NogoodStore::add_clause(const Lit* lits, std::int32_t len,
                              std::int32_t lbd, bool imported) {
   MGRTS_EXPECTS(len >= 2);
   const auto offset = static_cast<std::int32_t>(lits_.size());
   lits_.insert(lits_.end(), lits, lits + len);
   const auto id = static_cast<std::int32_t>(clauses_.size());
-  clauses_.push_back(Clause{offset, len, lbd, imported});
+  clauses_.push_back(Clause{offset, len, lbd, imported, /*deleted=*/false});
   watch_[static_cast<std::size_t>(lits[0].var)].push_back(id);
   watch_[static_cast<std::size_t>(lits[1].var)].push_back(id);
+  ++live_;
 }
 
-void NogoodStore::record(const std::vector<NogoodLit>& decisions,
-                         std::int32_t raw_len, std::int32_t lbd,
-                         SolveStats& stats) {
-  const auto len = static_cast<std::int32_t>(decisions.size());
+void NogoodStore::record(const std::vector<Lit>& lits, std::int32_t raw_len,
+                         std::int32_t lbd, SolveStats& stats) {
+  const auto len = static_cast<std::int32_t>(lits.size());
   if (len == 0 || len > max_length_) return;
   if (len == 1) {
-    root_units_.push_back(decisions.front());
+    root_units_.push_back(lits.front());
     ++stats.nogoods_recorded;
     stats.nogood_lits_before += raw_len;
     stats.nogood_lits_after += len;
@@ -87,21 +98,42 @@ void NogoodStore::record(const std::vector<NogoodLit>& decisions,
   }
   // Pause recording when the database has outgrown twice its soft limit;
   // the next restart prunes it back down.
-  if (clause_count() >= 2 * static_cast<std::int64_t>(db_limit_)) return;
+  if (live_ >= 2 * static_cast<std::int64_t>(db_limit_)) return;
 
-  // Watch order: the failed assignment (free right now — the caller just
-  // backtracked it) and the deepest still-standing decision (the first to
-  // be un-falsified by further backtracking).  Both watches are therefore
-  // as close to non-falsified as a mid-search insertion allows; any
-  // re-falsification arrives as a fix event on a watched variable.
-  std::vector<NogoodLit> ordered;
-  ordered.reserve(decisions.size());
-  ordered.push_back(decisions[static_cast<std::size_t>(len - 1)]);
-  ordered.push_back(decisions[static_cast<std::size_t>(len - 2)]);
+  // On-the-fly subsumption against the previous recording (successive
+  // conflicts in one subtree often differ by one literal): keep only the
+  // stronger clause.  "A subsumes B" reads "every state B forbids, A
+  // forbids too" — the order-insensitive literal-implication cover.
+  if (last_recorded_ >= 0) {
+    Clause& prev = clauses_[static_cast<std::size_t>(last_recorded_)];
+    if (!prev.deleted) {
+      const Lit* prev_lits = &lits_[static_cast<std::size_t>(prev.offset)];
+      if (nogood_subsumes(prev_lits, prev.len, lits.data(), len)) {
+        ++stats.nogoods_subsumed;  // the database already covers this one
+        return;
+      }
+      if (nogood_subsumes(lits.data(), len, prev_lits, prev.len)) {
+        prev.deleted = true;  // watches go stale; maintenance compacts
+        --live_;
+        ++stats.nogoods_subsumed;
+      }
+    }
+  }
+
+  // Watch order: the conflict-level literal (free right now — the caller
+  // just backtracked it) and the deepest still-entailed literal (the first
+  // to be un-entailed by further backtracking).  Both watches are
+  // therefore as close to non-entailed as a mid-search insertion allows;
+  // any re-entailment arrives as an event on a watched variable.
+  std::vector<Lit> ordered;
+  ordered.reserve(lits.size());
+  ordered.push_back(lits[static_cast<std::size_t>(len - 1)]);
+  ordered.push_back(lits[static_cast<std::size_t>(len - 2)]);
   for (std::int32_t k = 0; k < len - 2; ++k) {
-    ordered.push_back(decisions[static_cast<std::size_t>(k)]);
+    ordered.push_back(lits[static_cast<std::size_t>(k)]);
   }
   add_clause(ordered.data(), len, lbd, /*imported=*/false);
+  last_recorded_ = static_cast<std::int32_t>(clauses_.size()) - 1;
   ++stats.nogoods_recorded;
   stats.nogood_lits_before += raw_len;
   stats.nogood_lits_after += len;
@@ -109,20 +141,23 @@ void NogoodStore::record(const std::vector<NogoodLit>& decisions,
 
 bool NogoodStore::on_event(Solver& solver, std::int32_t pos,
                            std::uint64_t old_mask) {
-  static_cast<void>(old_mask);
-  // Fixed-only subscription: scope is the identity map, so pos is the
-  // variable id.  Queue every clause one of whose *current* watches just
-  // became falsified; entries are stale-tolerant (watch lists may carry
-  // moved-away watches, and the fix may be unwound before the run).
+  // Scope is the identity map, so pos is the variable id.  Queue every
+  // clause one of whose *current* watches just became entailed — for a
+  // (var == val) watch that is exactly a fix to val (the kFixedOnly
+  // behavior), for bound and != watches any narrowing can do it, which is
+  // why general stores subscribe to every change.  Entries are
+  // stale-tolerant (watch lists may carry moved-away watches, and the
+  // change may be unwound before the run).
   const VarId var = scope_[static_cast<std::size_t>(pos)];
-  const Value fixed = solver.domain(var).value();
+  const Domain64& d = solver.domain(var);
   bool woke = false;
   for (const std::int32_t id : watch_[static_cast<std::size_t>(var)]) {
     const Clause& c = clauses_[static_cast<std::size_t>(id)];
+    if (c.deleted) continue;
     for (int w = 0; w < 2; ++w) {
-      const NogoodLit& lit =
-          lits_[static_cast<std::size_t>(c.offset + w)];
-      if (lit.var == var && lit.val == fixed) {
+      const Lit& lit = lits_[static_cast<std::size_t>(c.offset + w)];
+      if (lit.var != var) continue;
+      if (entailed(d, lit) && !entailed_mask(old_mask, d.base(), lit)) {
         pending_.push_back(id);
         woke = true;
         break;
@@ -132,45 +167,91 @@ bool NogoodStore::on_event(Solver& solver, std::int32_t pos,
   return woke;
 }
 
+PropResult NogoodStore::assert_negation(Solver& solver, Lit lit) {
+  if (lit.rel == Rel::kNe) {
+    // ¬(var != val) is the assignment itself; one trail entry.
+    return solver.fix(lit.var, lit.val);
+  }
+  // Prune every remaining value satisfying the conjunct (for == a single
+  // removal, for bounds a half-window sweep).
+  const Domain64& d = solver.domain(lit.var);
+  const Value base = d.base();
+  std::uint64_t kill = d.raw_mask() & truth_mask(lit, base);
+  while (kill != 0) {
+    const Value v = base + std::countr_zero(kill);
+    kill &= kill - 1;
+    if (solver.remove(lit.var, v) == PropResult::kFail) {
+      return PropResult::kFail;
+    }
+  }
+  return PropResult::kOk;
+}
+
+void NogoodStore::refresh_lbd(const Solver& solver, Clause& clause) {
+  // Replay-hit LBD refresh (DESIGN.md §11): the block LBD recorded at the
+  // conflict described *that* tree; where the clause fires now, the
+  // entailment depths of its literals may be far more glued.  Recompute
+  // and keep the improvement — a clause that keeps firing inside one
+  // depth block earns its way out of the prunable tier.
+  depth_buf_.clear();
+  const Lit* lits = &lits_[static_cast<std::size_t>(clause.offset)];
+  for (std::int32_t k = 0; k < clause.len; ++k) {
+    const std::int32_t depth = solver.entailment_depth(lits[k]);
+    if (depth >= 0) depth_buf_.push_back(depth);
+  }
+  if (depth_buf_.empty()) return;
+  std::sort(depth_buf_.begin(), depth_buf_.end());
+  depth_buf_.erase(std::unique(depth_buf_.begin(), depth_buf_.end()),
+                   depth_buf_.end());
+  const std::int32_t fresh = block_lbd(
+      depth_buf_.data(), static_cast<std::int32_t>(depth_buf_.size()));
+  if (fresh < clause.lbd) {
+    clause.lbd = fresh;
+    if (stats_ != nullptr) ++stats_->nogood_lbd_refreshed;
+  }
+}
+
 PropResult NogoodStore::examine(Solver& solver, std::int32_t clause_id) {
   Clause& c = clauses_[static_cast<std::size_t>(clause_id)];
-  NogoodLit* lits = &lits_[static_cast<std::size_t>(c.offset)];
+  if (c.deleted) return PropResult::kOk;
+  Lit* lits = &lits_[static_cast<std::size_t>(c.offset)];
   for (int w = 0; w < 2; ++w) {
-    if (!falsified(solver, lits[w])) continue;
+    if (!lit_entailed(solver, lits[w])) continue;
     const int o = 1 - w;
-    if (satisfied(solver, lits[o])) continue;  // clause already true
+    if (lit_impossible(solver, lits[o])) continue;  // clause already true
     // Find a replacement watch among the tail literals.
     bool moved = false;
     for (std::int32_t k = 2; k < c.len; ++k) {
-      if (falsified(solver, lits[k])) continue;
+      if (lit_entailed(solver, lits[k])) continue;
       std::swap(lits[w], lits[k]);
       watch_[static_cast<std::size_t>(lits[w].var)].push_back(clause_id);
-      // The old entry under the falsified variable goes stale; on_event
+      // The old entry under the entailed variable goes stale; on_event
       // re-verifies watch membership, so no erase is needed here.
       moved = true;
       break;
     }
     if (moved) continue;
     // No replacement: the other watch is unit or the clause is violated.
-    // Either failure (violated clause, or a unit removal that empties the
-    // domain) is attributed to this clause's variables for dom/wdeg.
+    // Either failure (violated clause, or a unit assertion that empties
+    // the domain) is attributed to this clause's variables for dom/wdeg.
     conflict_vars_.clear();
     for (std::int32_t k = 0; k < c.len; ++k) {
       conflict_vars_.push_back(lits[k].var);
     }
-    if (falsified(solver, lits[o])) {
+    if (general_ && c.lbd > kCoreLbd) refresh_lbd(solver, c);
+    if (lit_entailed(solver, lits[o])) {
       if (stats_ != nullptr) ++stats_->nogood_conflicts;
       return PropResult::kFail;
     }
     if (stats_ != nullptr) ++stats_->nogood_props;
-    // The unit removal follows from this clause's other literals alone, not
-    // from the store's all-variable scope — narrow the reason so conflict
-    // analysis can chase the falsifying fixes instead of keeping every
-    // decision (conflict_vars_ is exactly the clause's variables).
+    // The unit assertion follows from this clause's other literals alone,
+    // not from the store's all-variable scope — narrow the reason so
+    // conflict analysis can chase the entailing changes instead of keeping
+    // every decision (conflict_vars_ is exactly the clause's variables).
     solver.begin_explicit_reason(conflict_vars_.data(),
                                  static_cast<std::int32_t>(
                                      conflict_vars_.size()));
-    const PropResult unit = solver.remove(lits[o].var, lits[o].val);
+    const PropResult unit = assert_negation(solver, lits[o]);
     solver.end_explicit_reason();
     if (unit == PropResult::kFail && stats_ != nullptr) {
       ++stats_->nogood_conflicts;
@@ -180,18 +261,18 @@ PropResult NogoodStore::examine(Solver& solver, std::int32_t clause_id) {
   return PropResult::kOk;
 }
 
-bool NogoodStore::apply_root_unit(Solver& solver, const NogoodLit& unit,
+bool NogoodStore::apply_root_unit(Solver& solver, Lit unit,
                                   SolveStats& stats) {
-  const Domain64& d = solver.domain(unit.var);
-  if (!d.contains(unit.val)) return true;  // already gone for good
-  if (d.is_fixed()) return false;  // root requires the refuted value
+  if (lit_impossible(solver, unit)) return true;  // already refuted for good
+  if (lit_entailed(solver, unit)) return false;  // root requires the literal
   ++stats.nogood_props;
-  return solver.remove(unit.var, unit.val) != PropResult::kFail;
+  return assert_negation(solver, unit) != PropResult::kFail;
 }
 
 PropResult NogoodStore::propagate(Solver& solver) {
-  // examine() can append to pending_ indirectly (its removes fix variables,
-  // which wake this store again synchronously), so index, don't iterate.
+  // examine() can append to pending_ indirectly (its assertions narrow
+  // variables, which wake this store again synchronously), so index, don't
+  // iterate.
   for (std::size_t k = 0; k < pending_.size(); ++k) {
     if (examine(solver, pending_[k]) == PropResult::kFail) {
       pending_.clear();
@@ -207,6 +288,7 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
                                       std::int32_t lane, SolveStats& stats) {
   pending_.clear();
   conflict_vars_.clear();
+  last_recorded_ = -1;  // compaction renumbers; drop the subsumption anchor
 
   if (pool != nullptr) {
     // Publish everything recorded since the previous restart, then adopt
@@ -215,7 +297,7 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
     // scattered across the tree does not.
     for (std::size_t k = export_cursor_; k < clauses_.size(); ++k) {
       const Clause& c = clauses_[k];
-      if (c.imported) continue;
+      if (c.imported || c.deleted) continue;
       pool->publish(lane, &lits_[static_cast<std::size_t>(c.offset)], c.len,
                     c.lbd);
       ++stats.nogoods_exported;
@@ -226,37 +308,51 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
       const auto len = static_cast<std::int32_t>(clause.lits.size());
       if (clause.lbd > max_lbd_ || len > max_length_) continue;
       if (len == 1) {
+        // Root units are asserted directly, never watched — admissible
+        // whatever their literal form, even into a fix-only store.
         root_units_.push_back(clause.lits.front());
-      } else {
-        add_clause(clause.lits.data(), len, clause.lbd, /*imported=*/true);
+        ++stats.nogoods_imported;
+        continue;
       }
+      if (!general_ &&
+          std::any_of(clause.lits.begin(), clause.lits.end(),
+                      [](const Lit& l) { return l.rel != Rel::kEq; })) {
+        // A fix-only store would miss the entailment events of bound/!=
+        // literals; soundness is unaffected (clauses only prune), but the
+        // clause would be dead weight.
+        continue;
+      }
+      add_clause(clause.lits.data(), len, clause.lbd, /*imported=*/true);
       ++stats.nogoods_imported;
     }
   }
 
   // Root units strengthen the root permanently (the caller re-propagates
-  // and advances its root mark afterwards).  Removals fire events against
-  // the still-consistent pre-compaction structures; the pending entries
-  // they generate are discarded below, which is safe because compaction
-  // re-examines every literal against the root state anyway.
-  for (const NogoodLit& unit : root_units_) {
+  // and advances its root mark afterwards).  Assertions fire events
+  // against the still-consistent pre-compaction structures; the pending
+  // entries they generate are discarded below, which is safe because
+  // compaction re-examines every literal against the root state anyway.
+  for (const Lit& unit : root_units_) {
     if (!apply_root_unit(solver, unit, stats)) return false;
   }
   root_units_.clear();
   pending_.clear();
 
-  // Prune by glue: core clauses (block LBD <= kCoreLbd) are kept ahead of
-  // the rest, newest-first within each class, and the whole database is
-  // bounded by db_limit_ (a core flood cannot exceed it).
-  constexpr std::int32_t kCoreLbd = 2;
+  // Prune by glue: core clauses (block LBD <= kCoreLbd, including replay-
+  // hit promotions) are kept ahead of the rest, newest-first within each
+  // class, and the whole database is bounded by db_limit_ (a core flood
+  // cannot exceed it).  Subsumed clauses drop here regardless.
   std::vector<Clause> kept;
-  if (clause_count() > static_cast<std::int64_t>(db_limit_)) {
+  if (live_ > static_cast<std::int64_t>(db_limit_)) {
     std::int64_t cores = 0;
-    for (const Clause& c : clauses_) cores += c.lbd <= kCoreLbd ? 1 : 0;
+    for (const Clause& c : clauses_) {
+      cores += !c.deleted && c.lbd <= kCoreLbd ? 1 : 0;
+    }
     std::int64_t core_budget = std::min<std::int64_t>(cores, db_limit_);
     std::int64_t long_budget = db_limit_ - core_budget;
     kept.reserve(static_cast<std::size_t>(db_limit_));
     for (auto it = clauses_.rbegin(); it != clauses_.rend(); ++it) {
+      if (it->deleted) continue;
       if (it->lbd <= kCoreLbd) {
         if (core_budget > 0) {
           kept.push_back(*it);
@@ -269,32 +365,35 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
     }
     std::reverse(kept.begin(), kept.end());  // keep recency order stable
   } else {
-    kept = clauses_;
+    kept.reserve(static_cast<std::size_t>(live_));
+    for (const Clause& c : clauses_) {
+      if (!c.deleted) kept.push_back(c);
+    }
   }
 
-  // Compact the arena, dropping clauses satisfied at the (possibly just
-  // strengthened) root, folding root-unit clauses into the root, and
-  // reporting root-violated clauses as UNSAT.  The trail is at the root,
-  // so "satisfied/falsified now" means "satisfied/falsified forever".
-  // Unit folds are only collected here — applying them fires fix events
-  // that would re-enter on_event against half-rebuilt structures — and the
-  // removals run after the new structures are installed.
-  std::vector<NogoodLit> new_lits;
+  // Compact the arena, dropping clauses whose conjuncts became impossible
+  // at the (possibly just strengthened) root, folding root-unit clauses
+  // into the root, and reporting root-violated clauses as UNSAT.  The
+  // trail is at the root, so "entailed/impossible now" means "forever".
+  // Unit folds are only collected here — applying them fires events that
+  // would re-enter on_event against half-rebuilt structures — and the
+  // assertions run after the new structures are installed.
+  std::vector<Lit> new_lits;
   std::vector<Clause> new_clauses;
-  std::vector<NogoodLit> unit_folds;
+  std::vector<Lit> unit_folds;
   new_lits.reserve(lits_.size());
   new_clauses.reserve(kept.size());
   for (auto& list : watch_) list.clear();
   bool unsat = false;
   for (const Clause& c : kept) {
-    const NogoodLit* lits = &lits_[static_cast<std::size_t>(c.offset)];
+    const Lit* lits = &lits_[static_cast<std::size_t>(c.offset)];
     bool sat = false;
-    std::vector<NogoodLit> live;
+    std::vector<Lit> live;
     live.reserve(static_cast<std::size_t>(c.len));
     for (std::int32_t k = 0; k < c.len && !sat; ++k) {
-      if (satisfied(solver, lits[k])) {
+      if (lit_impossible(solver, lits[k])) {
         sat = true;
-      } else if (!falsified(solver, lits[k])) {
+      } else if (!lit_entailed(solver, lits[k])) {
         live.push_back(lits[k]);
       }
     }
@@ -312,16 +411,18 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
     const auto id = static_cast<std::int32_t>(new_clauses.size());
     // Root folds shorten the clause but the recorded glue stays: LBD is a
     // property of the conflict, length of the storage.
-    new_clauses.push_back(Clause{
-        offset, static_cast<std::int32_t>(live.size()), c.lbd, c.imported});
+    new_clauses.push_back(Clause{offset,
+                                 static_cast<std::int32_t>(live.size()),
+                                 c.lbd, c.imported, /*deleted=*/false});
     watch_[static_cast<std::size_t>(live[0].var)].push_back(id);
     watch_[static_cast<std::size_t>(live[1].var)].push_back(id);
   }
   lits_ = std::move(new_lits);
   clauses_ = std::move(new_clauses);
+  live_ = static_cast<std::int64_t>(clauses_.size());
   export_cursor_ = clauses_.size();
   if (unsat) return false;
-  for (const NogoodLit& unit : unit_folds) {
+  for (const Lit& unit : unit_folds) {
     if (!apply_root_unit(solver, unit, stats)) return false;
   }
   return true;

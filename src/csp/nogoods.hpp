@@ -1,31 +1,38 @@
-// Nogood recording across restarts (DESIGN.md §6).
+// Nogood recording across restarts (DESIGN.md §6, §10–11).
 //
-// At every conflict the solver extracts the *decision-set nogood*: the
-// sequence of decisions d_1 .. d_k (each "var = val") whose conjunction was
-// refuted by propagation.  Its negation is a clause of disequality literals
-// (var != val), at least one of which must hold in every solution, and —
-// unlike the trail itself — it stays valid after a restart, which is what
-// lets Luby-restarted search stop re-exploring refuted prefixes.
+// A nogood is a conjunction of csp::Lits refuted by search: its negation is
+// a clause, at least one conjunct must fail in every solution, and — unlike
+// the trail itself — it stays valid after a restart, which is what lets
+// Luby-restarted search stop re-exploring refuted prefixes.  Decision-set
+// learning records pure (var == val) conjuncts; 1-UIP learning
+// (NogoodLearn::kUip1) records the implied-literal frontier, so clauses mix
+// ==, != and bound (<=/>=) literals.
 //
 // The database is replayed as 2-watched-literal constraints: the store is a
 // single propagator whose scope is every variable, so it plugs into the
-// existing CSR fixed-event watch lists (one entry per variable) while
-// clause-level watches live in its own per-variable lists.  A literal
-// (var != val) is *falsified* exactly when var becomes fixed to val, so
-// kFixedOnly waking sees every falsification; watches repair lazily and
-// need no trailing because chronological backtracking only un-falsifies.
+// existing CSR watch lists (one entry per variable) while clause-level
+// watches live in its own per-variable lists.  A conjunct is *entailed*
+// exactly when every remaining domain value satisfies it — for (var == val)
+// that happens only at a fix, so decision-set stores subscribe kFixedOnly;
+// bound and != conjuncts become entailed on bound movement and value
+// removal, so general (1-UIP) stores subscribe kAnyChange and the advisor
+// tests the entailment transition against the pre-change mask.  Watches
+// repair lazily and need no trailing because chronological backtracking
+// only un-entails.
 //
 // Database hygiene happens at restarts (the only point where the trail is
-// at the root): satisfied-at-root clauses are dropped, clauses that became
-// unit at the root strengthen the root permanently, and when the database
-// exceeds its soft limit the worst entries are pruned by *block LBD* (the
-// number of maximal runs of consecutive decision depths at recording time —
-// see block_lbd and DESIGN.md §10), newest-first within a glue class.  A
-// NogoodPool lets portfolio lanes solving the same model share databases:
-// lanes publish their fresh recordings (with their LBD) at each restart and
-// import the other lanes' entries read-only, admitting by LBD rather than
-// length — a long clause whose literals sit in one tight depth block beats
-// a short one scattered across the tree.
+// at the root): impossible-conjunct clauses are dropped, clauses that
+// became unit at the root strengthen the root permanently, and when the
+// database exceeds its soft limit the worst entries are pruned by *block
+// LBD* (see block_lbd and DESIGN.md §10), newest-first within a glue
+// class.  Two in-search refinements (DESIGN.md §11): a replay hit
+// recomputes the firing clause's block LBD from the current entailment
+// depths (a clause that keeps firing inside one depth block is promoted
+// toward the protected core), and each fresh recording is checked for
+// subsumption against the previous one — only the stronger clause
+// survives.  A NogoodPool lets portfolio lanes solving the same model
+// share databases in literal form, so lanes import bound clauses too;
+// admission is by LBD rather than length.
 #pragma once
 
 #include <cstdint>
@@ -35,13 +42,6 @@
 #include "csp/solver.hpp"
 
 namespace mgrts::csp {
-
-/// One clause literal, read as "var != val".  (Equivalently: the recorded
-/// decision "var = val" that must not be repeated in full.)
-struct NogoodLit {
-  VarId var;
-  Value val;
-};
 
 /// Block LBD (DESIGN.md §10): the number of maximal runs of consecutive
 /// decision depths in `depths` (ascending, n >= 1).  Under chronological
@@ -55,7 +55,7 @@ struct NogoodLit {
 /// A clause in flight between lanes: its literals plus the block LBD it
 /// was recorded with (the importing lane's admission key).
 struct PooledNogood {
-  std::vector<NogoodLit> lits;
+  std::vector<Lit> lits;
   std::int32_t lbd = 1;
 };
 
@@ -64,7 +64,7 @@ struct PooledNogood {
 /// entries it published itself.
 class NogoodPool {
  public:
-  void publish(std::int32_t lane, const NogoodLit* lits, std::int32_t len,
+  void publish(std::int32_t lane, const Lit* lits, std::int32_t len,
                std::int32_t lbd);
 
   /// Copies entries in [cursor, end) published by other lanes into `out`
@@ -90,8 +90,12 @@ class NogoodStore final : public Propagator {
  public:
   /// `vars` is the total variable count; the store watches every variable.
   /// `max_lbd` is the pool-import admission cut (block LBD at recording).
+  /// `general` enables !=/bound literals: the store then wakes on any
+  /// change (their entailment moves on prunes); a non-general store keeps
+  /// the fix-only subscription and rejects non-== pool imports.
   NogoodStore(std::int64_t vars, std::int32_t max_length,
-              std::int32_t max_lbd, std::int32_t db_limit);
+              std::int32_t max_lbd, std::int32_t db_limit,
+              bool general = false);
 
   // ---- Propagator interface ------------------------------------------
   PropResult propagate(Solver& solver) override;
@@ -101,7 +105,7 @@ class NogoodStore final : public Propagator {
   [[nodiscard]] const std::vector<VarId>& failure_scope() const override;
   [[nodiscard]] const char* name() const override { return "nogood-store"; }
   [[nodiscard]] WakePolicy wake_policy() const override {
-    return WakePolicy::kFixedOnly;
+    return general_ ? WakePolicy::kAnyChange : WakePolicy::kFixedOnly;
   }
   [[nodiscard]] PropPriority priority() const override {
     return PropPriority::kFast;
@@ -111,15 +115,17 @@ class NogoodStore final : public Propagator {
 
   // ---- solver hooks ---------------------------------------------------
 
-  /// Records one (possibly conflict-analysis-minimized) nogood.
-  /// `decisions` lists the kept decisions shallowest-first, the failed
-  /// assignment last; the caller invokes this right after backtracking the
-  /// failed assignment, so the last literal is free and every other
-  /// literal is still falsified.  `raw_len` is the full decision-set
-  /// length before shrinking and `lbd` the block LBD of the kept depths
-  /// (both feed the stats and the clause's admission key).  Length-1
-  /// nogoods queue a permanent root removal instead of a clause.
-  void record(const std::vector<NogoodLit>& decisions, std::int32_t raw_len,
+  /// Records one learned nogood.  `lits` is ordered by depth, shallowest
+  /// first, with the conflict-level literal (the failed assignment, or the
+  /// 1-UIP) last; the caller invokes this right after backtracking the
+  /// conflict level, so the last literal is free and every other literal
+  /// is still entailed.  `raw_len` is the full decision-set length before
+  /// any shrinking and `lbd` the block LBD of the kept depths (both feed
+  /// the stats and the clause's admission key).  Length-1 nogoods queue a
+  /// permanent root strengthening instead of a clause.  The fresh clause
+  /// is checked for subsumption against the previous recording: only the
+  /// stronger one is kept (stats.nogoods_subsumed counts either outcome).
+  void record(const std::vector<Lit>& lits, std::int32_t raw_len,
               std::int32_t lbd, SolveStats& stats);
 
   /// Restart-time database maintenance; must run with the trail at the
@@ -131,9 +137,8 @@ class NogoodStore final : public Propagator {
                                          std::int32_t lane,
                                          SolveStats& stats);
 
-  [[nodiscard]] std::int64_t clause_count() const noexcept {
-    return static_cast<std::int64_t>(clauses_.size());
-  }
+  /// Live (non-subsumed) clause count.
+  [[nodiscard]] std::int64_t clause_count() const noexcept { return live_; }
 
   /// Points the store at the active solve's stats so in-search unit
   /// removals and clause conflicts are counted (propagate() has no stats
@@ -144,43 +149,53 @@ class NogoodStore final : public Propagator {
   struct Clause {
     std::int32_t offset;  ///< span start in lits_
     std::int32_t len;
-    std::int32_t lbd;  ///< block LBD at recording (kept through compaction)
+    std::int32_t lbd;  ///< block LBD: recorded, then replay-hit refreshed
     bool imported;     ///< pool-provided; never re-published
+    bool deleted;      ///< subsumed mid-search; dropped at maintenance
   };
 
-  [[nodiscard]] static bool falsified(const Solver& solver,
-                                      const NogoodLit& lit) {
-    const Domain64& d = solver.domain(lit.var);
-    return d.is_fixed() && d.value() == lit.val;
+  /// Conjunct entailed by the current domain: the literal *must* hold.
+  [[nodiscard]] static bool lit_entailed(const Solver& solver, Lit lit) {
+    return entailed(solver.domain(lit.var), lit);
   }
-  [[nodiscard]] static bool satisfied(const Solver& solver,
-                                      const NogoodLit& lit) {
-    return !solver.domain(lit.var).contains(lit.val);
+  /// Conjunct impossible: the clause (its negation) is permanently true.
+  [[nodiscard]] static bool lit_impossible(const Solver& solver, Lit lit) {
+    return impossible(solver.domain(lit.var), lit);
   }
 
-  void add_clause(const NogoodLit* lits, std::int32_t len, std::int32_t lbd,
+  void add_clause(const Lit* lits, std::int32_t len, std::int32_t lbd,
                   bool imported);
   PropResult examine(Solver& solver, std::int32_t clause_id);
-  /// Applies one permanent root removal; false when it proves UNSAT.
-  [[nodiscard]] bool apply_root_unit(Solver& solver, const NogoodLit& unit,
+  /// Prunes every value satisfying `lit` (asserts the negation); the
+  /// caller wraps the call in the clause's explicit-reason window.
+  [[nodiscard]] PropResult assert_negation(Solver& solver, Lit lit);
+  /// Replay-hit LBD refresh: recompute the clause's block LBD from the
+  /// current entailment depths of its literals; keep the improvement.
+  void refresh_lbd(const Solver& solver, Clause& clause);
+  /// Applies one permanent root strengthening; false when it proves UNSAT.
+  [[nodiscard]] bool apply_root_unit(Solver& solver, Lit unit,
                                      SolveStats& stats);
 
   std::vector<VarId> scope_;  ///< identity over all variables
-  std::vector<NogoodLit> lits_;
+  std::vector<Lit> lits_;
   std::vector<Clause> clauses_;
   /// Per-variable clause-watch lists.  Entries are stale-tolerant (a watch
   /// move appends to the new variable's list without erasing the old
   /// entry); restart_maintenance rebuilds them compactly.
   std::vector<std::vector<std::int32_t>> watch_;
-  std::vector<std::int32_t> pending_;  ///< clause ids with a falsified watch
-  std::vector<NogoodLit> root_units_;  ///< length-1 nogoods awaiting a restart
+  std::vector<std::int32_t> pending_;  ///< clause ids with an entailed watch
+  std::vector<Lit> root_units_;        ///< length-1 nogoods awaiting a restart
   std::vector<VarId> conflict_vars_;   ///< last failing clause, for dom/wdeg
+  std::vector<std::int32_t> depth_buf_;  ///< refresh_lbd scratch
   std::size_t export_cursor_ = 0;      ///< first clause not yet published
   std::size_t pool_cursor_ = 0;        ///< pool read position
   SolveStats* stats_ = nullptr;        ///< bound by the active solve
+  std::int32_t last_recorded_ = -1;    ///< subsumption partner (-1: none)
+  std::int64_t live_ = 0;              ///< non-deleted clause count
   std::int32_t max_length_;
   std::int32_t max_lbd_;
   std::int32_t db_limit_;
+  bool general_;
 };
 
 }  // namespace mgrts::csp

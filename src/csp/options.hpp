@@ -58,6 +58,19 @@ enum class PropagationMode {
   kLegacy,       ///< kScratch + wake-on-any-change (pre-change emulation)
 };
 
+/// What conflict analysis records when shrinking is on (DESIGN.md §10–11).
+/// Both modes need the reason trail; with `nogood_shrink` off the raw
+/// decision set records regardless of this knob.
+enum class NogoodLearn {
+  /// The PR-4 baseline: keep the decisions the conflict is reachable from.
+  kDecisionSet,
+  /// True 1-UIP: resolve the conflict level to its first unique implication
+  /// point and record the implied-literal frontier (==/!=/<=/>= literals).
+  /// Per conflict the clause is never longer than the decision set; falls
+  /// back to kDecisionSet when the walk meets an untracked entry.
+  kUip1,
+};
+
 struct SearchOptions {
   VarHeuristic var_heuristic = VarHeuristic::kDomWdeg;
   ValHeuristic val_heuristic = ValHeuristic::kMin;
@@ -82,6 +95,11 @@ struct SearchOptions {
   /// implication trail.  Also enables recording at conflicts deeper than
   /// `nogood_max_length` whenever the *minimized* clause fits the cut.
   bool nogood_shrink = true;
+  /// Clause form recorded by conflict analysis: true 1-UIP literal
+  /// frontiers (the default) or the decision-set baseline (the
+  /// differential reference; also what bench_micro's residue race pits the
+  /// default against).  Ignored while `nogood_shrink` is off.
+  NogoodLearn nogood_learn = NogoodLearn::kUip1;
   /// Conflicts whose recorded clause would exceed this record nothing
   /// (long nogoods barely prune).  With shrinking on the cut applies to
   /// the minimized length, not the raw decision-set length.
@@ -137,6 +155,18 @@ struct SolveStats {
   /// when shrinking is off); after/before is the shrink ratio.
   std::int64_t nogood_lits_before = 0;
   std::int64_t nogood_lits_after = 0;
+  /// 1-UIP differential (NogoodLearn::kUip1 only): per analyzed conflict,
+  /// the 1-UIP clause length vs the decision-set clause length for the
+  /// *same* conflict; uip/ds is the gated uip_clause_len_ratio (never
+  /// above 1.0 — the walk guarantees it per conflict).
+  std::int64_t nogood_lits_uip = 0;
+  std::int64_t nogood_lits_ds = 0;
+  /// On-the-fly subsumption events: a fresh clause replaced (or was
+  /// absorbed by) the previously recorded one.
+  std::int64_t nogoods_subsumed = 0;
+  /// Replay-hit LBD refreshes: a firing clause recomputed its block LBD
+  /// from current depths and improved it (possibly into the core tier).
+  std::int64_t nogood_lbd_refreshed = 0;
   double seconds = 0.0;
 };
 

@@ -33,6 +33,7 @@ VarId Solver::add_variable(Value lo, Value hi) {
   const auto v = static_cast<VarId>(domains_.size() - 1);
   unfixed_pos_.push_back(-1);
   var_wdeg_.push_back(0);
+  last_entry_.push_back(-1);
   return v;
 }
 
@@ -89,7 +90,18 @@ void Solver::trail_push(VarId v, std::uint64_t old_mask) {
     active_reason_ = kReasonExplicit - idx;
     pending_reason_len_ = 0;
   }
-  trail_.push_back(TrailEntry{old_mask, v, active_reason_});
+  // Per-variable threading is maintained only while the reason trail is —
+  // it is never read otherwise, and the last_entry_ read-modify-write is
+  // real hot-path work (unlike the depth slot, a dead register store).
+  // Either way the search never reads these fields, so trees stay
+  // bit-identical (Solver.ReasonTrailIsAPureObserver).
+  std::int32_t prev = -1;
+  if (track_reasons_) {
+    auto& head = last_entry_[static_cast<std::size_t>(v)];
+    prev = head;
+    head = static_cast<std::int32_t>(trail_.size());
+  }
+  trail_.push_back(TrailEntry{old_mask, v, active_reason_, cur_depth_, prev});
 }
 
 void Solver::begin_explicit_reason(const VarId* vars, std::int32_t n) {
@@ -210,6 +222,9 @@ void Solver::backtrack_to(const Mark& mark) {
     const TrailEntry entry = trail_.back();
     trail_.pop_back();
     domains_[static_cast<std::size_t>(entry.var)].set_raw_mask(entry.old_mask);
+    if (track_reasons_) {
+      last_entry_[static_cast<std::size_t>(entry.var)] = entry.prev_on_var;
+    }
     sync_membership(entry.var);
   }
 }
@@ -274,6 +289,25 @@ bool Solver::propagate_queue() {
   }
 }
 
+template <typename MarkFn>
+bool Solver::expand_reason(const TrailEntry& e, MarkFn&& mark) {
+  if (e.reason >= 0) {
+    for (const VarId v :
+         propagators_[static_cast<std::size_t>(e.reason)]->scope()) {
+      mark(v);
+    }
+    return true;
+  }
+  if (e.reason <= kReasonExplicit) {
+    const auto idx = static_cast<std::size_t>(kReasonExplicit - e.reason);
+    const auto begin = static_cast<std::size_t>(reason_offset_[idx]);
+    const auto end = static_cast<std::size_t>(reason_offset_[idx + 1]);
+    for (std::size_t i = begin; i < end; ++i) mark(reason_vars_[i]);
+    return true;
+  }
+  return false;  // untracked (kReasonNone): analysis would be unsound
+}
+
 bool Solver::analyze_conflict(std::size_t root_trail) {
   MGRTS_ASSERT(failing_prop_ >= 0);
   ++relevant_epoch_;
@@ -297,21 +331,153 @@ bool Solver::analyze_conflict(std::size_t root_trail) {
     const TrailEntry& e = trail_[k];
     if (!is_relevant(e.var)) continue;
     if (e.reason == kReasonDecision) continue;  // kept; collected by caller
-    if (e.reason >= 0) {
-      for (const VarId v :
-           propagators_[static_cast<std::size_t>(e.reason)]->scope()) {
-        mark_var(v);
-      }
-    } else if (e.reason <= kReasonExplicit) {
-      const auto idx = static_cast<std::size_t>(kReasonExplicit - e.reason);
-      const auto begin = static_cast<std::size_t>(reason_offset_[idx]);
-      const auto end = static_cast<std::size_t>(reason_offset_[idx + 1]);
-      for (std::size_t i = begin; i < end; ++i) mark_var(reason_vars_[i]);
-    } else {
-      return false;  // untracked entry: minimization would be unsound
-    }
+    if (!expand_reason(e, mark_var)) return false;
   }
   return true;
+}
+
+// ---- 1-UIP resolution walk (DESIGN.md §11) -----------------------------
+
+void Solver::uip_mark(VarId v, std::int64_t& pending) {
+  auto& stamp = relevant_stamp_[static_cast<std::size_t>(v)];
+  if (stamp == relevant_epoch_) return;
+  stamp = relevant_epoch_;
+  pending += uip_count_[static_cast<std::size_t>(v)];
+}
+
+Lit Solver::entry_literal(const TrailEntry& e, std::uint64_t post_mask) const {
+  const Value base = domains_[static_cast<std::size_t>(e.var)].base();
+  const std::uint64_t removed = e.old_mask & ~post_mask;
+  MGRTS_ASSERT(removed != 0);
+  if (std::popcount(removed) > 1) {
+    // A fix pruned several values at once: the entry's literal is the
+    // assignment itself (post state must be a singleton).
+    MGRTS_ASSERT(std::popcount(post_mask) == 1);
+    return Lit::eq(e.var, base + std::countr_zero(post_mask));
+  }
+  // Single-value removal: (var != a), strengthened to the *equivalent*
+  // bound form when a sits at the root min/max (relative to the root
+  // domain, "!= min" and ">= min + 1" forbid exactly the same states, but
+  // the bound form watches bound movement and merges under subsumption).
+  const Value a = base + std::countr_zero(removed);
+  if (a == root_min_[static_cast<std::size_t>(e.var)]) {
+    return Lit::ge(e.var, a + 1);
+  }
+  if (a == root_max_[static_cast<std::size_t>(e.var)]) {
+    return Lit::le(e.var, a - 1);
+  }
+  return Lit::ne(e.var, a);
+}
+
+bool Solver::analyze_uip(std::size_t root_trail, std::size_t level_start) {
+  MGRTS_ASSERT(failing_prop_ >= 0);
+  MGRTS_ASSERT(level_start >= root_trail && level_start < trail_.size());
+
+  // Unvisited-suffix counts per variable: marking a variable relevant must
+  // add exactly its unvisited conflict-level entries to the resolvent.
+  for (std::size_t k = level_start; k < trail_.size(); ++k) {
+    ++uip_count_[static_cast<std::size_t>(trail_[k].var)];
+  }
+  ++relevant_epoch_;  // fresh epoch: stamps double as the walk's marks
+
+  std::int64_t pending = 0;
+  auto mark = [&](VarId v) { uip_mark(v, pending); };
+  for (const VarId v :
+       propagators_[static_cast<std::size_t>(failing_prop_)]->failure_scope()) {
+    mark(v);
+  }
+
+  // Phase A — the conflict level, newest first.  Every visited relevant
+  // entry is a resolvent literal: expand it unless it is the *only* one
+  // left at this level (pending == 0 after its own visit), which makes it
+  // the first unique implication point.  The walk reconstructs each
+  // entry's post-change domain through an epoch-stamped mask overlay so
+  // the UIP literal can be derived without storing masks forward.
+  bool have_uip = false;
+  bool ok = true;
+  Lit uip{};
+  std::int32_t uip_depth = 0;
+  std::size_t k = trail_.size();
+  while (k > level_start) {
+    --k;
+    const TrailEntry& e = trail_[k];
+    const auto var = static_cast<std::size_t>(e.var);
+    const std::uint64_t post = walk_stamp_[var] == relevant_epoch_
+                                   ? walk_mask_[var]
+                                   : domains_[var].raw_mask();
+    walk_mask_[var] = e.old_mask;
+    walk_stamp_[var] = relevant_epoch_;
+    --uip_count_[var];
+    if (relevant_stamp_[var] != relevant_epoch_) continue;
+    --pending;
+    if (pending == 0) {
+      uip = entry_literal(e, post);
+      uip_depth = e.depth;
+      have_uip = true;
+      break;
+    }
+    if (!expand_reason(e, mark)) {
+      ok = false;
+      break;
+    }
+  }
+  // Zero the remaining suffix counts (entries the early break skipped) so
+  // the scratch array is clean for the next conflict.
+  for (std::size_t i = level_start; i < k; ++i) {
+    uip_count_[static_cast<std::size_t>(trail_[i].var)] = 0;
+  }
+  if (!have_uip || !ok) return false;
+
+  // Phase B — below the conflict level: keep relevant decisions as the
+  // clause frontier, expand everything else (kept decisions reproduce all
+  // relevant lower state, same induction as the decision-set walk).
+  uip_lits_.clear();
+  uip_depths_.clear();
+  while (k > root_trail) {
+    --k;
+    const TrailEntry& e = trail_[k];
+    if (relevant_stamp_[static_cast<std::size_t>(e.var)] != relevant_epoch_) {
+      continue;
+    }
+    if (e.reason == kReasonDecision) {
+      uip_lits_.push_back(
+          Lit::eq(e.var, domains_[static_cast<std::size_t>(e.var)].value()));
+      uip_depths_.push_back(e.depth);
+      continue;
+    }
+    // pending is harmless below the conflict level: uip_count_ is zero for
+    // every variable once the suffix pass finished.
+    if (!expand_reason(e, mark)) return false;
+  }
+  std::reverse(uip_lits_.begin(), uip_lits_.end());
+  std::reverse(uip_depths_.begin(), uip_depths_.end());
+  uip_lits_.push_back(uip);
+  uip_depths_.push_back(uip_depth);
+  return true;
+}
+
+void Solver::snapshot_root_bounds() {
+  root_min_.resize(domains_.size());
+  root_max_.resize(domains_.size());
+  for (std::size_t v = 0; v < domains_.size(); ++v) {
+    const Domain64& d = domains_[v];
+    MGRTS_ASSERT(!d.empty());
+    root_min_[v] = d.min();
+    root_max_[v] = d.max();
+  }
+}
+
+std::int32_t Solver::entailment_depth(Lit lit) const {
+  const auto var = static_cast<std::size_t>(lit.var);
+  const Domain64& d = domains_[var];
+  if (!entailed(d, lit)) return -1;
+  std::int32_t k = last_entry_[var];
+  while (k >= 0) {
+    const TrailEntry& e = trail_[static_cast<std::size_t>(k)];
+    if (!entailed_mask(e.old_mask, d.base(), lit)) return e.depth;
+    k = e.prev_on_var;
+  }
+  return 0;  // entailed by the root domain itself
 }
 
 void Solver::build_watch_lists() {
@@ -561,12 +727,17 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
   // kLegacy skips advisors entirely, so watched-literal replay cannot run
   // there — recording is disabled rather than silently inert.
   nogood_store_ = nullptr;
+  // General (1-UIP) stores carry !=/<=/>= literals whose entailment can
+  // move on prune events, so they watch every change; decision-set stores
+  // keep the fix-only subscription.
+  const bool uip_learning =
+      options.nogood_shrink && options.nogood_learn == NogoodLearn::kUip1;
   if (!frozen_ && !legacy_ &&
       (options.nogoods || options.nogood_pool != nullptr) &&
       !domains_.empty()) {
     auto store = std::make_unique<NogoodStore>(
         variable_count(), options.nogood_max_length, options.nogood_max_lbd,
-        options.nogood_db_limit);
+        options.nogood_db_limit, /*general=*/uip_learning);
     nogood_store_ = store.get();
     add(std::move(store));
   }
@@ -585,7 +756,13 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     reason_vars_.clear();
     relevant_stamp_.assign(domains_.size(), 0);
     relevant_epoch_ = 0;
+    if (uip_learning) {
+      uip_count_.assign(domains_.size(), 0);
+      walk_mask_.assign(domains_.size(), 0);
+      walk_stamp_.assign(domains_.size(), 0);
+    }
   }
+  cur_depth_ = 0;
 
   SolveOutcome outcome;
   auto finish = [&](SolveStatus status) {
@@ -619,6 +796,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     return finish(SolveStatus::kUnsat);
   }
   Mark root_mark = mark();  // advanced by restart-time root strengthening
+  if (uip_learning && nogood_store_ != nullptr) snapshot_root_bounds();
 
   std::int64_t restart_index = 0;
   std::int64_t failures_until_restart = -1;  // -1 = no budget
@@ -640,7 +818,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
   reset_restart_budget();
 
   std::vector<Frame> frames;
-  std::vector<NogoodLit> nogood_buf;
+  std::vector<Lit> nogood_buf;
   std::vector<std::int32_t> depth_buf;  ///< frame depths of nogood_buf lits
 
   for (;;) {  // restart loop
@@ -669,6 +847,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
       frame.mark = mark();
       frame.lex_hint = std::max(lex_hint, var);
       frames.push_back(frame);
+      cur_depth_ = static_cast<std::int32_t>(frames.size());
       stats_.max_depth = std::max(stats_.max_depth,
                                   static_cast<std::int64_t>(frames.size()));
 
@@ -685,6 +864,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
             return finish(SolveStatus::kUnsat);
           }
           backtrack_to(frames.back().mark);
+          cur_depth_ = static_cast<std::int32_t>(frames.size());
           continue;
         }
 
@@ -709,24 +889,25 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         bump_failure(failing_prop_);
 
         // Conflict analysis must read the implication trail before the
-        // backtrack below unwinds the conflicting subtree.
+        // backtrack below unwinds the conflicting subtree.  The decision-
+        // set walk runs first — its stamps pick the reachable decisions,
+        // which are both the kDecisionSet clause and the 1-UIP fallback —
+        // and the 1-UIP walk second (it reopens the stamp epoch).
         const bool shrink = nogood_store_ != nullptr && track_reasons_ &&
                             failing_prop_ >= 0 &&
                             analyze_conflict(root_mark.domain);
-        failing_prop_ = -1;
-        backtrack_to(top.mark);
 
-        // Nogood: the decisions standing below this frame (still fixed —
-        // the backtrack above only unwound the failed assignment) plus the
-        // assignment that just failed.  With analysis available, only the
-        // decisions the conflict is actually reachable from are kept, and
-        // the length cut applies to the minimized clause — deep conflicts
-        // with local causes still record.
+        // Decision-set clause: the decisions standing below this frame
+        // (still fixed — nothing is unwound yet) plus the assignment that
+        // just failed.  With analysis available, only the decisions the
+        // conflict is actually reachable from are kept, and the length cut
+        // applies to the minimized clause — deep conflicts with local
+        // causes still record.
+        nogood_buf.clear();
+        depth_buf.clear();
         if (nogood_store_ != nullptr &&
             (shrink || static_cast<std::int64_t>(frames.size()) <=
                            options.nogood_max_length)) {
-          nogood_buf.clear();
-          depth_buf.clear();
           for (std::size_t k = 0; k + 1 < frames.size(); ++k) {
             const VarId v = frames[k].var;
             if (shrink &&
@@ -734,18 +915,46 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
                     relevant_epoch_) {
               continue;
             }
-            nogood_buf.push_back(NogoodLit{
-                v, domains_[static_cast<std::size_t>(v)].value()});
+            nogood_buf.push_back(Lit::eq(
+                v, domains_[static_cast<std::size_t>(v)].value()));
             depth_buf.push_back(static_cast<std::int32_t>(k));
           }
-          nogood_buf.push_back(NogoodLit{top.var, value});
+          nogood_buf.push_back(Lit::eq(top.var, value));
           depth_buf.push_back(static_cast<std::int32_t>(frames.size()) - 1);
-          if (static_cast<std::int64_t>(nogood_buf.size()) <=
-              options.nogood_max_length) {
+        }
+
+        // 1-UIP resolution (DESIGN.md §11): resolve the conflict level down
+        // to its first unique implication point and learn that literal
+        // frontier instead.  Structurally never longer than the decision
+        // set (the UIP walk expands a subset of the full walk's entries),
+        // which the differential ledger tracks as uip_clause_len_ratio.
+        bool use_uip = false;
+        // Gate on uip_learning, not the learn knob alone: `shrink` can be
+        // true through force_reason_trail while nogood_shrink is off, and
+        // the walk's scratch arrays are only sized for real 1-UIP runs.
+        if (shrink && uip_learning) {
+          use_uip = analyze_uip(root_mark.domain, top.mark.domain);
+          if (use_uip) {
+            stats_.nogood_lits_uip +=
+                static_cast<std::int64_t>(uip_lits_.size());
+            stats_.nogood_lits_ds +=
+                static_cast<std::int64_t>(nogood_buf.size());
+            MGRTS_ASSERT(uip_lits_.size() <= nogood_buf.size());
+          }
+        }
+        failing_prop_ = -1;
+        backtrack_to(top.mark);
+
+        if (nogood_store_ != nullptr) {
+          const std::vector<Lit>& lits = use_uip ? uip_lits_ : nogood_buf;
+          const std::vector<std::int32_t>& depths =
+              use_uip ? uip_depths_ : depth_buf;
+          if (!lits.empty() && static_cast<std::int64_t>(lits.size()) <=
+                                   options.nogood_max_length) {
             nogood_store_->record(
-                nogood_buf, static_cast<std::int32_t>(frames.size()),
-                block_lbd(depth_buf.data(),
-                          static_cast<std::int32_t>(depth_buf.size())),
+                lits, static_cast<std::int32_t>(frames.size()),
+                block_lbd(depths.data(),
+                          static_cast<std::int32_t>(depths.size())),
                 stats_);
           }
         }
@@ -761,6 +970,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     // advances, so randomized heuristics explore a different tree).
     frames.clear();
     backtrack_to(root_mark);
+    cur_depth_ = 0;
     ++restart_index;
     ++stats_.restarts;
 
@@ -778,6 +988,9 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         return finish(SolveStatus::kUnsat);
       }
       root_mark = mark();
+      // Unit folds may have moved root bounds; the bound-form test in
+      // entry_literal must stay root-equivalent.
+      if (uip_learning) snapshot_root_bounds();
     }
 
     reset_restart_budget();

@@ -24,9 +24,15 @@
 //   * dom/wdeg failure weights are maintained incrementally;
 //   * while nogood shrinking is active every trail entry carries a *reason*
 //     (the decision or propagator that caused it), forming an implication
-//     trail; conflict analysis walks it backwards to minimize the recorded
-//     nogood (DESIGN.md §10).  With recording off the reason slot is a dead
-//     constant and search trees are bit-identical to a reason-free build;
+//     trail; each entry additionally records its decision depth and the
+//     previous entry on the same variable, so the trail doubles as a
+//     literal-based implication graph (every entry *is* a csp::Lit becoming
+//     true).  Conflict analysis walks it backwards — either keeping the
+//     reachable decisions (NogoodLearn::kDecisionSet, DESIGN.md §10) or
+//     resolving to the first unique implication point and emitting the
+//     implied-literal frontier (NogoodLearn::kUip1, DESIGN.md §11).  With
+//     recording off the reason slot is a dead constant and search trees are
+//     bit-identical to a reason-free build;
 //   * search is iterative (explicit frame stack), so model size — not
 //     recursion depth — is the only memory bound.
 #pragma once
@@ -37,12 +43,11 @@
 #include <vector>
 
 #include "csp/domain.hpp"
+#include "csp/literal.hpp"
 #include "csp/options.hpp"
 #include "support/rng.hpp"
 
 namespace mgrts::csp {
-
-using VarId = std::int32_t;
 
 /// Index into the solver's trailed propagator-state array (see
 /// Solver::alloc_state).
@@ -210,6 +215,16 @@ class Solver {
   /// trailed counters (differential-testing reference).
   [[nodiscard]] bool scratch_mode() const noexcept { return scratch_; }
 
+  /// The decision depth (1-based; 0 = root) at which `lit` became entailed
+  /// by the current domain state, or -1 when it is not entailed.  Walks the
+  /// per-variable trail chain backwards to the first entry whose pre-change
+  /// mask no longer entails the literal — exact, O(changes on the
+  /// variable).  The chain is only threaded while the reason trail is
+  /// active; without it every entailed literal reports the root depth.
+  /// Used by the nogood store to recompute a clause's block LBD from
+  /// current depths when a replay fires (DESIGN.md §11).
+  [[nodiscard]] std::int32_t entailment_depth(Lit lit) const;
+
   /// Narrowed reason scope (DESIGN.md §10): until end_explicit_reason, the
   /// running propagator's fix/remove calls are explained by `vars` instead
   /// of its full scope — use when a pruning provably depends on fewer
@@ -339,8 +354,19 @@ class Solver {
     std::uint64_t old_mask;
     VarId var;
     std::int32_t reason;  ///< kReasonNone unless tracking (DESIGN.md §10)
+    std::int32_t depth;   ///< decision depth of the change (0 = root)
+    /// Index of the previous trail entry on the same variable (-1: none);
+    /// together with last_entry_ this threads a per-variable change
+    /// history through the trail — the implication graph's edges.
+    std::int32_t prev_on_var;
   };
   std::vector<TrailEntry> trail_;
+  /// Newest trail entry per variable (-1: untouched); restored alongside
+  /// the trail via TrailEntry::prev_on_var.
+  std::vector<std::int32_t> last_entry_;
+  /// Current decision depth (== open frame count), stamped into every
+  /// trail entry; maintained by solve() at frame pushes/pops and restarts.
+  std::int32_t cur_depth_ = 0;
 
   // ---- reason tracking (active only while track_reasons_) --------------
   // Explicit reasons live in a CSR pool: reason i spans reason_vars_
@@ -360,6 +386,23 @@ class Solver {
   std::vector<std::int64_t> relevant_stamp_;
   std::int64_t relevant_epoch_ = 0;
 
+  // ---- 1-UIP walk state (epoch-stamped; sized only while tracking) -----
+  /// Unvisited conflict-level suffix entries per variable (zeroed after
+  /// every walk); feeds the pending-resolvent counter.
+  std::vector<std::int32_t> uip_count_;
+  /// Domain-mask overlay of the newest-first walk: the domain each visited
+  /// entry saw *after* its change (walk_stamp_ keys validity).
+  std::vector<std::uint64_t> walk_mask_;
+  std::vector<std::int64_t> walk_stamp_;
+  /// Root-level domain bounds (refreshed when the root mark advances);
+  /// entry_literal emits >=/<= literals exactly when they are equivalent
+  /// to the removal literal relative to these.
+  std::vector<Value> root_min_;
+  std::vector<Value> root_max_;
+  /// analyze_uip output: the learned clause, ascending depth, UIP last.
+  std::vector<Lit> uip_lits_;
+  std::vector<std::int32_t> uip_depths_;
+
   /// Conflict analysis (DESIGN.md §10): stamps every variable the conflict
   /// transitively depends on — seeded with failing_prop_'s failure scope,
   /// closed by walking trail entries in (root_trail, end) newest-first and
@@ -367,6 +410,41 @@ class Solver {
   /// is backtracked.  Returns false (analysis unusable, caller falls back
   /// to the full decision set) when an untracked entry is met.
   [[nodiscard]] bool analyze_conflict(std::size_t root_trail);
+
+  /// Expands a non-decision entry's reason — the propagator scope or the
+  /// explicit CSR span — through `mark` (one call per dependency
+  /// variable); false on an untracked entry (analysis unusable).  Shared
+  /// by the decision-set and 1-UIP walks so the reason encoding is decoded
+  /// in exactly one place.
+  template <typename MarkFn>
+  [[nodiscard]] bool expand_reason(const TrailEntry& e, MarkFn&& mark);
+
+  // ---- 1-UIP resolution walk (DESIGN.md §11) ---------------------------
+
+  /// Marks `v` relevant for the active walk epoch; during the conflict-
+  /// level phase the pending counter absorbs v's unvisited suffix entries.
+  void uip_mark(VarId v, std::int64_t& pending);
+  /// The literal entry `e` made true: a fix is (var == v); a single-value
+  /// removal is (var != a), emitted as the equivalent bound literal
+  /// (var >= a+1 / var <= a-1) when `a` is the variable's root min/max.
+  [[nodiscard]] Lit entry_literal(const TrailEntry& e,
+                                  std::uint64_t post_mask) const;
+
+  /// True 1-UIP conflict analysis: resolves the conflict over the
+  /// implication trail, stopping at the first unique implication point of
+  /// the conflict level ([level_start, end) of the trail) and keeping the
+  /// reachable decisions below it.  Fills uip_lits_/uip_depths_ (ascending
+  /// depth, the UIP literal last) and returns true; false falls back to
+  /// decision-set recording (untracked entry, or no conflict-level
+  /// dependency).  Must run before the conflict is backtracked, and after
+  /// any same-conflict analyze_conflict call (it reuses the stamp epoch).
+  [[nodiscard]] bool analyze_uip(std::size_t root_trail,
+                                 std::size_t level_start);
+
+  /// Refreshes root_min_/root_max_ from the current (root-level) domains;
+  /// called whenever the root mark advances while 1-UIP learning is on —
+  /// entry_literal's bound-form test is relative to these.
+  void snapshot_root_bounds();
 
   // Trailed propagator state (incremental counters etc.).
   std::vector<std::int64_t> pstate_;

@@ -81,7 +81,9 @@ struct RunRecord {
   /// (SolveReport::decided_by).
   std::string decided_by;
   /// Nogood-learning stats of the run (SolveReport::nogoods; zeros unless
-  /// a generic-engine method recorded).
+  /// a generic-engine method recorded).  Carries the 1-UIP differential
+  /// counters (lits_uip/lits_ds — uip_len_ratio is the gated ledger view)
+  /// plus subsumption/LBD-refresh events for NogoodLearn::kUip1 runs.
   core::NogoodStats nogoods;
 
   /// The paper's "overrun": the run did not decide within its budget.

@@ -1,0 +1,115 @@
+// The literal layer (DESIGN.md §11): negation, truth masks, implication,
+// entailment/impossibility against Domain64 (including holey domains), and
+// nogood-level subsumption across ==/!=/bound literals.
+#include <gtest/gtest.h>
+
+#include "csp/domain.hpp"
+#include "csp/literal.hpp"
+
+namespace mgrts::csp {
+namespace {
+
+TEST(Literal, NegationIsAnInvolutionOnEqNe) {
+  const Lit eq = Lit::eq(3, 5);
+  EXPECT_EQ(negate(eq), Lit::ne(3, 5));
+  EXPECT_EQ(negate(negate(eq)), eq);
+}
+
+TEST(Literal, NegationFlipsBoundsInclusively) {
+  EXPECT_EQ(negate(Lit::le(0, 4)), Lit::ge(0, 5));
+  EXPECT_EQ(negate(Lit::ge(0, 4)), Lit::le(0, 3));
+  // ¬¬(x <= 4) round-trips.
+  EXPECT_EQ(negate(negate(Lit::le(0, 4))), Lit::le(0, 4));
+}
+
+TEST(Literal, TruthMasksClampToTheWindow) {
+  // Window based at 10: bit i stands for value 10 + i.
+  EXPECT_EQ(truth_mask(Lit::eq(0, 12), 10), std::uint64_t{1} << 2);
+  EXPECT_EQ(truth_mask(Lit::eq(0, 9), 10), 0u);   // below the window
+  EXPECT_EQ(truth_mask(Lit::eq(0, 100), 10), 0u);  // above the window
+  EXPECT_EQ(truth_mask(Lit::ne(0, 12), 10), ~(std::uint64_t{1} << 2));
+  EXPECT_EQ(truth_mask(Lit::le(0, 12), 10), 0b111u);
+  EXPECT_EQ(truth_mask(Lit::le(0, 9), 10), 0u);
+  EXPECT_EQ(truth_mask(Lit::le(0, 200), 10), ~std::uint64_t{0});
+  EXPECT_EQ(truth_mask(Lit::ge(0, 12), 10), ~std::uint64_t{0b11});
+  EXPECT_EQ(truth_mask(Lit::ge(0, 10), 10), ~std::uint64_t{0});
+  EXPECT_EQ(truth_mask(Lit::ge(0, 200), 10), 0u);
+}
+
+TEST(Literal, ImpliesTableOverOneVariable) {
+  // == implies everything its value satisfies.
+  EXPECT_TRUE(implies(Lit::eq(0, 3), Lit::le(0, 3)));
+  EXPECT_TRUE(implies(Lit::eq(0, 3), Lit::ge(0, 3)));
+  EXPECT_TRUE(implies(Lit::eq(0, 3), Lit::ne(0, 4)));
+  EXPECT_FALSE(implies(Lit::eq(0, 3), Lit::ne(0, 3)));
+  EXPECT_FALSE(implies(Lit::eq(0, 3), Lit::le(0, 2)));
+  // != only implies itself (co-finite truth set).
+  EXPECT_TRUE(implies(Lit::ne(0, 3), Lit::ne(0, 3)));
+  EXPECT_FALSE(implies(Lit::ne(0, 3), Lit::ne(0, 4)));
+  EXPECT_FALSE(implies(Lit::ne(0, 3), Lit::le(0, 100)));
+  // Bounds imply looser bounds and the disequalities beyond them.
+  EXPECT_TRUE(implies(Lit::le(0, 2), Lit::le(0, 5)));
+  EXPECT_FALSE(implies(Lit::le(0, 5), Lit::le(0, 2)));
+  EXPECT_TRUE(implies(Lit::le(0, 2), Lit::ne(0, 3)));
+  EXPECT_FALSE(implies(Lit::le(0, 2), Lit::ne(0, 2)));
+  EXPECT_TRUE(implies(Lit::ge(0, 4), Lit::ge(0, 1)));
+  EXPECT_TRUE(implies(Lit::ge(0, 4), Lit::ne(0, 0)));
+  EXPECT_FALSE(implies(Lit::ge(0, 4), Lit::ne(0, 4)));
+  EXPECT_FALSE(implies(Lit::ge(0, 4), Lit::le(0, 100)));
+  // Never across variables.
+  EXPECT_FALSE(implies(Lit::eq(0, 3), Lit::le(1, 3)));
+}
+
+TEST(Literal, EntailmentAgainstDomains) {
+  Domain64 d(0, 5);  // {0..5}
+  EXPECT_FALSE(entailed(d, Lit::le(0, 3)));
+  EXPECT_FALSE(impossible(d, Lit::le(0, 3)));
+  d.remove(4);
+  d.remove(5);
+  EXPECT_TRUE(entailed(d, Lit::le(0, 3)));  // all remaining values <= 3
+  EXPECT_TRUE(entailed(d, Lit::ne(0, 4)));
+  EXPECT_TRUE(impossible(d, Lit::ge(0, 4)));
+  EXPECT_FALSE(entailed(d, Lit::eq(0, 2)));
+  d.remove(0);
+  d.remove(1);
+  d.remove(3);
+  EXPECT_TRUE(d.is_fixed());
+  EXPECT_TRUE(entailed(d, Lit::eq(0, 2)));
+  EXPECT_TRUE(impossible(d, Lit::ne(0, 2)));
+}
+
+TEST(Literal, EntailmentSeesHoleyDomains) {
+  // {0, 5}: a bound literal between the holes is neither entailed nor
+  // impossible; != of a hole value is entailed.
+  Domain64 d(0, 5);
+  for (Value v = 1; v <= 4; ++v) d.remove(v);
+  EXPECT_TRUE(entailed(d, Lit::ne(0, 3)));
+  EXPECT_FALSE(entailed(d, Lit::le(0, 3)));
+  EXPECT_FALSE(impossible(d, Lit::le(0, 3)));
+  EXPECT_FALSE(entailed(d, Lit::ge(0, 1)));
+}
+
+TEST(Literal, NogoodSubsumptionIsLiteralImplicationCover) {
+  // {x==1, y==1} forbids a superset of what {x==1, y==1, z==1} forbids.
+  const Lit shorter[] = {Lit::eq(0, 1), Lit::eq(1, 1)};
+  const Lit longer[] = {Lit::eq(0, 1), Lit::eq(1, 1), Lit::eq(2, 1)};
+  EXPECT_TRUE(nogood_subsumes(shorter, 2, longer, 3));
+  EXPECT_FALSE(nogood_subsumes(longer, 3, shorter, 2));
+  // Weaker literals subsume stronger ones on the same variables: x>=1 is
+  // implied by x>=2, so {x>=1, y==1} covers every state {x>=2, y==1} does.
+  const Lit loose[] = {Lit::ge(0, 1), Lit::eq(1, 1)};
+  const Lit tight[] = {Lit::ge(0, 2), Lit::eq(1, 1)};
+  EXPECT_TRUE(nogood_subsumes(loose, 2, tight, 2));
+  EXPECT_FALSE(nogood_subsumes(tight, 2, loose, 2));
+  // A bound conjunct is covered by an == conjunct it contains.
+  const Lit bound[] = {Lit::le(0, 3)};
+  const Lit fixed[] = {Lit::eq(0, 2)};
+  EXPECT_TRUE(nogood_subsumes(bound, 1, fixed, 1));
+  EXPECT_FALSE(nogood_subsumes(fixed, 1, bound, 1));
+  // Different variables never cover each other.
+  const Lit other[] = {Lit::eq(3, 1)};
+  EXPECT_FALSE(nogood_subsumes(other, 1, shorter, 2));
+}
+
+}  // namespace
+}  // namespace mgrts::csp

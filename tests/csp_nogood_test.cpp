@@ -118,11 +118,11 @@ TEST(NogoodPool, AdmitsByLbdNotLength) {
 
   NogoodPool pool;
   // Short but wide: 3 literals from 3 scattered decision depths.
-  const std::vector<NogoodLit> wide{{0, 0}, {2, 0}, {4, 0}};
+  const std::vector<Lit> wide{Lit::eq(0, 0), Lit::eq(2, 0), Lit::eq(4, 0)};
   pool.publish(/*lane=*/0, wide.data(), 3, /*lbd=*/3);
   // Long but narrow: 6 literals from one contiguous depth block.
-  const std::vector<NogoodLit> narrow{{1, 1}, {2, 1}, {3, 1},
-                                      {4, 1}, {5, 1}, {6, 1}};
+  const std::vector<Lit> narrow{Lit::eq(1, 1), Lit::eq(2, 1), Lit::eq(3, 1),
+                                Lit::eq(4, 1), Lit::eq(5, 1), Lit::eq(6, 1)};
   pool.publish(/*lane=*/0, narrow.data(), 6, /*lbd=*/1);
 
   // Under the old exchange-by-length rule the short wide clause would be
@@ -143,7 +143,7 @@ TEST(NogoodPool, AdmitsByLbdNotLength) {
 
 TEST(NogoodPool, CarriesLbdThroughImportSince) {
   NogoodPool pool;
-  const std::vector<NogoodLit> lits{{0, 0}, {1, 1}, {2, 0}};
+  const std::vector<Lit> lits{Lit::eq(0, 0), Lit::eq(1, 1), Lit::eq(2, 0)};
   pool.publish(/*lane=*/0, lits.data(), 3, /*lbd=*/2);
   std::vector<PooledNogood> out;
   const std::size_t cursor = pool.import_since(0, /*lane=*/1, out);

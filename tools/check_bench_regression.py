@@ -7,12 +7,13 @@ threshold.  Gated metrics are throughput rates (useful_propagations_per_sec,
 nodes_per_sec, residue_nodes_per_sec) plus the headline ratios: the fraction
 of the Table-I workload the presolve stages settle before search
 (presolve_decided_fraction), the diversified portfolio's wall-time ratio
-against the post-hoc best fixed value order (portfolio_vs_best_order), and
-the conflict-analysis nogood shrink ratio on the pipeline residue
-(nogood_shrink_ratio — the one gated metric where LOWER is better: it may
-shrink freely but must not creep back towards 1.0).  Plain wall-clock
-totals stay advisory because they are budget- and machine-shaped rather
-than throughput-shaped.
+against the post-hoc best fixed value order (portfolio_vs_best_order), the
+conflict-analysis nogood shrink ratio on the pipeline residue
+(nogood_shrink_ratio), and the 1-UIP vs decision-set clause-length ratio
+for the same conflicts (uip_clause_len_ratio).  The two ratio metrics gate
+in the LOWER-is-better direction: they may shrink freely but must not
+creep back towards 1.0.  Plain wall-clock totals stay advisory because
+they are budget- and machine-shaped rather than throughput-shaped.
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 
@@ -33,10 +34,11 @@ GATED_METRICS = (
     "portfolio_vs_best_order",
     "residue_nodes_per_sec",
     "nogood_shrink_ratio",
+    "uip_clause_len_ratio",
 )
 
 # Metrics where smaller values are better; their regression test inverts.
-LOWER_IS_BETTER = frozenset({"nogood_shrink_ratio"})
+LOWER_IS_BETTER = frozenset({"nogood_shrink_ratio", "uip_clause_len_ratio"})
 
 
 def load_entries(path):
