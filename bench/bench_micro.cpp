@@ -10,12 +10,14 @@
 // tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "core/solve.hpp"
 #include "csp/propagators.hpp"
 #include "csp/solver.hpp"
 #include "csp2/csp2.hpp"
@@ -24,6 +26,7 @@
 #include "flow/oracle.hpp"
 #include "gen/generator.hpp"
 #include "rt/jobs.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -461,17 +464,28 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
     spec.config.generic.nogood_learn = learn;
     return spec;
   };
+  // The 4th lane re-runs the 1-UIP configuration with the decision-set
+  // differential forced on every conflict (nogood_ds_sample = 1) instead of
+  // the sampled default.  Both walks are pure observers, so per node the
+  // trees are identical; under the shared wall budget the always-on lane
+  // just covers fewer of them — the nodes/sec gap is the overhead the
+  // sampling knob recovers.
+  exp::SolverSpec ds_always =
+      lane("residue-ds-always", true, csp::NogoodLearn::kUip1);
+  ds_always.config.generic.nogood_ds_sample = 1;
   const exp::BatchResult batch = exp::run_batch(
       residue.batch,
       {lane("residue-1uip", true, csp::NogoodLearn::kUip1),
        lane("residue-dset", true, csp::NogoodLearn::kDecisionSet),
-       lane("residue-shrink-off", false, csp::NogoodLearn::kUip1)});
+       lane("residue-shrink-off", false, csp::NogoodLearn::kUip1),
+       std::move(ds_always)});
   const char* names[] = {"residue_1uip", "residue_dset",
-                         "residue_shrink_off"};
+                         "residue_shrink_off", "residue_ds_always"};
 
   double nodes_per_sec_uip = 0.0;
   double shrink_ratio_uip = 1.0;
   double uip_len_ratio = 1.0;
+  std::vector<double> lane_nps(batch.labels.size(), 0.0);
   std::vector<double> verdict_nodes(batch.labels.size(), 0.0);
   for (std::size_t s = 0; s < batch.labels.size(); ++s) {
     double wall = 0.0;
@@ -500,6 +514,7 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
         decided > 0 ? static_cast<double>(nodes) /
                           static_cast<double>(decided)
                     : static_cast<double>(nodes);
+    lane_nps[s] = nodes_per_sec;
     verdict_nodes[s] = nodes_to_verdict;
     if (s == 0) {
       nodes_per_sec_uip = nodes_per_sec;
@@ -541,16 +556,82 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
                                      : 1.0)
       .metric("verdict_cost_vs_off",
               verdict_nodes[2] > 0.0 ? verdict_nodes[0] / verdict_nodes[2]
-                                     : 1.0);
+                                     : 1.0)
+      .metric("ds_sample_speedup",
+              lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0);
   std::printf("%-32s 1-UIP costs %.2fx the nodes per verdict of the "
               "decision set, %.2fx of shrink-off (shrink %.2f, uip/ds "
-              "length %.2f)\n",
+              "length %.2f); sampling the differential runs %.2fx the "
+              "always-on rate\n",
               "residue_summary",
               verdict_nodes[1] > 0.0 ? verdict_nodes[0] / verdict_nodes[1]
                                      : 1.0,
               verdict_nodes[2] > 0.0 ? verdict_nodes[0] / verdict_nodes[2]
                                      : 1.0,
-              shrink_ratio_uip, uip_len_ratio);
+              shrink_ratio_uip, uip_len_ratio,
+              lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0);
+}
+
+// --------------------------------------------------- hardened-layer cost
+//
+// The fault-injection hooks shadow the hot-path guards (variable budget,
+// table allocations, deadline polls; DESIGN.md §12).  Disarmed each hook
+// costs one relaxed atomic load; armed-but-idle (rate 0.0, every site
+// selected) it additionally pays the per-site evaluation counter — the
+// worst case the hardened layer can ever charge a fault-free run.
+// `residue_faultfree_overhead` is the armed-idle / disarmed wall ratio on
+// a deterministic node-budgeted generic-engine workload, best-of-3 per
+// mode; the regression gate pins it near 1.0 (lower is better) so the
+// hardening cannot silently tax residue throughput.
+
+void report_fault_overhead(bench::BenchJson& json, std::uint64_t seed) {
+  std::vector<gen::Instance> instances;
+  for (std::uint64_t idx = 0; idx < 6; ++idx) {
+    instances.push_back(
+        gen::generate_indexed(bench::paper_workload_small(), seed, idx));
+  }
+  const auto sweep = [&] {
+    double wall = 0.0;
+    for (const gen::Instance& inst : instances) {
+      core::SolveConfig config;
+      config.method = core::Method::kCsp2Generic;
+      config.max_nodes = 20'000;
+      config.pipeline = core::PipelineOptions::none();
+      config.generic = core::choco_like_defaults(seed);
+      config.generic.nogoods = true;
+      const core::SolveReport report = core::solve_instance(
+          inst.tasks, rt::Platform::identical(inst.processors), config);
+      wall += report.seconds;
+    }
+    return wall;
+  };
+
+  support::FaultPlan plan;
+  plan.seed = seed;
+  plan.rate = 0.0;  // armed but idle: hooks evaluate, nothing ever fires
+  plan.sites = ~std::uint32_t{0};
+
+  // Interleave the modes (disarmed, armed, disarmed, ...) so slow machine
+  // drift hits both equally, and keep the best sweep per mode.
+  sweep();  // warmup: touch code + allocator before either mode is timed
+  double disarmed = 0.0;
+  double armed = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double cold = sweep();
+    disarmed = rep == 0 ? cold : std::min(disarmed, cold);
+    support::FaultInjector::arm(plan);
+    const double hot = sweep();
+    support::FaultInjector::disarm();
+    armed = rep == 0 ? hot : std::min(armed, hot);
+  }
+
+  const double overhead = disarmed > 0.0 ? armed / disarmed : 1.0;
+  json.record("residue_faultfree_overhead")
+      .metric("wall_seconds_disarmed", disarmed)
+      .metric("wall_seconds_armed_idle", armed)
+      .metric("residue_faultfree_overhead", overhead);
+  std::printf("%-32s %.3fs disarmed vs %.3fs armed-idle -> %.3fx\n",
+              "residue_faultfree_overhead", disarmed, armed, overhead);
 }
 
 // --------------------------------------------------- presolve absorption
@@ -706,6 +787,9 @@ int main(int argc, char** argv) {
 
   std::printf("\n== nogood shrinking on the pipeline residue ==\n");
   report_residue(json, seed);
+
+  std::printf("\n== hardened-layer fault-free overhead ==\n");
+  report_fault_overhead(json, seed);
 
   std::printf("\n== portfolio racing vs fixed value orders ==\n");
   report_portfolio(json);

@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <exception>
+#include <new>
+#include <string>
 #include <utility>
 
 #include "analysis/tests.hpp"
@@ -78,11 +81,12 @@ class FlowOracleStage final : public Stage {
       out.detail = "max-flow " + std::to_string(oracle.flow) + " of demand " +
                    std::to_string(oracle.demand);
     } catch (const ResourceError& e) {
-      // The job table blew its memory budget.  The analysis stage defers
-      // feasible answers to us (necessary-only mode), so re-derive the
-      // sufficient density proof here — sound, witness-less, and far
-      // better than regressing an already-provable instance to full
-      // search.
+      // The job table blew its memory budget (or an injected fault shadowed
+      // that guard).  The analysis stage defers feasible answers to us
+      // (necessary-only mode), so re-derive the sufficient density proof
+      // here — sound, witness-less, and far better than regressing an
+      // already-provable instance to full search.
+      const bool injected = dynamic_cast<const FaultInjectedError*>(&e);
       const analysis::TestResult density =
           analysis::density_test(ts, platform.processors());
       if (density.verdict == analysis::TestVerdict::kFeasible) {
@@ -92,6 +96,8 @@ class FlowOracleStage final : public Stage {
                      "); density proof stands";
       } else {
         out.verdict = Verdict::kUnknown;
+        out.cause = injected ? FailureCause::kFaultInjected
+                             : FailureCause::kMemory;
         out.detail = std::string("flow oracle skipped: ") + e.what();
       }
     }
@@ -169,7 +175,30 @@ PipelineOutcome Pipeline::run_stages(const rt::TaskSet& ts,
     if (deadline.expired()) break;
     if (!stage->applicable(ts, platform)) continue;
     support::Stopwatch watch;
-    StageResult result = stage->run(ts, platform, context);
+    StageResult result;
+    // Containment funnel (DESIGN.md §12): a throwing stage downgrades to a
+    // sound kUnknown with cause provenance — a presolve stage must never be
+    // the reason a solve dies.
+    try {
+      result = stage->run(ts, platform, context);
+    } catch (const FaultInjectedError& e) {
+      result = StageResult{};
+      result.cause = FailureCause::kFaultInjected;
+      result.detail = std::string(stage->name()) + " faulted: " + e.what();
+    } catch (const ResourceError& e) {
+      result = StageResult{};
+      result.cause = FailureCause::kMemory;
+      result.detail = std::string(stage->name()) + " hit a resource limit: " +
+                      e.what();
+    } catch (const std::bad_alloc&) {
+      result = StageResult{};
+      result.cause = FailureCause::kMemory;
+      result.detail = std::string(stage->name()) + " ran out of memory";
+    } catch (const std::exception& e) {
+      result = StageResult{};
+      result.cause = FailureCause::kInternalError;
+      result.detail = std::string(stage->name()) + " threw: " + e.what();
+    }
     out.stages.push_back(
         StageTiming{stage->name(), result.verdict, watch.seconds()});
     if (result.decisive()) {
@@ -191,7 +220,33 @@ PipelineOutcome Pipeline::run(const rt::TaskSet& ts,
   if (out.result.decisive()) return out;
 
   support::Stopwatch watch;
-  StageResult result = backend_->run(ts, platform, config, deadline);
+  StageResult result;
+  // Same funnel as run_stages, at the backend boundary.  ValidationError
+  // stays a thrown contract violation (a structurally invalid request, not
+  // a runtime failure); everything else degrades with a cause.
+  try {
+    result = backend_->run(ts, platform, config, deadline);
+  } catch (const ValidationError&) {
+    throw;
+  } catch (const FaultInjectedError& e) {
+    result = StageResult{};
+    result.cause = FailureCause::kFaultInjected;
+    result.detail = std::string(backend_->name()) + " faulted: " + e.what();
+  } catch (const ResourceError& e) {
+    result = StageResult{};
+    result.verdict = Verdict::kMemoryLimit;
+    result.cause = FailureCause::kMemory;
+    result.detail = e.what();
+  } catch (const std::bad_alloc&) {
+    result = StageResult{};
+    result.verdict = Verdict::kMemoryLimit;
+    result.cause = FailureCause::kMemory;
+    result.detail = std::string(backend_->name()) + " ran out of memory";
+  } catch (const std::exception& e) {
+    result = StageResult{};
+    result.cause = FailureCause::kInternalError;
+    result.detail = std::string(backend_->name()) + " threw: " + e.what();
+  }
   out.stages.push_back(
       StageTiming{backend_->name(), result.verdict, watch.seconds()});
   out.decided_by = result.decided_by.empty()

@@ -128,6 +128,9 @@ struct StageResult {
   Verdict verdict = Verdict::kUnknown;
   /// Whether a kInfeasible verdict is an exhaustive proof.
   bool complete = true;
+  /// Why a non-decisive verdict happened (kNone for decisive answers and
+  /// plain presolve hand-offs).
+  FailureCause cause = FailureCause::kNone;
   std::optional<rt::Schedule> schedule;  ///< witness, when one exists
   /// Refined provenance label (e.g. "analysis:utilization"); empty means
   /// "use the stage's name".

@@ -1,7 +1,11 @@
 #include "core/solve.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <mutex>
+#include <new>
+#include <thread>
 #include <utility>
 
 #include "csp/nogoods.hpp"
@@ -57,8 +61,24 @@ NogoodStats to_nogood_stats(const csp::SolveStats& stats) {
   return out;
 }
 
+/// Attributes a budget verdict to its FailureCause: wall expiry vs
+/// cooperative cancellation for kTimeout, node budget, memory.  Decisive
+/// verdicts and plain incomplete give-ups keep kNone.
+FailureCause infer_cause(Verdict verdict, const support::Deadline& deadline) {
+  switch (verdict) {
+    case Verdict::kTimeout:
+      return deadline.cancel_requested() ? FailureCause::kCancelled
+                                         : FailureCause::kDeadline;
+    case Verdict::kNodeLimit: return FailureCause::kNodeBudget;
+    case Verdict::kMemoryLimit: return FailureCause::kMemory;
+    default: return FailureCause::kNone;
+  }
+}
+
 /// The terminal pipeline stage: dispatches to the requested search method.
-/// ResourceError surfaces as kMemoryLimit (Table IV's "-"); structural
+/// Containment funnel (DESIGN.md §12): ResourceError surfaces as
+/// kMemoryLimit (Table IV's "-"), injected faults and unexpected exceptions
+/// degrade to kUnknown with cause provenance; only structural
 /// ValidationError (e.g. the flow oracle on a heterogeneous platform)
 /// propagates to the caller as before.
 class MethodBackend final : public Backend {
@@ -77,10 +97,29 @@ class MethodBackend final : public Backend {
     StageResult out;
     try {
       dispatch(ts, platform, config, deadline, out);
+    } catch (const ValidationError&) {
+      throw;
+    } catch (const FaultInjectedError& e) {
+      out = StageResult{};
+      out.cause = FailureCause::kFaultInjected;
+      out.detail = e.what();
     } catch (const ResourceError& e) {
       out = StageResult{};
       out.verdict = Verdict::kMemoryLimit;
+      out.cause = FailureCause::kMemory;
       out.detail = e.what();
+    } catch (const std::bad_alloc&) {
+      out = StageResult{};
+      out.verdict = Verdict::kMemoryLimit;
+      out.cause = FailureCause::kMemory;
+      out.detail = "allocation failed during model build or search";
+    } catch (const std::exception& e) {
+      out = StageResult{};
+      out.cause = FailureCause::kInternalError;
+      out.detail = std::string("backend threw: ") + e.what();
+    }
+    if (out.cause == FailureCause::kNone) {
+      out.cause = infer_cause(out.verdict, deadline);
     }
     return out;
   }
@@ -164,6 +203,7 @@ class MethodBackend final : public Backend {
         PortfolioReport race = solve_portfolio(ts, platform, inner);
         out.verdict = race.report.verdict;
         out.complete = race.report.complete;
+        out.cause = race.report.cause;
         out.schedule = std::move(race.report.schedule);
         out.nodes = race.report.nodes;
         out.failures = race.report.failures;
@@ -230,6 +270,7 @@ SolveReport to_report(PipelineOutcome&& outcome) {
   SolveReport report;
   report.verdict = outcome.result.verdict;
   report.complete = outcome.result.complete;
+  report.cause = outcome.result.cause;
   report.schedule = std::move(outcome.result.schedule);
   report.nodes = outcome.result.nodes;
   report.failures = outcome.result.failures;
@@ -256,6 +297,7 @@ SolveReport solve_instance(const rt::TaskSet& input,
                       ? support::Deadline()
                       : support::Deadline::after_ms(config.time_limit_ms);
   deadline.set_cancel(config.cancel);
+  if (config.heartbeat) deadline.set_heartbeat(config.heartbeat);
 
   Pipeline pipeline = make_pipeline(config.pipeline);
   pipeline.set_backend(std::make_unique<MethodBackend>(config.method));
@@ -389,39 +431,116 @@ PortfolioReport solve_portfolio(const rt::TaskSet& input,
 
   // Linked to the caller's token (when engaged) so an external cancel of
   // the portfolio run still aborts every lane; the winner's cancel only
-  // fires the race-local flag.
+  // fires the race-local flag.  Each lane then gets its *own* token linked
+  // to the race token, so the watchdog can cull one stalled lane without
+  // touching the survivors (links chain: caller -> race -> lane).
   const support::CancelToken token =
       config.cancel.engaged() ? support::CancelToken::linked(config.cancel)
                               : support::CancelToken::make();
-  for (Lane& lane : lanes) lane.config.cancel = token;
+  const std::size_t n_lanes = lanes.size();
+  std::vector<support::CancelToken> lane_tokens;
+  lane_tokens.reserve(n_lanes);
+  for (std::size_t k = 0; k < n_lanes; ++k) {
+    lane_tokens.push_back(support::CancelToken::linked(token));
+    lanes[k].config.cancel = lane_tokens[k];
+    lanes[k].config.heartbeat =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
+  }
 
-  std::vector<SolveReport> reports(lanes.size());
-  std::vector<std::exception_ptr> errors(lanes.size());
+  std::vector<SolveReport> reports(n_lanes);
+  auto started = std::make_unique<std::atomic<bool>[]>(n_lanes);
+  auto finished = std::make_unique<std::atomic<bool>[]>(n_lanes);
+  std::vector<bool> watchdog_cancelled(n_lanes, false);
+
+  // Progress watchdog: a lane that has started, produced at least one
+  // heartbeat, and then stands still for watchdog_stall_ms is cancelled so
+  // the race continues with the survivors.  Queued-but-unstarted lanes
+  // (oversubscription) and lanes still building their model (no beat yet)
+  // are never culled — only a heartbeat that went quiet counts as stuck.
+  std::atomic<bool> race_done{false};
+  std::thread watchdog;
+  const std::int64_t stall_ms = config.portfolio.watchdog_stall_ms;
+  if (stall_ms > 0 && n_lanes > 0) {
+    watchdog = std::thread([&] {
+      using Clock = support::Deadline::Clock;
+      const auto poll = std::chrono::milliseconds(
+          std::clamp<std::int64_t>(stall_ms / 4, 5, 250));
+      std::vector<std::uint64_t> last_beat(n_lanes, 0);
+      std::vector<Clock::time_point> last_change(n_lanes, Clock::now());
+      while (!race_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        const auto now = Clock::now();
+        for (std::size_t k = 0; k < n_lanes; ++k) {
+          if (finished[k].load(std::memory_order_acquire) ||
+              !started[k].load(std::memory_order_acquire)) {
+            continue;
+          }
+          const std::uint64_t beat =
+              lanes[k].config.heartbeat->load(std::memory_order_relaxed);
+          if (beat != last_beat[k]) {
+            last_beat[k] = beat;
+            last_change[k] = now;
+            continue;
+          }
+          if (beat > 0 && !watchdog_cancelled[k] &&
+              now - last_change[k] > std::chrono::milliseconds(stall_ms)) {
+            watchdog_cancelled[k] = true;  // single writer: this thread
+            lane_tokens[k].cancel();
+          }
+        }
+      }
+    });
+  }
+
   // One thread per lane by default: the race mechanism is overlapping
   // wall-clock deadlines, which deliberate oversubscription preserves even
   // on a single hardware thread (parallel_for_index honors workers beyond
-  // the shared pool with a dedicated pool).
+  // the shared pool with a dedicated pool).  A throwing lane is contained
+  // into its report — one crashed lane must never kill the race.
   const std::size_t workers = config.portfolio.workers == 0
-                                  ? lanes.size()
+                                  ? n_lanes
                                   : config.portfolio.workers;
-  support::parallel_for_index(lanes.size(), workers, [&](std::size_t k) {
+  support::parallel_for_index(n_lanes, workers, [&](std::size_t k) {
+    started[k].store(true, std::memory_order_release);
     try {
       reports[k] = solve_instance(ts, platform, lanes[k].config);
       if (decisive(reports[k].verdict, reports[k].complete)) {
         token.cancel();  // decisive: the race is over, stop the losers
       }
-    } catch (...) {
-      errors[k] = std::current_exception();
+    } catch (const FaultInjectedError& e) {
+      reports[k] = SolveReport{};
+      reports[k].verdict = Verdict::kUnknown;
+      reports[k].cause = FailureCause::kFaultInjected;
+      reports[k].complete = false;
+      reports[k].detail = e.what();
+    } catch (const ResourceError& e) {
+      reports[k] = SolveReport{};
+      reports[k].verdict = Verdict::kUnknown;
+      reports[k].cause = FailureCause::kMemory;
+      reports[k].complete = false;
+      reports[k].detail = e.what();
+    } catch (const std::exception& e) {
+      reports[k] = SolveReport{};
+      reports[k].verdict = Verdict::kUnknown;
+      reports[k].cause = FailureCause::kInternalError;
+      reports[k].complete = false;
+      reports[k].detail = std::string("lane threw: ") + e.what();
     }
+    finished[k].store(true, std::memory_order_release);
   });
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  race_done.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
 
-  out.lanes.reserve(lanes.size());
-  for (std::size_t k = 0; k < lanes.size(); ++k) {
-    out.lanes.push_back(LaneOutcome{lanes[k].label, reports[k].verdict,
-                                    reports[k].seconds, reports[k].nodes});
+  out.lanes.reserve(n_lanes);
+  for (std::size_t k = 0; k < n_lanes; ++k) {
+    LaneOutcome lane_out;
+    lane_out.label = lanes[k].label;
+    lane_out.verdict = reports[k].verdict;
+    lane_out.cause = reports[k].cause;
+    lane_out.seconds = reports[k].seconds;
+    lane_out.nodes = reports[k].nodes;
+    lane_out.watchdog_cancelled = watchdog_cancelled[k];
+    out.lanes.push_back(std::move(lane_out));
     if (!decisive(reports[k].verdict, reports[k].complete)) continue;
     if (out.winner < 0 ||
         reports[k].seconds <
@@ -447,22 +566,125 @@ PortfolioReport solve_portfolio(const rt::TaskSet& input,
   return out;
 }
 
+namespace {
+
+/// True for failures worth a retry: transient crash-type causes, not
+/// legitimate budget outcomes (a deadline or node-limit report is the
+/// answer, not an accident).
+bool crash_type(FailureCause cause) {
+  return cause == FailureCause::kMemory ||
+         cause == FailureCause::kInternalError ||
+         cause == FailureCause::kFaultInjected;
+}
+
+/// solve_instance with every escape hatch closed: whatever the run throws
+/// (ValidationError included — a batch must never lose a record) becomes a
+/// kUnknown report with cause provenance.
+SolveReport contained_solve(const BatchJob& job, const SolveConfig& config) {
+  support::Stopwatch watch;
+  try {
+    return solve_instance(job.tasks, job.platform, config);
+  } catch (const FaultInjectedError& e) {
+    SolveReport report;
+    report.verdict = Verdict::kUnknown;
+    report.cause = FailureCause::kFaultInjected;
+    report.complete = false;
+    report.detail = e.what();
+    report.seconds = watch.seconds();
+    return report;
+  } catch (const ResourceError& e) {
+    SolveReport report;
+    report.verdict = Verdict::kUnknown;
+    report.cause = FailureCause::kMemory;
+    report.complete = false;
+    report.detail = e.what();
+    report.seconds = watch.seconds();
+    return report;
+  } catch (const std::exception& e) {
+    SolveReport report;
+    report.verdict = Verdict::kUnknown;
+    report.cause = FailureCause::kInternalError;
+    report.complete = false;
+    report.detail = std::string("job threw: ") + e.what();
+    report.seconds = watch.seconds();
+    return report;
+  }
+}
+
+}  // namespace
+
 std::vector<SolveReport> solve_batch(const std::vector<BatchJob>& jobs,
-                                     std::size_t workers) {
+                                     const BatchPolicy& policy,
+                                     BatchHealth* health) {
   std::vector<SolveReport> reports(jobs.size());
-  std::vector<std::exception_ptr> errors(jobs.size());
-  support::parallel_for_index(jobs.size(), workers, [&](std::size_t k) {
-    try {
-      reports[k] = solve_instance(jobs[k].tasks, jobs[k].platform,
-                                  jobs[k].config);
-    } catch (...) {
-      errors[k] = std::current_exception();
+  std::mutex health_mutex;
+  BatchHealth local;
+
+  support::parallel_for_index(jobs.size(), policy.workers, [&](std::size_t k) {
+    SolveConfig config = jobs[k].config;
+    const std::int32_t attempts = std::max(policy.max_attempts, 1);
+    bool ever_failed = false;
+    for (std::int32_t attempt = 1;; ++attempt) {
+      SolveReport report = contained_solve(jobs[k], config);
+      const bool failed = crash_type(report.cause);
+      if (failed) {
+        ever_failed = true;
+        std::lock_guard lock(health_mutex);
+        ++local.failures;
+        if (local.first_error.empty()) {
+          local.first_error = std::string("job ") + std::to_string(k) + " [" +
+                              to_string(report.cause) + "]: " + report.detail;
+        }
+      }
+      if (!failed || attempt >= attempts) {
+        if (failed) {
+          report.detail += " (quarantined after " + std::to_string(attempt) +
+                           (attempt == 1 ? " attempt)" : " attempts)");
+          std::lock_guard lock(health_mutex);
+          ++local.quarantined;
+          local.quarantined_jobs.push_back(k);
+        } else if (ever_failed) {
+          std::lock_guard lock(health_mutex);
+          ++local.recovered;
+        }
+        reports[k] = std::move(report);
+        return;
+      }
+      // Retry with backoff: wider wall/node budgets, fresh seeds so a
+      // deterministic crash trajectory is not replayed verbatim.
+      {
+        std::lock_guard lock(health_mutex);
+        ++local.retries;
+      }
+      if (config.time_limit_ms > 0) {
+        config.time_limit_ms = static_cast<std::int64_t>(
+            static_cast<double>(config.time_limit_ms) *
+            policy.retry_budget_multiplier);
+      }
+      if (config.max_nodes > 0) {
+        config.max_nodes = static_cast<std::int64_t>(
+            static_cast<double>(config.max_nodes) *
+            policy.retry_budget_multiplier);
+      }
+      if (policy.retry_fresh_seed) {
+        const auto salt = 0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(attempt);
+        config.generic.seed ^= salt;
+        config.localsearch.seed ^= salt ^ 0x517cc1b727220a95ULL;
+      }
     }
   });
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+
+  std::sort(local.quarantined_jobs.begin(), local.quarantined_jobs.end());
+  if (health != nullptr) *health = std::move(local);
   return reports;
+}
+
+std::vector<SolveReport> solve_batch(const std::vector<BatchJob>& jobs,
+                                     std::size_t workers) {
+  BatchPolicy policy;
+  policy.workers = workers;
+  return solve_batch(jobs, policy, nullptr);
 }
 
 }  // namespace mgrts::core

@@ -29,7 +29,9 @@
 // unless `validate_witness` is disabled.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,6 +87,13 @@ struct PortfolioConfig {
   /// oversubscription: lanes share wall-clock deadlines, so racing works
   /// even on a single hardware thread).
   std::size_t workers = 0;
+  /// Progress-heartbeat watchdog: a lane that has started searching but
+  /// whose heartbeat (ticked at every deadline poll) stands still for this
+  /// long is cancelled through its per-lane token, so the race continues
+  /// with the survivors.  0 disables the watchdog.  The default is generous
+  /// — normal lanes poll every few thousand nodes, so only a genuinely
+  /// wedged lane (or an injected kStall fault) trips it.
+  std::int64_t watchdog_stall_ms = 1'000;
 };
 
 struct SolveConfig {
@@ -117,6 +126,11 @@ struct SolveConfig {
   /// kTimeout) at its next deadline poll after the token is cancelled.
   support::CancelToken cancel;
 
+  /// Progress heartbeat: when set, the run's deadline ticks this counter at
+  /// every cooperative poll, so an external watchdog (the portfolio's) can
+  /// tell a searching run from a wedged one.
+  std::shared_ptr<std::atomic<std::uint64_t>> heartbeat;
+
   /// Re-check feasible witnesses with the independent validator.
   bool validate_witness = true;
 };
@@ -144,6 +158,12 @@ struct SolveReport {
   /// baseline and for rule-1 CSP2 searches on heterogeneous platforms
   /// (csp2.hpp header discussion).
   bool complete = true;
+
+  /// Why a non-decisive verdict happened (DESIGN.md §12): kDeadline /
+  /// kCancelled / kMemory / kNodeBudget for budget outcomes, kInternalError
+  /// or kFaultInjected for contained exceptions.  kNone for decisive
+  /// answers and plain incomplete give-ups.
+  FailureCause cause = FailureCause::kNone;
 
   /// Provenance: which pipeline stage or backend produced the verdict —
   /// "analysis:<test>", "flow-oracle", "csp2-presolve",
@@ -174,8 +194,12 @@ struct SolveReport {
 struct LaneOutcome {
   std::string label;
   Verdict verdict = Verdict::kTimeout;
+  FailureCause cause = FailureCause::kNone;
   double seconds = 0.0;
   std::int64_t nodes = 0;
+  /// True when the progress watchdog cancelled this lane for a stalled
+  /// heartbeat (the race continued with the survivors).
+  bool watchdog_cancelled = false;
 };
 
 struct PortfolioReport {
@@ -217,13 +241,50 @@ struct BatchJob {
   SolveConfig config;
 };
 
+/// Failure-handling policy for solve_batch (DESIGN.md §12).
+struct BatchPolicy {
+  /// Thread fan-out, as in support::parallel_for_index (0 = all hardware
+  /// threads, 1 = sequential).
+  std::size_t workers = 0;
+  /// Total attempts per job (1 = no retry).  Only crash-type failures
+  /// (kMemory, kInternalError, kFaultInjected) are retried; budget
+  /// outcomes (deadline, node limit, cancellation) are legitimate results.
+  std::int32_t max_attempts = 1;
+  /// Each retry scales the job's time_limit_ms and max_nodes by this
+  /// factor — transient memory pressure and timing races get more room.
+  double retry_budget_multiplier = 2.0;
+  /// Re-derive the generic/localsearch seeds per attempt so a retry does
+  /// not deterministically replay the failing trajectory.
+  bool retry_fresh_seed = true;
+};
+
+/// Aggregate failure accounting for one solve_batch call.
+struct BatchHealth {
+  std::int64_t failures = 0;    ///< runs that ended in a crash-type cause
+  std::int64_t retries = 0;     ///< re-attempts actually launched
+  std::int64_t recovered = 0;   ///< jobs whose retry produced a clean report
+  std::int64_t quarantined = 0; ///< jobs that exhausted every attempt
+  std::vector<std::size_t> quarantined_jobs;  ///< their indices, ascending
+  std::string first_error;      ///< first contained failure, human-readable
+};
+
 /// Solves every job, fanning the independent runs over the shared thread
-/// pool (`workers` as in support::parallel_for_index: 0 = all hardware
-/// threads, 1 = sequential).  Each run stays single-threaded and
-/// deterministic, and results[k] always belongs to jobs[k] regardless of
-/// worker scheduling.  If any job throws (e.g. ValidationError), the
-/// exception of the lowest-indexed failing job is rethrown after the batch
-/// drains.
+/// pool.  Each run stays single-threaded and deterministic, and results[k]
+/// always belongs to jobs[k] regardless of worker scheduling.
+///
+/// Containment contract: a job is never lost and never poisons the batch.
+/// A run that throws (ValidationError included) is captured as a kUnknown
+/// report carrying its FailureCause and detail; crash-type failures are
+/// retried per `policy` (wider budgets, fresh seeds) and jobs that exhaust
+/// every attempt are quarantined — their last contained report stands, and
+/// `health` (optional) records failures/retries/recoveries/quarantines.
+[[nodiscard]] std::vector<SolveReport> solve_batch(
+    const std::vector<BatchJob>& jobs, const BatchPolicy& policy,
+    BatchHealth* health = nullptr);
+
+/// Convenience overload with the default policy (no retries).  Kept for
+/// existing call sites; unlike the pre-hardening behavior it captures
+/// failures into reports instead of rethrowing.
 [[nodiscard]] std::vector<SolveReport> solve_batch(
     const std::vector<BatchJob>& jobs, std::size_t workers = 0);
 

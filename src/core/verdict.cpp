@@ -20,6 +20,19 @@ const char* to_string(Verdict verdict) {
   return "?";
 }
 
+const char* to_string(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kDeadline: return "deadline";
+    case FailureCause::kCancelled: return "cancelled";
+    case FailureCause::kMemory: return "memory";
+    case FailureCause::kNodeBudget: return "node-budget";
+    case FailureCause::kInternalError: return "internal-error";
+    case FailureCause::kFaultInjected: return "fault-injected";
+  }
+  return "?";
+}
+
 Verdict canonical_verdict(csp::SolveStatus status) {
   switch (status) {
     case csp::SolveStatus::kSat: return Verdict::kFeasible;

@@ -44,6 +44,23 @@ enum class Verdict {
 
 [[nodiscard]] const char* to_string(Verdict verdict);
 
+/// Why a run failed to decide (DESIGN.md §12).  Carried next to
+/// `decided_by` on StageResult / SolveReport / exp::RunRecord so every
+/// non-decisive verdict explains itself.  kNone for decisive answers and
+/// for plain incomplete give-ups (an analysis filter that did not fire,
+/// min-conflicts running dry) — those are ordinary outcomes, not failures.
+enum class FailureCause {
+  kNone,
+  kDeadline,       ///< wall-clock budget expired
+  kCancelled,      ///< cooperative cancel (caller, race winner, or watchdog)
+  kMemory,         ///< ResourceError / std::bad_alloc during model build
+  kNodeBudget,     ///< node budget exhausted
+  kInternalError,  ///< unexpected exception, contained at the boundary
+  kFaultInjected,  ///< support::FaultInjector fired (chaos testing)
+};
+
+[[nodiscard]] const char* to_string(FailureCause cause);
+
 /// A verdict settles the instance when it is feasible, or infeasible with an
 /// exhaustive proof behind it (`complete` — see SolveReport::complete).
 [[nodiscard]] constexpr bool decisive(Verdict verdict,

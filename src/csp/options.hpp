@@ -119,6 +119,16 @@ struct SearchOptions {
   /// solve the same model (identical variable ids).
   NogoodPool* nogood_pool = nullptr;
   std::int32_t nogood_lane = 0;  ///< this run's id inside nogood_pool
+  /// Under kUip1 learning, run the decision-set walk (the differential
+  /// reference behind uip_clause_len_ratio) on every Nth conflict only; the
+  /// other conflicts go straight to the 1-UIP walk, recovering the
+  /// always-both overhead while keeping the differential as a background
+  /// check.  1 = both walks at every conflict (the pre-sampling behavior),
+  /// 0 = never sample (no differential stats).  The recorded clauses and
+  /// the search tree are identical for every N: the walks are independent
+  /// pure observers, and a conflict whose 1-UIP walk fails falls back to a
+  /// lazily-run decision-set walk either way.
+  std::int32_t nogood_ds_sample = 16;
 
   /// Build the reason trail even when nogood recording is off.  Testing /
   /// diagnostics hook: the determinism tests use it to prove the trail

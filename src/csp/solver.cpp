@@ -8,6 +8,7 @@
 #include "support/assert.hpp"
 #include "support/deadline.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace mgrts::csp {
 
@@ -25,6 +26,7 @@ Solver::~Solver() = default;
 
 VarId Solver::add_variable(Value lo, Value hi) {
   MGRTS_EXPECTS(!frozen_);
+  support::fault_point(support::FaultSite::kCspVarBudget);
   if (variable_count() >= limits_.max_variables) {
     throw ResourceError("CSP model exceeds the variable budget (" +
                         std::to_string(limits_.max_variables) + ")");
@@ -256,6 +258,7 @@ void Solver::bump_failure(std::int32_t prop_id) {
 }
 
 bool Solver::propagate_queue() {
+  support::fault_point(support::FaultSite::kPropagator);
   for (;;) {
     // Pop from the cheapest non-empty level; every run restarts the scan, so
     // expensive global propagators only fire once the cheap levels are at
@@ -832,7 +835,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
 
       // Periodic limit checks.
       if ((stats_.nodes & 0x3f) == 0) {
-        if (options.deadline.expired()) return finish(SolveStatus::kTimeout);
+        if (options.deadline.poll()) return finish(SolveStatus::kTimeout);
       }
       if (options.max_nodes >= 0 && stats_.nodes >= options.max_nodes) {
         return finish(SolveStatus::kNodeLimit);
@@ -872,7 +875,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         top.tried |= std::uint64_t{1}
                      << static_cast<unsigned>(value - d.base());
         ++stats_.nodes;
-        if ((stats_.nodes & 0x3f) == 0 && options.deadline.expired()) {
+        if ((stats_.nodes & 0x3f) == 0 && options.deadline.poll()) {
           return finish(SolveStatus::kTimeout);
         }
         if (options.max_nodes >= 0 && stats_.nodes > options.max_nodes) {
@@ -889,57 +892,77 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         bump_failure(failing_prop_);
 
         // Conflict analysis must read the implication trail before the
-        // backtrack below unwinds the conflicting subtree.  The decision-
-        // set walk runs first — its stamps pick the reachable decisions,
-        // which are both the kDecisionSet clause and the 1-UIP fallback —
-        // and the 1-UIP walk second (it reopens the stamp epoch).
-        const bool shrink = nogood_store_ != nullptr && track_reasons_ &&
-                            failing_prop_ >= 0 &&
-                            analyze_conflict(root_mark.domain);
+        // backtrack below unwinds the conflicting subtree.  Both walks are
+        // independent pure observers (each opens a fresh stamp epoch), so
+        // under kUip1 the decision-set walk — the differential reference
+        // behind uip_clause_len_ratio — only needs to run on sampled
+        // conflicts (every options.nogood_ds_sample'th); the rest go
+        // straight to the 1-UIP walk and fall back to a lazily-run
+        // decision-set walk when it fails.  Recorded clauses are identical
+        // for every sampling period.
+        const bool can_analyze = nogood_store_ != nullptr &&
+                                 track_reasons_ && failing_prop_ >= 0;
+        const std::int32_t ds_period = options.nogood_ds_sample;
+        const bool ds_sampled =
+            ds_period == 1 ||
+            (ds_period > 1 && (stats_.failures - 1) % ds_period == 0);
 
-        // Decision-set clause: the decisions standing below this frame
-        // (still fixed — nothing is unwound yet) plus the assignment that
-        // just failed.  With analysis available, only the decisions the
-        // conflict is actually reachable from are kept, and the length cut
-        // applies to the minimized clause — deep conflicts with local
-        // causes still record.
-        nogood_buf.clear();
-        depth_buf.clear();
-        if (nogood_store_ != nullptr &&
-            (shrink || static_cast<std::int64_t>(frames.size()) <=
-                           options.nogood_max_length)) {
-          for (std::size_t k = 0; k + 1 < frames.size(); ++k) {
-            const VarId v = frames[k].var;
-            if (shrink &&
-                relevant_stamp_[static_cast<std::size_t>(v)] !=
-                    relevant_epoch_) {
-              continue;
+        bool shrink = false;   ///< the decision-set walk ran and succeeded
+        bool use_uip = false;  ///< record uip_lits_ instead of nogood_buf
+
+        // Decision-set walk plus clause build: the decisions standing
+        // below this frame (still fixed — nothing is unwound yet) plus the
+        // assignment that just failed.  With analysis available, only the
+        // decisions the conflict is actually reachable from are kept, and
+        // the length cut applies to the minimized clause — deep conflicts
+        // with local causes still record.
+        auto ds_walk = [&] {
+          shrink = can_analyze && analyze_conflict(root_mark.domain);
+          nogood_buf.clear();
+          depth_buf.clear();
+          if (nogood_store_ != nullptr &&
+              (shrink || static_cast<std::int64_t>(frames.size()) <=
+                             options.nogood_max_length)) {
+            for (std::size_t k = 0; k + 1 < frames.size(); ++k) {
+              const VarId v = frames[k].var;
+              if (shrink &&
+                  relevant_stamp_[static_cast<std::size_t>(v)] !=
+                      relevant_epoch_) {
+                continue;
+              }
+              nogood_buf.push_back(Lit::eq(
+                  v, domains_[static_cast<std::size_t>(v)].value()));
+              depth_buf.push_back(static_cast<std::int32_t>(k));
             }
-            nogood_buf.push_back(Lit::eq(
-                v, domains_[static_cast<std::size_t>(v)].value()));
-            depth_buf.push_back(static_cast<std::int32_t>(k));
+            nogood_buf.push_back(Lit::eq(top.var, value));
+            depth_buf.push_back(static_cast<std::int32_t>(frames.size()) -
+                                1);
           }
-          nogood_buf.push_back(Lit::eq(top.var, value));
-          depth_buf.push_back(static_cast<std::int32_t>(frames.size()) - 1);
-        }
+        };
 
-        // 1-UIP resolution (DESIGN.md §11): resolve the conflict level down
-        // to its first unique implication point and learn that literal
-        // frontier instead.  Structurally never longer than the decision
-        // set (the UIP walk expands a subset of the full walk's entries),
-        // which the differential ledger tracks as uip_clause_len_ratio.
-        bool use_uip = false;
-        // Gate on uip_learning, not the learn knob alone: `shrink` can be
-        // true through force_reason_trail while nogood_shrink is off, and
-        // the walk's scratch arrays are only sized for real 1-UIP runs.
-        if (shrink && uip_learning) {
+        // 1-UIP resolution (DESIGN.md §11): resolve the conflict level
+        // down to its first unique implication point and learn that
+        // literal frontier instead.  Structurally never longer than the
+        // decision set (the UIP walk expands a subset of the full walk's
+        // entries).  Gate on uip_learning, not the learn knob alone:
+        // analysis can be live through force_reason_trail while
+        // nogood_shrink is off, and the walk's scratch arrays are only
+        // sized for real 1-UIP runs.
+        if (uip_learning && can_analyze && !ds_sampled) {
+          // Unsampled fast path: skip the differential reference entirely.
           use_uip = analyze_uip(root_mark.domain, top.mark.domain);
-          if (use_uip) {
-            stats_.nogood_lits_uip +=
-                static_cast<std::int64_t>(uip_lits_.size());
-            stats_.nogood_lits_ds +=
-                static_cast<std::int64_t>(nogood_buf.size());
-            MGRTS_ASSERT(uip_lits_.size() <= nogood_buf.size());
+          if (!use_uip) ds_walk();
+        } else {
+          ds_walk();
+          if (shrink && uip_learning) {
+            use_uip = analyze_uip(root_mark.domain, top.mark.domain);
+            if (use_uip) {
+              stats_.nogood_lits_uip +=
+                  static_cast<std::int64_t>(uip_lits_.size());
+              stats_.nogood_lits_ds +=
+                  static_cast<std::int64_t>(nogood_buf.size());
+              MGRTS_ASSERT(uip_lits_.size() <= nogood_buf.size());
+            }
           }
         }
         failing_prop_ = -1;
@@ -994,7 +1017,7 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     }
 
     reset_restart_budget();
-    if (options.deadline.expired()) return finish(SolveStatus::kTimeout);
+    if (options.deadline.poll()) return finish(SolveStatus::kTimeout);
   }
 }
 

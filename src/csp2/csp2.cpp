@@ -193,7 +193,7 @@ class Search {
       }
 
       ++stats_.nodes;
-      if ((stats_.nodes & 0x3ff) == 0 && options_.deadline.expired()) {
+      if ((stats_.nodes & 0x3ff) == 0 && options_.deadline.poll()) {
         return finish(Status::kTimeout);
       }
       if (options_.max_nodes >= 0 && stats_.nodes > options_.max_nodes) {

@@ -1,6 +1,9 @@
 #include "exp/harness.hpp"
 
+#include <exception>
+
 #include "support/assert.hpp"
+#include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
 namespace mgrts::exp {
@@ -167,8 +170,27 @@ BatchResult run_batch(const BatchOptions& options,
     config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
     config.localsearch.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
 
-    const core::SolveReport report = core::solve_instance(
-        inst.tasks, rt::Platform::identical(inst.processors), config);
+    // Containment: a run that throws (an injected fault, a resource wall,
+    // an internal error) still yields its RunRecord slot — one crashed
+    // (instance, solver) pair must never lose the rest of a Table IV
+    // batch.  Verdict tables stay complete; the cause says why.
+    core::SolveReport report;
+    try {
+      report = core::solve_instance(
+          inst.tasks, rt::Platform::identical(inst.processors), config);
+    } catch (const FaultInjectedError&) {
+      report.verdict = core::Verdict::kUnknown;
+      report.complete = false;
+      report.cause = core::FailureCause::kFaultInjected;
+    } catch (const ResourceError&) {
+      report.verdict = core::Verdict::kUnknown;
+      report.complete = false;
+      report.cause = core::FailureCause::kMemory;
+    } catch (const std::exception&) {
+      report.verdict = core::Verdict::kUnknown;
+      report.complete = false;
+      report.cause = core::FailureCause::kInternalError;
+    }
 
     RunRecord& run = result.instances[k].runs[s];
     run.verdict = report.verdict;
@@ -177,6 +199,7 @@ BatchResult run_batch(const BatchOptions& options,
     run.complete = report.complete;
     run.nodes = report.nodes;
     run.decided_by = report.decided_by;
+    run.failure_cause = report.cause;
     run.nogoods = report.nogoods;
   });
 

@@ -80,6 +80,10 @@ struct RunRecord {
   /// Pipeline provenance: the stage or backend that produced the verdict
   /// (SolveReport::decided_by).
   std::string decided_by;
+  /// Failure taxonomy (SolveReport::cause): why an overrun run stopped
+  /// short — deadline, cancellation, memory, node budget, an internal
+  /// error, or an injected fault.  kNone for decided runs.
+  core::FailureCause failure_cause = core::FailureCause::kNone;
   /// Nogood-learning stats of the run (SolveReport::nogoods; zeros unless
   /// a generic-engine method recorded).  Carries the 1-UIP differential
   /// counters (lits_uip/lits_ds — uip_len_ratio is the gated ledger view)

@@ -7,6 +7,7 @@
 #include "rt/jobs.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace mgrts::flow {
 
@@ -34,6 +35,7 @@ OracleResult decide_feasibility(const rt::TaskSet& ts,
   // Node layout: 0 = source, 1..J = jobs, J+1..J+T = slots, last = sink.
   const auto job_count = static_cast<std::int64_t>(jobs.size());
   const std::int64_t node_count = 2 + job_count + T;
+  support::fault_point(support::FaultSite::kFlowNetwork);
   if (node_count > (std::int64_t{1} << 30)) {
     throw ResourceError("flow network too large");
   }

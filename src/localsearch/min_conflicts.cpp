@@ -51,7 +51,7 @@ class MinConflicts {
       for (std::int64_t it = 0; it < options_.iterations_per_restart; ++it) {
         ++result.stats.iterations;
         if ((result.stats.iterations & 0x3ff) == 0 &&
-            options_.deadline.expired()) {
+            options_.deadline.poll()) {
           return finish(result, watch, Status::kTimeout);
         }
         step(rng);

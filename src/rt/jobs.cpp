@@ -4,6 +4,7 @@
 
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace mgrts::rt {
 
@@ -16,6 +17,7 @@ WindowIndex::WindowIndex(const TaskSet& ts) : hyperperiod_(ts.hyperperiod()) {
 
 JobTable::JobTable(const TaskSet& ts, std::int64_t max_total_slots)
     : windows_(ts) {
+  support::fault_point(support::FaultSite::kJobTable);
   const Time T = ts.hyperperiod();
   std::int64_t total_slots = 0;
   for (TaskId i = 0; i < ts.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/math.hpp"
 
 namespace mgrts::rt {
@@ -9,6 +10,7 @@ namespace mgrts::rt {
 Schedule::Schedule(Time hyperperiod, std::int32_t processors)
     : T_(hyperperiod), m_(processors) {
   MGRTS_EXPECTS(hyperperiod >= 1 && processors >= 1);
+  support::fault_point(support::FaultSite::kScheduleTable);
   const auto cells = support::checked_mul(hyperperiod, processors);
   if (!cells || *cells > (std::int64_t{1} << 31)) {
     throw ResourceError("schedule table T*m too large to materialize");

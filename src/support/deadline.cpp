@@ -1,4 +1,30 @@
 #include "support/deadline.hpp"
 
-// Header-only today; the translation unit anchors the library and keeps the
-// build layout uniform (every module ships a .cpp per public header group).
+#include <chrono>
+#include <thread>
+
+#include "support/fault.hpp"
+
+namespace mgrts::support {
+
+bool Deadline::poll() const {
+  if (beat_) beat_->fetch_add(1, std::memory_order_relaxed);
+#if MGRTS_FAULT_INJECTION
+  if (FaultInjector* inj = FaultInjector::active()) {
+    if (inj->fires(FaultSite::kCancel)) inj->plan().cancel_target.cancel();
+    if (inj->fires(FaultSite::kStall)) {
+      // Starve the heartbeat: spin-sleep without ticking beat_ until the
+      // deadline expires (watchdog cancellation counts) or the cap lapses.
+      const auto cap = std::chrono::milliseconds(inj->plan().stall_cap_ms);
+      const auto start = Clock::now();
+      while (!expired() && Clock::now() - start < cap) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (inj->fires(FaultSite::kDeadline)) return true;
+  }
+#endif
+  return expired();
+}
+
+}  // namespace mgrts::support

@@ -26,6 +26,9 @@ namespace mgrts::support {
 /// parent does, while its own cancel() leaves the parent untouched — a
 /// portfolio race hands its lanes a linked token, so the caller's token
 /// still aborts the whole race but the winner's cancel cannot leak out.
+/// Links chain: a token linked to a linked token observes cancellation
+/// anywhere up the ancestry (caller -> race -> lane), which the per-lane
+/// watchdog tokens rely on.
 class CancelToken {
  public:
   CancelToken() = default;
@@ -38,7 +41,9 @@ class CancelToken {
 
   [[nodiscard]] static CancelToken linked(const CancelToken& parent) {
     CancelToken token = make();
-    token.parent_ = parent.flag_;
+    if (parent.flag_ != nullptr || parent.parent_ != nullptr) {
+      token.parent_ = std::make_shared<const CancelToken>(parent);
+    }
     return token;
   }
 
@@ -52,12 +57,12 @@ class CancelToken {
 
   [[nodiscard]] bool cancelled() const noexcept {
     return (flag_ && flag_->load(std::memory_order_relaxed)) ||
-           (parent_ && parent_->load(std::memory_order_relaxed));
+           (parent_ && parent_->cancelled());
   }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
-  std::shared_ptr<std::atomic<bool>> parent_;
+  std::shared_ptr<const CancelToken> parent_;
 };
 
 class Deadline {
@@ -83,6 +88,13 @@ class Deadline {
   /// once the token is cancelled.
   void set_cancel(CancelToken token) noexcept { cancel_ = std::move(token); }
 
+  /// Attaches a progress heartbeat: every poll() bumps the counter, so an
+  /// external watchdog can distinguish "still searching" from "stuck".
+  void set_heartbeat(
+      std::shared_ptr<std::atomic<std::uint64_t>> beat) noexcept {
+    beat_ = std::move(beat);
+  }
+
   [[nodiscard]] bool unlimited() const noexcept {
     return unlimited_ && !cancel_.engaged();
   }
@@ -91,6 +103,20 @@ class Deadline {
     if (cancel_.cancelled()) return true;
     return !unlimited_ && Clock::now() >= end_;
   }
+
+  /// True when the attached cancel token (if any) was cancelled — lets
+  /// containment layers tell cancellation apart from wall expiry when
+  /// attributing a kTimeout verdict to a FailureCause.
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.cancelled();
+  }
+
+  /// Cooperative poll used at solver node-count checkpoints: ticks the
+  /// heartbeat, services armed deadline-class fault injection (forced
+  /// expiry, cancellation of the plan's target, bounded stall), then
+  /// returns expired().  Solvers call this instead of expired() at their
+  /// periodic checkpoints; expired() stays the pure side-effect-free query.
+  [[nodiscard]] bool poll() const;
 
   /// Remaining wall budget in milliseconds: -1 when unlimited, floored at
   /// 0 once past the end.  Lets nested runs (portfolio lanes behind a
@@ -109,6 +135,7 @@ class Deadline {
   bool unlimited_ = true;
   Clock::time_point end_{};
   CancelToken cancel_;
+  std::shared_ptr<std::atomic<std::uint64_t>> beat_;
 };
 
 /// Monotonic stopwatch used for reported resolution times.

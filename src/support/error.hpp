@@ -39,4 +39,13 @@ class ParseError : public Error {
   using Error::Error;
 };
 
+/// Raised by support::FaultInjector at an armed injection point.  Derives
+/// from ResourceError so every existing guard that degrades a ResourceError
+/// into a sound kUnknown handles injected faults the same way; containment
+/// layers that care about provenance catch this subtype first.
+class FaultInjectedError : public ResourceError {
+ public:
+  using ResourceError::ResourceError;
+};
+
 }  // namespace mgrts

@@ -1,0 +1,102 @@
+#include "support/fault.hpp"
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace mgrts::support {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFlowNetwork: return "flow-network";
+    case FaultSite::kJobTable: return "job-table";
+    case FaultSite::kScheduleTable: return "schedule-table";
+    case FaultSite::kCspVarBudget: return "csp-var-budget";
+    case FaultSite::kDeadline: return "deadline";
+    case FaultSite::kCancel: return "cancel";
+    case FaultSite::kPropagator: return "propagator";
+    case FaultSite::kStall: return "stall";
+  }
+  return "?";
+}
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+namespace {
+
+/// Storage for the armed injector.  Never freed: a racing reader holding
+/// the pointer across disarm() must not observe a destroyed object.  The
+/// single instance is re-initialized by each arm(); tests arm/disarm
+/// sequentially around solver runs, never concurrently with them.
+FaultInjector* injector_storage() {
+  alignas(FaultInjector) static unsigned char storage[sizeof(FaultInjector)];
+  return reinterpret_cast<FaultInjector*>(storage);
+}
+
+std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  disarm();
+  FaultInjector* inj = new (injector_storage()) FaultInjector();
+  inj->plan_ = plan;
+  active_.store(inj, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  FaultInjector* inj = active_.exchange(nullptr, std::memory_order_acq_rel);
+  if (inj != nullptr) inj->~FaultInjector();
+}
+
+bool FaultInjector::fires(FaultSite site) noexcept {
+  if ((plan_.sites & FaultPlan::mask(site)) == 0) return false;
+  const auto idx = static_cast<int>(site);
+  const std::uint64_t eval =
+      evals_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (plan_.rate <= 0.0) return false;
+  if (plan_.rate < 1.0) {
+    // Deterministic Bernoulli draw keyed on (seed, site, evaluation): the
+    // top 53 bits of a splitmix64 hash as a uniform double in [0, 1).
+    const std::uint64_t h = splitmix64(
+        plan_.seed ^ (static_cast<std::uint64_t>(idx + 1) << 56) ^ eval);
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= plan_.rate) return false;
+  }
+  if (plan_.max_faults >= 0) {
+    // Reserve a slot under the global cap; give it back if overshot.
+    const std::int64_t prior =
+        fired_total_.fetch_add(1, std::memory_order_relaxed);
+    if (prior >= plan_.max_faults) {
+      fired_total_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    fired_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  fired_[idx].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::int64_t FaultInjector::fired(FaultSite site) const noexcept {
+  return fired_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::int64_t FaultInjector::fired_total() const noexcept {
+  return fired_total_.load(std::memory_order_relaxed);
+}
+
+void fault_point_slow(FaultSite site) {
+  FaultInjector* inj = FaultInjector::active();
+  if (inj == nullptr || !inj->fires(site)) return;
+  throw FaultInjectedError(std::string("injected fault at ") +
+                           to_string(site));
+}
+
+}  // namespace mgrts::support

@@ -60,13 +60,41 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    job();
+    try {
+      job();
+    } catch (...) {
+      // A raw submit() job has no caller-side rendezvous to deliver the
+      // exception to, and letting it escape would terminate the process.
+      // Count it and keep the first pointer for the pool owner.
+      note_swallowed(1, std::current_exception());
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+std::size_t ThreadPool::swallowed_count() const noexcept {
+  std::lock_guard lock(swallowed_mutex_);
+  return swallowed_count_;
+}
+
+std::exception_ptr ThreadPool::take_swallowed() {
+  std::lock_guard lock(swallowed_mutex_);
+  swallowed_count_ = 0;
+  std::exception_ptr first;
+  std::swap(first, swallowed_first_);
+  return first;
+}
+
+void ThreadPool::note_swallowed(std::size_t count,
+                                std::exception_ptr first) noexcept {
+  if (count == 0) return;
+  std::lock_guard lock(swallowed_mutex_);
+  swallowed_count_ += count;
+  if (!swallowed_first_) swallowed_first_ = std::move(first);
 }
 
 namespace {
@@ -76,7 +104,9 @@ namespace {
 /// the last helper to finish its in-flight item.  If fn throws, the first
 /// exception is captured, the remaining indices are claimed-but-skipped so
 /// the completion count still reaches `count` (no lane is left writing into
-/// caller state after wait() returns), and wait() rethrows.
+/// caller state after wait() returns), and wait() rethrows.  Exceptions
+/// beyond the first are counted (not silently dropped) and routed to the
+/// executing pool's swallowed-exception ledger by parallel_for_index.
 struct IndexBatch {
   explicit IndexBatch(std::size_t count) : count(count) {}
 
@@ -84,7 +114,9 @@ struct IndexBatch {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr error;  ///< first exception; guarded by mutex
+  std::atomic<std::size_t> suppressed{0};  ///< exceptions beyond the first
+  std::exception_ptr error;       ///< first exception; guarded by mutex
+  std::exception_ptr suppressed_first;  ///< second exception; guarded by mutex
   std::mutex mutex;
   std::condition_variable cv;
 
@@ -99,7 +131,14 @@ struct IndexBatch {
         } catch (...) {
           {
             std::lock_guard lock(mutex);
-            if (!error) error = std::current_exception();
+            if (!error) {
+              error = std::current_exception();
+            } else {
+              suppressed.fetch_add(1, std::memory_order_relaxed);
+              if (!suppressed_first) {
+                suppressed_first = std::current_exception();
+              }
+            }
           }
           failed.store(true, std::memory_order_relaxed);
         }
@@ -119,6 +158,19 @@ struct IndexBatch {
     cv.wait(lock, [this] { return done.load(std::memory_order_acquire) ==
                                   count; });
     if (error) std::rethrow_exception(error);
+  }
+
+  /// Called after every lane completed (wait() reached done == count or is
+  /// about to rethrow): records beyond-first exceptions on `owner`.
+  void settle(ThreadPool& owner) {
+    const std::size_t n = suppressed.load(std::memory_order_relaxed);
+    if (n == 0) return;
+    std::exception_ptr second;
+    {
+      std::lock_guard lock(mutex);
+      second = suppressed_first;
+    }
+    owner.note_swallowed(n, std::move(second));
   }
 };
 
@@ -153,19 +205,33 @@ void parallel_for_index(std::size_t count, std::size_t workers,
     }
     for (std::size_t h = 0; h + 1 < cap; ++h) pool.submit(helper);
     batch->run(fn);
-    batch->wait();
+    try {
+      batch->wait();
+    } catch (...) {
+      batch->settle(pool);
+      throw;
+    }
+    batch->settle(pool);
     return;
   }
 
   // Explicit oversubscription (workers beyond the shared pool): honor the
-  // request with a dedicated pool for this batch.
+  // request with a dedicated pool for this batch.  Suppressed exceptions
+  // settle on the shared pool's ledger — the dedicated pool dies with the
+  // batch, so the process-wide pool acts as the surviving owner.
   {
     ThreadPool dedicated(std::min(workers - 1, count));
     for (std::size_t h = 0; h < dedicated.worker_count(); ++h) {
       dedicated.submit(helper);
     }
     batch->run(fn);
-    batch->wait();
+    try {
+      batch->wait();
+    } catch (...) {
+      batch->settle(ThreadPool::shared());
+      throw;
+    }
+    batch->settle(ThreadPool::shared());
   }
 }
 

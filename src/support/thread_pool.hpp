@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -48,6 +49,22 @@ class ThreadPool {
   /// pipelines do not pay thread spawn/join per batch.
   [[nodiscard]] static ThreadPool& shared();
 
+  /// Exceptions the pool had to swallow instead of delivering to a caller:
+  /// a raw submit() job that threw (previously std::terminate via the
+  /// noexcept worker loop), or parallel_for_index overflow exceptions
+  /// beyond the first (the first is rethrown from the caller's wait).  The
+  /// count and the first captured pointer are retained for the pool owner.
+  [[nodiscard]] std::size_t swallowed_count() const noexcept;
+
+  /// Returns the first swallowed exception (may be null) and resets the
+  /// ledger, so the owner can rethrow or log exactly once.
+  [[nodiscard]] std::exception_ptr take_swallowed();
+
+  /// Records `count` swallowed exceptions, keeping `first` if the ledger
+  /// has no pointer yet.  Used by the pool itself and by parallel_for_index
+  /// to route suppressed batch exceptions to the pool owner.
+  void note_swallowed(std::size_t count, std::exception_ptr first) noexcept;
+
  private:
   void worker_loop();
 
@@ -58,6 +75,10 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+
+  mutable std::mutex swallowed_mutex_;
+  std::size_t swallowed_count_ = 0;
+  std::exception_ptr swallowed_first_;
 };
 
 /// Runs fn(i) for i in [0, count) and waits for completion.  `workers` caps

@@ -1,0 +1,367 @@
+// Chaos suite (DESIGN.md §12): deterministic seed-driven fault injection
+// over the pipeline, portfolio, and batch entry points, with the flow
+// oracle as fault-free ground truth.  The soundness contract under test:
+//   * every decided verdict equals the fault-free verdict (faults may
+//     degrade, never flip an answer);
+//   * a degraded run carries a FailureCause — never an exception to the
+//     caller, never a lost batch record;
+//   * the watchdog culls a stalled lane while the race still decides.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#if MGRTS_FAULT_INJECTION
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/platform.hpp"
+#include "testing.hpp"
+
+namespace mgrts {
+namespace {
+
+using support::FaultInjector;
+using support::FaultPlan;
+using support::FaultSite;
+
+// RAII disarm so a failing assertion cannot leak an armed injector into
+// the rest of the suite.
+struct InjectorGuard {
+  explicit InjectorGuard(const FaultPlan& plan) { FaultInjector::arm(plan); }
+  ~InjectorGuard() { FaultInjector::disarm(); }
+};
+
+struct Case {
+  std::string label;
+  rt::TaskSet ts;
+  rt::Platform platform;
+  core::Verdict truth = core::Verdict::kUnknown;
+};
+
+// Fixtures plus a few small generated draws; ground truth comes from the
+// flow oracle while the injector is disarmed.
+std::vector<Case> chaos_cases() {
+  std::vector<Case> cases;
+  const auto add = [&](std::string label, const rt::TaskSet& ts,
+                       const rt::Platform& platform) {
+    Case c{std::move(label), ts, platform};
+    c.truth = flow::is_feasible(ts, platform) ? core::Verdict::kFeasible
+                                              : core::Verdict::kInfeasible;
+    cases.push_back(std::move(c));
+  };
+  add("example1", testing::example1(), testing::example1_platform());
+  add("light3", testing::light3(), rt::Platform::identical(2));
+  add("overloaded1", testing::overloaded1(), rt::Platform::identical(1));
+  add("dhall2", testing::dhall2(), rt::Platform::identical(2));
+  gen::GeneratorOptions g;
+  g.tasks = 4;
+  g.processors = 2;
+  g.t_max = 4;
+  for (std::uint64_t idx = 0; idx < 3; ++idx) {
+    const gen::Instance inst = gen::generate_indexed(g, 20090911, idx);
+    add("gen" + std::to_string(idx), inst.tasks,
+        rt::Platform::identical(inst.processors));
+  }
+  return cases;
+}
+
+// The invariant of §VIII restated for faulty runs: a decided verdict must
+// match the fault-free truth; anything else must say why it degraded.
+void expect_sound(const core::SolveReport& report, const Case& c,
+                  const std::string& context) {
+  if (core::decisive(report.verdict, report.complete)) {
+    EXPECT_EQ(report.verdict, c.truth) << context << " flipped the verdict";
+  } else {
+    EXPECT_NE(report.cause, core::FailureCause::kNone)
+        << context << " degraded to " << core::to_string(report.verdict)
+        << " without a cause";
+  }
+}
+
+struct PlanSpec {
+  const char* label;
+  unsigned sites;
+  double rate;
+  std::int64_t max_faults;
+};
+
+// Three fault classes: allocation guards (fire on every table build),
+// search-interior guards (propagator queue / variable budget, rate kept low
+// because the sites are hot), and the deadline-class faults consumed by
+// Deadline::poll.  A small max_faults cap means later evaluations run
+// fault-free, so the sweep sees decided and degraded runs from one plan.
+const PlanSpec kPlanSpecs[] = {
+    {"alloc-guards",
+     FaultPlan::mask(FaultSite::kFlowNetwork) |
+         FaultPlan::mask(FaultSite::kJobTable) |
+         FaultPlan::mask(FaultSite::kScheduleTable),
+     0.5, 2},
+    {"search-guards",
+     FaultPlan::mask(FaultSite::kCspVarBudget) |
+         FaultPlan::mask(FaultSite::kPropagator),
+     0.02, 2},
+    {"deadline-class",
+     FaultPlan::mask(FaultSite::kDeadline) |
+         FaultPlan::mask(FaultSite::kCancel),
+     0.25, 2},
+};
+
+TEST(Chaos, SolveInstanceDegradationsStaySound) {
+  const std::vector<Case> cases = chaos_cases();
+  std::int64_t fired = 0;
+  for (const std::uint64_t seed : {11u, 29u, 73u}) {
+    for (const PlanSpec& spec : kPlanSpecs) {
+      for (const Case& c : cases) {
+        for (const bool staged : {true, false}) {
+          // Staged entry: full presolve in front of the dedicated search.
+          // Direct entry: the generic engine with no presolve, so the
+          // search-interior sites get exercised too.
+          core::SolveConfig config;
+          config.time_limit_ms = 2'000;
+          if (staged) {
+            config.method = core::Method::kCsp2Dedicated;
+            config.pipeline = core::PipelineOptions::full();
+          } else {
+            config.method = core::Method::kCsp1Generic;
+            config.pipeline = core::PipelineOptions::none();
+          }
+          config.cancel = support::CancelToken::make();
+
+          FaultPlan plan;
+          plan.seed = seed;
+          plan.rate = spec.rate;
+          plan.sites = spec.sites;
+          plan.max_faults = spec.max_faults;
+          plan.cancel_target = config.cancel;
+          InjectorGuard guard(plan);
+
+          const std::string context = c.label + "/" + spec.label + "/seed" +
+                                      std::to_string(seed) +
+                                      (staged ? "/staged" : "/direct");
+          core::SolveReport report;
+          try {
+            report = core::solve_instance(c.ts, c.platform, config);
+          } catch (const std::exception& e) {
+            ADD_FAILURE() << context << " escaped containment: " << e.what();
+            continue;
+          }
+          expect_sound(report, c, context);
+          fired += FaultInjector::active()->fired_total();
+        }
+      }
+    }
+  }
+  // The sweep is pointless unless faults were actually delivered.
+  EXPECT_GT(fired, 0);
+}
+
+TEST(Chaos, PortfolioDegradationsStaySound) {
+  const std::vector<Case> cases = chaos_cases();
+  std::int64_t fired = 0;
+  for (const std::uint64_t seed : {5u, 41u}) {
+    for (const PlanSpec& spec : kPlanSpecs) {
+      for (const Case& c : cases) {
+        core::SolveConfig config;
+        config.method = core::Method::kPortfolio;
+        config.time_limit_ms = 2'000;
+        config.pipeline = core::PipelineOptions::none();
+        config.portfolio.workers = 1;
+        config.cancel = support::CancelToken::make();
+
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.rate = spec.rate;
+        plan.sites = spec.sites;
+        plan.max_faults = spec.max_faults;
+        plan.cancel_target = config.cancel;
+        InjectorGuard guard(plan);
+
+        const std::string context =
+            c.label + "/" + spec.label + "/seed" + std::to_string(seed);
+        core::PortfolioReport race;
+        try {
+          race = core::solve_portfolio(c.ts, c.platform, config);
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << context << " escaped containment: " << e.what();
+          continue;
+        }
+        expect_sound(race.report, c, context);
+        // Per-lane outcomes obey the same contract: a lane that decided
+        // must agree with the truth (losers report budget verdicts).
+        for (const core::LaneOutcome& lane : race.lanes) {
+          if (core::decisive(lane.verdict, true) &&
+              lane.verdict == core::Verdict::kFeasible) {
+            EXPECT_EQ(c.truth, core::Verdict::kFeasible)
+                << context << " lane " << lane.label;
+          }
+        }
+        fired += FaultInjector::active()->fired_total();
+      }
+    }
+  }
+  EXPECT_GT(fired, 0);
+}
+
+TEST(Chaos, BatchContainmentNeverLosesRecords) {
+  const std::vector<Case> cases = chaos_cases();
+  std::vector<core::BatchJob> jobs;
+  for (std::size_t k = 0; k < cases.size(); ++k) {
+    core::SolveConfig config;
+    config.time_limit_ms = 2'000;
+    if (k % 2 == 0) {
+      config.method = core::Method::kCsp2Dedicated;
+      config.pipeline = core::PipelineOptions::full();
+    } else {
+      config.method = core::Method::kCsp1Generic;
+      config.pipeline = core::PipelineOptions::none();
+    }
+    jobs.push_back(core::BatchJob{cases[k].ts, cases[k].platform, config});
+  }
+
+  for (const std::uint64_t seed : {13u, 57u}) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 0.3;
+    plan.sites = FaultPlan::mask(FaultSite::kFlowNetwork) |
+                 FaultPlan::mask(FaultSite::kJobTable) |
+                 FaultPlan::mask(FaultSite::kScheduleTable) |
+                 FaultPlan::mask(FaultSite::kCspVarBudget);
+    InjectorGuard guard(plan);
+
+    core::BatchPolicy policy;
+    policy.workers = 1;
+    policy.max_attempts = 2;
+    core::BatchHealth health;
+    std::vector<core::SolveReport> reports;
+    try {
+      reports = core::solve_batch(jobs, policy, &health);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "solve_batch escaped containment: " << e.what();
+      continue;
+    }
+    ASSERT_EQ(reports.size(), jobs.size()) << "lost batch records";
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+      expect_sound(reports[k], cases[k],
+                   cases[k].label + "/batch/seed" + std::to_string(seed));
+    }
+    // Accounting is internally consistent even when the exact fault
+    // schedule varies with the seed.
+    EXPECT_EQ(health.quarantined,
+              static_cast<std::int64_t>(health.quarantined_jobs.size()));
+    EXPECT_LE(health.recovered + health.quarantined, health.failures + 1);
+    EXPECT_GE(health.failures, health.quarantined);
+  }
+}
+
+TEST(Chaos, RetryRecoversTransientFault) {
+  // Exactly one injected propagator fault: the first attempt degrades to
+  // kUnknown/kFaultInjected, the retry runs fault-free and recovers.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rate = 1.0;
+  plan.sites = FaultPlan::mask(FaultSite::kPropagator);
+  plan.max_faults = 1;
+  InjectorGuard guard(plan);
+
+  std::vector<core::BatchJob> jobs;
+  core::SolveConfig config;
+  config.method = core::Method::kCsp1Generic;
+  config.pipeline = core::PipelineOptions::none();
+  jobs.push_back(core::BatchJob{testing::example1(),
+                                testing::example1_platform(), config});
+
+  core::BatchPolicy policy;
+  policy.workers = 1;
+  policy.max_attempts = 2;
+  core::BatchHealth health;
+  const std::vector<core::SolveReport> reports =
+      solve_batch(jobs, policy, &health);
+
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].verdict, core::Verdict::kFeasible);
+  EXPECT_EQ(health.failures, 1);
+  EXPECT_EQ(health.retries, 1);
+  EXPECT_EQ(health.recovered, 1);
+  EXPECT_EQ(health.quarantined, 0);
+  EXPECT_EQ(FaultInjector::active()->fired(FaultSite::kPropagator), 1);
+}
+
+TEST(Chaos, WatchdogCullsStalledLaneWhileRaceDecides) {
+  // Find an instance whose lane-0 search (kInput order, paper-faithful)
+  // runs past the 1024-node deadline poll — that poll is where the
+  // injected stall fires.  Lanes run sequentially (workers=1), so lane 0
+  // stalls before any other lane can decide; the watchdog must cull it and
+  // the surviving lanes must still decide the race.
+  gen::GeneratorOptions g;
+  g.tasks = 6;
+  g.processors = 2;
+  g.t_max = 6;
+  std::optional<gen::Instance> target;
+  for (std::uint64_t idx = 0; idx < 80 && !target; ++idx) {
+    gen::Instance inst = gen::generate_indexed(g, 424242, idx);
+    core::SolveConfig probe;
+    probe.method = core::Method::kCsp2Dedicated;
+    probe.pipeline = core::PipelineOptions::none();
+    probe.csp2.value_order = csp2::ValueOrder::kInput;
+    probe.csp2.slack_prune = false;
+    probe.csp2.tight_demand_prune = false;
+    probe.max_nodes = 5'000;
+    const core::SolveReport report = core::solve_instance(
+        inst.tasks, rt::Platform::identical(inst.processors), probe);
+    if (core::decisive(report.verdict, report.complete) &&
+        report.nodes >= 2'048) {
+      target = std::move(inst);
+    }
+  }
+  if (!target) {
+    GTEST_SKIP() << "no generator draw with a >=2048-node lane-0 search";
+  }
+
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.rate = 1.0;
+  plan.sites = FaultPlan::mask(FaultSite::kStall);
+  plan.max_faults = 1;
+  plan.stall_cap_ms = 5'000;  // watchdog should interrupt long before this
+  InjectorGuard guard(plan);
+
+  core::SolveConfig config;
+  config.pipeline = core::PipelineOptions::none();
+  config.time_limit_ms = 60'000;
+  config.portfolio.workers = 1;
+  config.portfolio.watchdog_stall_ms = 100;
+  const core::PortfolioReport race = core::solve_portfolio(
+      target->tasks, rt::Platform::identical(target->processors), config);
+
+  EXPECT_EQ(FaultInjector::active()->fired(FaultSite::kStall), 1);
+  EXPECT_TRUE(core::decisive(race.report.verdict, race.report.complete))
+      << "race did not survive the stalled lane: "
+      << core::to_string(race.report.verdict);
+  bool culled = false;
+  for (const core::LaneOutcome& lane : race.lanes) {
+    if (lane.watchdog_cancelled) {
+      culled = true;
+      EXPECT_FALSE(core::decisive(lane.verdict, true) &&
+                   lane.verdict == core::Verdict::kFeasible)
+          << "a culled lane cannot also have won";
+    }
+  }
+  EXPECT_TRUE(culled) << "watchdog never cancelled the stalled lane";
+}
+
+}  // namespace
+}  // namespace mgrts
+
+#else  // MGRTS_FAULT_INJECTION
+
+TEST(Chaos, InjectionCompiledOut) {
+  GTEST_SKIP() << "built with MGRTS_FAULT_INJECTION=0";
+}
+
+#endif  // MGRTS_FAULT_INJECTION

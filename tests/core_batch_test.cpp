@@ -47,14 +47,67 @@ TEST(SolveBatch, EmptyBatch) {
   EXPECT_TRUE(solve_batch({}).empty());
 }
 
-TEST(SolveBatch, RethrowsJobExceptions) {
+TEST(SolveBatch, CapturesJobFailuresWithoutLosingRecords) {
   std::vector<BatchJob> jobs = mixed_jobs();
   SolveConfig bad;
   bad.method = Method::kFlowOracle;  // flow oracle rejects heterogeneous
+  bad.pipeline = PipelineOptions::none();
   rt::Platform hetero = rt::Platform::uniform({3, 1});
   jobs.push_back(BatchJob{testing::light3(), hetero, bad});
-  EXPECT_THROW(static_cast<void>(solve_batch(jobs, /*workers=*/2)),
-               ValidationError);
+
+  // Containment contract: the failing job becomes a kUnknown report with a
+  // cause — no exception to the caller, no lost record, and the healthy
+  // jobs are unaffected.
+  BatchHealth health;
+  const std::vector<SolveReport> reports =
+      solve_batch(jobs, BatchPolicy{/*workers=*/2}, &health);
+  ASSERT_EQ(reports.size(), jobs.size());
+  EXPECT_EQ(reports[0].verdict, Verdict::kFeasible);
+  EXPECT_EQ(reports[1].verdict, Verdict::kInfeasible);
+  EXPECT_EQ(reports[2].verdict, Verdict::kFeasible);
+  EXPECT_EQ(reports[3].verdict, Verdict::kFeasible);
+  const SolveReport& failed = reports.back();
+  EXPECT_EQ(failed.verdict, Verdict::kUnknown);
+  EXPECT_EQ(failed.cause, FailureCause::kInternalError);
+  EXPECT_FALSE(failed.detail.empty());
+
+  EXPECT_EQ(health.failures, 1);
+  EXPECT_EQ(health.retries, 0);
+  EXPECT_EQ(health.quarantined, 1);
+  ASSERT_EQ(health.quarantined_jobs.size(), 1u);
+  EXPECT_EQ(health.quarantined_jobs[0], jobs.size() - 1);
+  EXPECT_NE(health.first_error.find("internal-error"), std::string::npos);
+}
+
+TEST(SolveBatch, RetryAccountingOnDeterministicFailure) {
+  // A deterministically failing job exhausts its attempts and is
+  // quarantined; retries are counted and budget outcomes are not retried.
+  std::vector<BatchJob> jobs;
+  SolveConfig bad;
+  bad.method = Method::kFlowOracle;
+  bad.pipeline = PipelineOptions::none();
+  jobs.push_back(
+      BatchJob{testing::light3(), rt::Platform::uniform({3, 1}), bad});
+  SolveConfig good;
+  good.method = Method::kCsp2Dedicated;
+  jobs.push_back(
+      BatchJob{testing::example1(), testing::example1_platform(), good});
+
+  BatchPolicy policy;
+  policy.workers = 1;
+  policy.max_attempts = 3;
+  BatchHealth health;
+  const std::vector<SolveReport> reports = solve_batch(jobs, policy, &health);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].verdict, Verdict::kUnknown);
+  EXPECT_EQ(reports[0].cause, FailureCause::kInternalError);
+  EXPECT_NE(reports[0].detail.find("quarantined after 3 attempts"),
+            std::string::npos);
+  EXPECT_EQ(reports[1].verdict, Verdict::kFeasible);
+  EXPECT_EQ(health.failures, 3);
+  EXPECT_EQ(health.retries, 2);
+  EXPECT_EQ(health.recovered, 0);
+  EXPECT_EQ(health.quarantined, 1);
 }
 
 }  // namespace

@@ -230,7 +230,8 @@ TEST(Uip, FixOnlyStoreImportsBoundRootUnitsButNotBoundClauses) {
 /// Random pigeonhole-flavored models: alldifferent blocks over shared
 /// variables plus a counting rule — conflict-rich, restart-heavy, and
 /// fully decidable at this size.
-SolveOutcome random_model_run(std::uint64_t seed, NogoodLearn learn) {
+SolveOutcome random_model_run(std::uint64_t seed, NogoodLearn learn,
+                              std::int32_t ds_sample = 16) {
   support::Rng model_rng(seed);
   Solver solver;
   const int nv = 9;
@@ -257,6 +258,7 @@ SolveOutcome random_model_run(std::uint64_t seed, NogoodLearn learn) {
   options.restart_scale = 3;
   options.nogoods = true;
   options.nogood_learn = learn;
+  options.nogood_ds_sample = ds_sample;
   options.seed = seed * 77 + 13;
   return solver.solve(options);
 }
@@ -275,6 +277,37 @@ TEST(UipDifferential, VerdictEqualAndNeverLongerThanDecisionSet) {
     if (uip.stats.nogood_lits_ds > 0) {
       EXPECT_GT(uip.stats.nogood_lits_uip, 0) << "seed " << seed;
     }
+  }
+}
+
+// Sampling the decision-set reference (nogood_ds_sample) must be a pure
+// observer: both walks open their own stamp epochs and a failed 1-UIP walk
+// lazily falls back to the decision set either way, so the search tree and
+// the recorded clauses are bit-identical for every period — only the
+// differential counters thin out.
+TEST(UipDifferential, DsSamplingIsAPureObserver) {
+  for (const std::uint64_t seed : {2u, 5u, 9u}) {
+    const SolveOutcome always = random_model_run(seed, NogoodLearn::kUip1, 1);
+    const SolveOutcome sampled = random_model_run(seed, NogoodLearn::kUip1, 5);
+    const SolveOutcome never = random_model_run(seed, NogoodLearn::kUip1, 0);
+
+    for (const SolveOutcome* other : {&sampled, &never}) {
+      EXPECT_EQ(always.status, other->status) << "seed " << seed;
+      EXPECT_EQ(always.stats.nodes, other->stats.nodes) << "seed " << seed;
+      EXPECT_EQ(always.stats.failures, other->stats.failures)
+          << "seed " << seed;
+      EXPECT_EQ(always.stats.nogoods_recorded, other->stats.nogoods_recorded)
+          << "seed " << seed;
+      EXPECT_EQ(always.stats.nogood_lits_after, other->stats.nogood_lits_after)
+          << "seed " << seed;
+    }
+    // The differential counters are the only thing sampling changes.
+    EXPECT_LE(sampled.stats.nogood_lits_ds, always.stats.nogood_lits_ds)
+        << "seed " << seed;
+    EXPECT_LE(sampled.stats.nogood_lits_uip, always.stats.nogood_lits_uip)
+        << "seed " << seed;
+    EXPECT_EQ(never.stats.nogood_lits_ds, 0) << "seed " << seed;
+    EXPECT_EQ(never.stats.nogood_lits_uip, 0) << "seed " << seed;
   }
 }
 

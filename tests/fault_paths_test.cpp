@@ -1,0 +1,136 @@
+// Direct coverage of the ResourceError guard paths and their graceful
+// degradation through the pipeline (DESIGN.md §12): every guard must
+// surface as a sound kUnknown/kMemoryLimit report with FailureCause
+// provenance, never as an exception to the caller.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/solve.hpp"
+#include "rt/jobs.hpp"
+#include "rt/schedule.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "testing.hpp"
+
+namespace mgrts {
+namespace {
+
+// RAII disarm so a failing assertion cannot leak an armed injector into
+// the rest of the suite.
+struct InjectorGuard {
+  explicit InjectorGuard(const support::FaultPlan& plan) {
+    support::FaultInjector::arm(plan);
+  }
+  ~InjectorGuard() { support::FaultInjector::disarm(); }
+};
+
+support::FaultPlan always(support::FaultSite site) {
+  support::FaultPlan plan;
+  plan.seed = 1;
+  plan.rate = 1.0;
+  plan.sites = support::FaultPlan::mask(site);
+  return plan;
+}
+
+// ------------------------------------------------- raw guard behavior
+
+TEST(FaultPaths, JobTableSlotBudgetThrowsResourceError) {
+  const rt::TaskSet ts = testing::example1();
+  EXPECT_NO_THROW(rt::JobTable{ts});
+  EXPECT_THROW(rt::JobTable(ts, /*max_total_slots=*/1), ResourceError);
+}
+
+TEST(FaultPaths, ScheduleTableGuardThrowsResourceError) {
+  EXPECT_NO_THROW(rt::Schedule(12, 2));
+  // T*m past the 2^31-cell guard must refuse to materialize.
+  EXPECT_THROW(rt::Schedule(std::int64_t{1} << 40, 4), ResourceError);
+}
+
+// -------------------------------- degradation through solve_instance
+
+TEST(FaultPaths, InjectedJobTableFaultDegradesFlowOracleBackend) {
+  InjectorGuard guard(always(support::FaultSite::kJobTable));
+
+  core::SolveConfig config;
+  config.method = core::Method::kFlowOracle;
+  config.pipeline = core::PipelineOptions::none();
+  const core::SolveReport report = core::solve_instance(
+      testing::example1(), testing::example1_platform(), config);
+
+  EXPECT_EQ(report.verdict, core::Verdict::kUnknown);
+  EXPECT_EQ(report.cause, core::FailureCause::kFaultInjected);
+  EXPECT_FALSE(report.detail.empty());
+  EXPECT_GE(
+      support::FaultInjector::active()->fired(support::FaultSite::kJobTable),
+      1);
+}
+
+TEST(FaultPaths, InjectedScheduleTableFaultDegradesFlowOracleBackend) {
+  InjectorGuard guard(always(support::FaultSite::kScheduleTable));
+
+  // example1 is feasible, so the oracle builds a witness Schedule — the
+  // guarded allocation the injected fault shadows.
+  core::SolveConfig config;
+  config.method = core::Method::kFlowOracle;
+  config.pipeline = core::PipelineOptions::none();
+  const core::SolveReport report = core::solve_instance(
+      testing::example1(), testing::example1_platform(), config);
+
+  EXPECT_EQ(report.verdict, core::Verdict::kUnknown);
+  EXPECT_EQ(report.cause, core::FailureCause::kFaultInjected);
+  EXPECT_GE(support::FaultInjector::active()->fired(
+                support::FaultSite::kScheduleTable),
+            1);
+}
+
+TEST(FaultPaths, FlowOracleStageFallsBackWhenJobTableFaults) {
+  InjectorGuard guard(always(support::FaultSite::kJobTable));
+
+  // Through the full pipeline the flow-oracle *stage* absorbs the fault:
+  // either the density fallback still proves feasibility or the stage
+  // hands kUnknown to the backend — the solve itself must stay decisive
+  // here because the CSP2 backend needs no job table.
+  core::SolveConfig config;
+  config.method = core::Method::kCsp2Dedicated;
+  config.pipeline = core::PipelineOptions::full();
+  const core::SolveReport report = core::solve_instance(
+      testing::example1(), testing::example1_platform(), config);
+
+  EXPECT_EQ(report.verdict, core::Verdict::kFeasible);
+  EXPECT_EQ(report.cause, core::FailureCause::kNone);
+}
+
+TEST(FaultPaths, NaturalVariableBudgetReportsMemoryCause) {
+  core::SolveConfig config;
+  config.method = core::Method::kCsp1Generic;
+  config.pipeline = core::PipelineOptions::none();
+  config.limits.max_variables = 1;  // Choco-OOM stand-in
+  const core::SolveReport report = core::solve_instance(
+      testing::example1(), testing::example1_platform(), config);
+
+  EXPECT_EQ(report.verdict, core::Verdict::kMemoryLimit);
+  EXPECT_EQ(report.cause, core::FailureCause::kMemory);
+}
+
+TEST(FaultPaths, InjectedVariableBudgetFaultCarriesInjectedCause) {
+  InjectorGuard guard(always(support::FaultSite::kCspVarBudget));
+
+  // Same guard as above, tripped by the injector instead of the budget:
+  // the cause must say so (kFaultInjected, not kMemory) while the
+  // degradation path stays identical — contained, no exception.
+  core::SolveConfig config;
+  config.method = core::Method::kCsp1Generic;
+  config.pipeline = core::PipelineOptions::none();
+  const core::SolveReport report = core::solve_instance(
+      testing::example1(), testing::example1_platform(), config);
+
+  EXPECT_EQ(report.verdict, core::Verdict::kUnknown);
+  EXPECT_EQ(report.cause, core::FailureCause::kFaultInjected);
+  EXPECT_GE(support::FaultInjector::active()->fired(
+                support::FaultSite::kCspVarBudget),
+            1);
+}
+
+}  // namespace
+}  // namespace mgrts

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "support/deadline.hpp"
@@ -230,6 +234,34 @@ TEST(Stopwatch, MeasuresForwardTime) {
   EXPECT_GE(w.micros(), 0);
 }
 
+TEST(CancelToken, LinkedChainsObserveGrandparents) {
+  // caller -> race -> lane, the chain the portfolio watchdog relies on.
+  const CancelToken root = CancelToken::make();
+  const CancelToken mid = CancelToken::linked(root);
+  const CancelToken leaf = CancelToken::linked(mid);
+  EXPECT_FALSE(leaf.cancelled());
+  root.cancel();
+  EXPECT_TRUE(mid.cancelled());
+  EXPECT_TRUE(leaf.cancelled());
+}
+
+TEST(CancelToken, LinkedChildCancelDoesNotLeakUp) {
+  const CancelToken parent = CancelToken::make();
+  const CancelToken child = CancelToken::linked(parent);
+  child.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(Deadline, PollTicksHeartbeat) {
+  Deadline d = Deadline::after_ms(60'000);
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  d.set_heartbeat(beat);
+  EXPECT_FALSE(d.poll());
+  EXPECT_FALSE(d.poll());
+  EXPECT_EQ(beat->load(), 2u);
+}
+
 // --------------------------------------------------------- thread pool
 
 TEST(ThreadPool, RunsAllJobs) {
@@ -267,6 +299,44 @@ TEST(ParallelForIndex, SequentialFallback) {
 TEST(ParallelForIndex, ZeroCountIsNoop) {
   parallel_for_index(0, 4, [](std::size_t) { FAIL(); });
   SUCCEED();
+}
+
+TEST(ThreadPool, CountsAndSurfacesSwallowedSubmitExceptions) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.wait_idle();
+  EXPECT_EQ(pool.swallowed_count(), 1u);
+  const std::exception_ptr first = pool.take_swallowed();
+  ASSERT_TRUE(first);
+  EXPECT_THROW(std::rethrow_exception(first), std::runtime_error);
+  // take_swallowed resets the ledger.
+  EXPECT_EQ(pool.swallowed_count(), 0u);
+  EXPECT_FALSE(pool.take_swallowed());
+}
+
+TEST(ParallelForIndex, FirstExceptionRethrownOthersLedgered) {
+  // Drain any residue so the counts below are exact.
+  (void)ThreadPool::shared().take_swallowed();
+
+  // Both lanes rendezvous before throwing, so neither is skipped by the
+  // early-exit flag: the first exception must come back through wait(),
+  // the second must land on the shared pool's swallowed ledger.
+  std::atomic<int> arrivals{0};
+  const auto lane = [&](std::size_t) {
+    arrivals.fetch_add(1);
+    const auto start = std::chrono::steady_clock::now();
+    while (arrivals.load() < 2 &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::seconds(10)) {
+      std::this_thread::yield();
+    }
+    throw std::runtime_error("overflow");
+  };
+  EXPECT_THROW(parallel_for_index(2, 2, lane), std::runtime_error);
+  EXPECT_EQ(ThreadPool::shared().swallowed_count(), 1u);
+  const std::exception_ptr second = ThreadPool::shared().take_swallowed();
+  ASSERT_TRUE(second);
+  EXPECT_THROW(std::rethrow_exception(second), std::runtime_error);
 }
 
 }  // namespace

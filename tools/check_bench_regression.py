@@ -9,11 +9,18 @@ of the Table-I workload the presolve stages settle before search
 (presolve_decided_fraction), the diversified portfolio's wall-time ratio
 against the post-hoc best fixed value order (portfolio_vs_best_order), the
 conflict-analysis nogood shrink ratio on the pipeline residue
-(nogood_shrink_ratio), and the 1-UIP vs decision-set clause-length ratio
-for the same conflicts (uip_clause_len_ratio).  The two ratio metrics gate
-in the LOWER-is-better direction: they may shrink freely but must not
-creep back towards 1.0.  Plain wall-clock totals stay advisory because
-they are budget- and machine-shaped rather than throughput-shaped.
+(nogood_shrink_ratio), the 1-UIP vs decision-set clause-length ratio
+for the same conflicts (uip_clause_len_ratio), and the fault-injection
+hardening tax on a fault-free run (residue_faultfree_overhead).  The
+ratio metrics gate in the LOWER-is-better direction: they may shrink
+freely but must not creep back towards (or past) 1.0.  Plain wall-clock
+totals stay advisory because they are budget- and machine-shaped rather
+than throughput-shaped.
+
+residue_faultfree_overhead carries its own tight threshold (0.02): its
+baseline sits at ~1.0 by construction, so the general 30% band would let
+the hardened layer quietly charge a third of residue throughput.  The
+override keeps the armed-idle/disarmed ratio pinned under ~2% growth.
 
 Usage: check_bench_regression.py <fresh.json> <baseline.json> [threshold]
 
@@ -35,10 +42,19 @@ GATED_METRICS = (
     "residue_nodes_per_sec",
     "nogood_shrink_ratio",
     "uip_clause_len_ratio",
+    "residue_faultfree_overhead",
 )
 
 # Metrics where smaller values are better; their regression test inverts.
-LOWER_IS_BETTER = frozenset({"nogood_shrink_ratio", "uip_clause_len_ratio"})
+LOWER_IS_BETTER = frozenset({
+    "nogood_shrink_ratio",
+    "uip_clause_len_ratio",
+    "residue_faultfree_overhead",
+})
+
+# Per-metric threshold overrides: metrics whose baseline is a ratio pinned
+# near 1.0 need a far tighter band than throughput rates.
+THRESHOLD_OVERRIDES = {"residue_faultfree_overhead": 0.02}
 
 
 def load_entries(path):
@@ -71,14 +87,15 @@ def main(argv):
             if old_rate <= 0:
                 continue
             ratio = new_rate / old_rate
+            band = THRESHOLD_OVERRIDES.get(metric, threshold)
             if metric in LOWER_IS_BETTER:
                 # Invert: shrinking further is fine, growing past the same
                 # fractional band regresses.
-                failed = ratio > 1.0 / (1.0 - threshold)
-                bound = f"ceiling {1.0 / (1.0 - threshold):.2f}x"
+                failed = ratio > 1.0 / (1.0 - band)
+                bound = f"ceiling {1.0 / (1.0 - band):.2f}x"
             else:
-                failed = ratio < 1.0 - threshold
-                bound = f"floor {1.0 - threshold:.2f}x"
+                failed = ratio < 1.0 - band
+                bound = f"floor {1.0 - band:.2f}x"
             status = "FAIL" if failed else "ok"
             print(f"{status:4s} {name}.{metric}: {new_rate:.3g} vs "
                   f"{old_rate:.3g} committed ({ratio:.2f}x)")
