@@ -80,6 +80,7 @@ int main() {
                    support::TextTable::num(ms / count, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", exp::health_summary(batch.health).c_str());
   bench::maybe_write_csv("ablation_csp2_rules", table);
   std::printf(
       "expected: disabling the idle rule or symmetry inflates nodes and "

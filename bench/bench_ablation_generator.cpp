@@ -23,6 +23,7 @@ int main() {
                             "r>1", "solved", "unsat", "overrun"});
   stats.set_title("distribution and outcome per sampling order");
 
+  core::BatchHealth last_health;  // aggregated across the three orders
   for (const gen::ParamOrder order :
        {gen::ParamOrder::kDFirst, gen::ParamOrder::kCdt,
         gen::ParamOrder::kTdc}) {
@@ -36,6 +37,13 @@ int main() {
     const std::vector<exp::SolverSpec> specs = {
         exp::csp2_spec(csp2::ValueOrder::kDMinusC, env.time_limit_ms)};
     const exp::BatchResult batch = exp::run_batch(options, specs);
+    last_health.failures += batch.health.failures;
+    last_health.retries += batch.health.retries;
+    last_health.recovered += batch.health.recovered;
+    last_health.quarantined += batch.health.quarantined;
+    if (last_health.first_error.empty()) {
+      last_health.first_error = batch.health.first_error;
+    }
 
     // Regenerate the stream for parameter statistics (cheap and identical
     // by construction).
@@ -80,6 +88,7 @@ int main() {
                    support::TextTable::num(overruns)});
   }
   std::printf("%s\n", stats.to_string().c_str());
+  std::printf("%s\n", exp::health_summary(last_health).c_str());
   std::printf(
       "expected: C->D->T yields the largest periods (and highest r, many "
       "r>1 rejects); T->D->C the smallest WCETs (easiest instances); the "

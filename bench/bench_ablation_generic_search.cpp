@@ -88,6 +88,7 @@ int main() {
                        ms / static_cast<double>(batch.instances.size()), 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", exp::health_summary(batch.health).c_str());
   std::printf(
       "expected: the multi-valued encoding beats the boolean one at any "
       "fixed strategy, and the dedicated chronological search beats every "

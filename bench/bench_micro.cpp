@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "core/instance_io.hpp"
 #include "core/solve.hpp"
 #include "csp/propagators.hpp"
 #include "csp/solver.hpp"
@@ -26,6 +27,8 @@
 #include "flow/oracle.hpp"
 #include "gen/generator.hpp"
 #include "rt/jobs.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
 #include "support/fault.hpp"
 #include "support/rng.hpp"
 
@@ -715,6 +718,90 @@ void report_counter_rules(bench::BenchJson& json, const char* label,
 
 }  // namespace
 
+// ------------------------------------------------------- serving latency
+//
+// The resident daemon's request handler on a repeat-heavy mix: a pool of
+// instances queried over and over in three orientations (original, task-
+// permuted, gcd-rescaled), which is exactly the traffic the canonicalized
+// verdict cache exists for.  Requests run through Service::handle — the
+// full payload parse -> canonical key -> cache/solve -> format funnel the
+// socket server uses, minus only the transport.  `serve_requests_per_sec`
+// and the p50/p99 (gated lower-is-better) track the serving hot path;
+// `serve_cache_hit_ratio` pins the canonicalization: permuted and rescaled
+// duplicates MUST keep hitting, so a key regression shows up as a falling
+// ratio long before anyone notices slow daemons.
+
+void report_serve(bench::BenchJson& json, std::uint64_t seed) {
+  constexpr int kPoolSize = 12;
+  constexpr int kRounds = 160;  // kPoolSize * 3 orientations * kRounds asks
+
+  gen::GeneratorOptions g;
+  g.tasks = 6;
+  g.processors = 3;
+  g.t_max = 5;
+
+  // Three payload orientations per instance, pre-formatted once — the
+  // bench measures serving, not snprintf.
+  std::vector<std::string> payloads;
+  for (std::uint64_t idx = 0; idx < kPoolSize; ++idx) {
+    const gen::Instance inst = gen::generate_indexed(g, seed, idx);
+    const rt::Platform platform = rt::Platform::identical(inst.processors);
+
+    std::vector<rt::TaskParams> params;
+    for (rt::TaskId i = 0; i < inst.tasks.size(); ++i) {
+      params.push_back({inst.tasks[i].offset(), inst.tasks[i].wcet(),
+                        inst.tasks[i].deadline(), inst.tasks[i].period()});
+    }
+    std::vector<rt::TaskParams> rotated = params;
+    std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+    std::vector<rt::TaskParams> scaled;
+    for (const rt::TaskParams& p : params) {
+      scaled.push_back(
+          {p.offset * 3, p.wcet * 3, p.deadline * 3, p.period * 3});
+    }
+
+    for (const auto& variant :
+         {params, rotated, scaled}) {
+      serve::Message request;
+      request.kind = "solve";
+      request.body = core::write_instance_string(
+          rt::TaskSet::from_params(variant, inst.tasks.model()), platform);
+      payloads.push_back(serve::format_message(request));
+    }
+  }
+
+  serve::ServiceOptions options;
+  options.latency_window = payloads.size() * kRounds;
+  serve::Service service(options);
+
+  support::Stopwatch watch;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const std::string& payload : payloads) {
+      const std::string response = service.handle(payload);
+      benchmark::DoNotOptimize(response.data());
+    }
+  }
+  const double wall = watch.seconds();
+
+  const auto total =
+      static_cast<double>(payloads.size()) * static_cast<double>(kRounds);
+  const serve::LatencyStats lat = service.latency();
+  const double hit_ratio = service.cache_stats().hit_ratio();
+  json.record("serve_repeat_mix")
+      .metric("requests", total)
+      .metric("wall_seconds", wall)
+      .metric("serve_requests_per_sec", wall > 0.0 ? total / wall : 0.0)
+      .metric("serve_cache_hit_ratio", hit_ratio)
+      .metric("serve_p50_us", static_cast<double>(lat.p50_us))
+      .metric("serve_p99_us", static_cast<double>(lat.p99_us));
+  std::printf("%-32s %7.0f req in %.3fs -> %8.0f req/s, cache hit %.3f, "
+              "p50 %lld us, p99 %lld us\n",
+              "serve_repeat_mix", total, wall,
+              wall > 0.0 ? total / wall : 0.0, hit_ratio,
+              static_cast<long long>(lat.p50_us),
+              static_cast<long long>(lat.p99_us));
+}
+
 int main(int argc, char** argv) {
   // --seed N / --seed=N pins the residue workload's generator stream (so
   // the residue set is reproducible across PRs); strip it before handing
@@ -796,6 +883,9 @@ int main(int argc, char** argv) {
 
   std::printf("\n== pipeline presolve absorption (Table-I workload) ==\n");
   report_pipeline(json);
+
+  std::printf("\n== serving latency on a repeat-heavy mix ==\n");
+  report_serve(json, seed);
 
   json.write();
   return 0;

@@ -33,6 +33,7 @@ int main() {
 
   const auto table = exp::table1_overruns(batch);
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", exp::health_summary(batch.health).c_str());
   bench::maybe_write_csv("table1_overruns", table);
 
   std::int64_t solved = 0;

@@ -33,6 +33,7 @@ int main() {
 
   const auto table = exp::table2_unsolved(batch);
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", exp::health_summary(batch.health).c_str());
   bench::maybe_write_csv("table2_unsolved", table);
 
   const exp::UnsolvedSummary summary = exp::summarize_unsolved(batch);

@@ -32,6 +32,7 @@ int main() {
       static_cast<double>(env.time_limit_ms) / 1000.0;
   const auto table = exp::table3_difficulty(batch, limit_seconds);
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", exp::health_summary(batch.health).c_str());
   bench::maybe_write_csv("table3_difficulty", table);
   std::printf(
       "paper (500 inst / 30 s): #instances peaks in the 0.9-1.0 bucket; "

@@ -77,7 +77,8 @@ int main() {
     const double batch_seconds = batch_watch.seconds();
     labels = batch.labels;
     rows.push_back(exp::scaling_row(batch, n, limit_seconds));
-    std::printf("n=%d done (%.2fs)\n", n, batch_seconds);
+    std::printf("n=%d done (%.2fs); %s\n", n, batch_seconds,
+                exp::health_summary(batch.health).c_str());
 
     std::int64_t batch_nodes = 0;
     for (const auto& inst : batch.instances) {

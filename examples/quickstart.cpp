@@ -8,13 +8,21 @@
 //     CSP1 on the generic engine (§IV) — with presolve disabled,
 //   * print and validate the cyclic schedule witness.
 //
+//   * run a small fault-contained batch (core::solve_batch) and read the
+//     BatchHealth counters,
+//   * serve the same instance through the in-process serving layer
+//     (serve::Service) and watch the canonicalized verdict cache answer a
+//     permuted duplicate with provenance.
+//
 // Build & run:  ./quickstart   (also wired into ctest as a smoke test; the
 // exit code asserts the printed provenance)
 #include <cstdio>
 
+#include "core/instance_io.hpp"
 #include "core/solve.hpp"
 #include "rt/gantt.hpp"
 #include "rt/validate.hpp"
+#include "serve/service.hpp"
 
 int main() {
   using namespace mgrts;
@@ -103,6 +111,51 @@ int main() {
               static_cast<long long>(learn.exported),
               static_cast<long long>(learn.imported));
 
+  // Batch route with failure containment: same instance as a one-job batch.
+  // BatchPolicy retries crash-type failures with widened budgets;
+  // BatchHealth reports what was contained (all zeros on this clean run).
+  core::BatchPolicy policy;
+  policy.workers = 1;
+  policy.max_attempts = 2;
+  core::BatchHealth health;
+  const auto batch_reports = core::solve_batch(
+      {core::BatchJob{tasks, platform, core::SolveConfig{}}}, policy, &health);
+  std::printf("== batch route (core::solve_batch) ==\n");
+  std::printf("verdict: %s; health: %lld failures, %lld retries, %lld "
+              "recovered, %lld quarantined%s%s\n",
+              core::to_string(batch_reports.front().verdict),
+              static_cast<long long>(health.failures),
+              static_cast<long long>(health.retries),
+              static_cast<long long>(health.recovered),
+              static_cast<long long>(health.quarantined),
+              health.first_error.empty() ? "" : "; first error: ",
+              health.first_error.c_str());
+
+  // Serving route: the daemon's request handler, in-process (no socket).
+  // The second request permutes the task order; the canonicalized verdict
+  // cache recognizes it as the same schedulability instance and answers
+  // from cache, provenance intact ("cache:flow-oracle").
+  serve::Service service;
+  const std::string original = core::write_instance_string(tasks, platform);
+  serve::Message request;
+  request.kind = "solve";
+  request.body = original;
+  const serve::Message first = service.handle_message(request);
+  const rt::TaskSet permuted = rt::TaskSet::from_params({
+      {0, 2, 2, 3},  // tau3 first
+      {0, 1, 2, 2},  // tau1
+      {1, 3, 4, 4},  // tau2
+  });
+  request.body = core::write_instance_string(permuted, platform);
+  const serve::Message second = service.handle_message(request);
+  std::printf("== serving route (serve::Service) ==\n");
+  std::printf("first:  %s, decided by %s\n",
+              first.get("verdict").value_or("?").c_str(),
+              first.get("decided-by").value_or("?").c_str());
+  std::printf("second (permuted): %s, decided by %s\n",
+              second.get("verdict").value_or("?").c_str(),
+              second.get("decided-by").value_or("?").c_str());
+
   // Smoke assertions: the pipeline's provenance must name the flow oracle
   // (the first decisive stage here), and the paper's route must agree with
   // a validated witness of its own.
@@ -112,7 +165,15 @@ int main() {
   const bool paper_ok = csp2_report.verdict == core::Verdict::kFeasible &&
                         csp2_report.witness_valid &&
                         csp2_report.decided_by == "backend:CSP2(dedicated)";
+  const bool health_ok = health.failures == 0 && health.quarantined == 0;
+  const bool serving_ok =
+      first.get("cache").value_or("") == "miss" &&
+      second.get("cache").value_or("") == "hit" &&
+      second.get("verdict").value_or("") == "feasible" &&
+      second.get("decided-by").value_or("") == "cache:flow-oracle";
   if (!provenance_ok) std::printf("FAIL: pipeline provenance unexpected\n");
   if (!paper_ok) std::printf("FAIL: dedicated CSP2 route unexpected\n");
-  return provenance_ok && paper_ok ? 0 : 1;
+  if (!health_ok) std::printf("FAIL: batch health not clean\n");
+  if (!serving_ok) std::printf("FAIL: serving cache route unexpected\n");
+  return provenance_ok && paper_ok && health_ok && serving_ok ? 0 : 1;
 }

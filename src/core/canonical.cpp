@@ -1,0 +1,118 @@
+#include "core/canonical.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+namespace mgrts::core {
+
+namespace {
+
+struct CanonicalTask {
+  rt::TaskParams params;
+  std::vector<rt::Rate> row;  // heterogeneous rate row; empty otherwise
+
+  [[nodiscard]] friend bool operator<(const CanonicalTask& a,
+                                      const CanonicalTask& b) {
+    const auto key = [](const CanonicalTask& t) {
+      return std::tuple(t.params.offset, t.params.wcet, t.params.deadline,
+                        t.params.period);
+    };
+    if (key(a) != key(b)) return key(a) < key(b);
+    return a.row < b.row;
+  }
+};
+
+void append_params(std::string& out, const rt::TaskParams& p) {
+  out += std::to_string(p.offset);
+  out += ',';
+  out += std::to_string(p.wcet);
+  out += ',';
+  out += std::to_string(p.deadline);
+  out += ',';
+  out += std::to_string(p.period);
+}
+
+}  // namespace
+
+std::string canonical_key(const rt::TaskSet& ts, const rt::Platform& platform,
+                          const CanonicalOptions& options) {
+  const std::int32_t n = ts.size();
+  const std::int32_t m = platform.processors();
+
+  std::vector<CanonicalTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  const bool heterogeneous = !platform.is_identical() && platform.rate_rows() > 0;
+  for (rt::TaskId i = 0; i < n; ++i) {
+    CanonicalTask t;
+    t.params = ts[i].params;
+    if (heterogeneous) {
+      t.row.reserve(static_cast<std::size_t>(m));
+      for (rt::ProcId j = 0; j < m; ++j) t.row.push_back(platform.rate(i, j));
+    }
+    tasks.push_back(std::move(t));
+  }
+
+  // gcd scaling: identical platforms only (the flow-condition argument in
+  // the header does not cover rate matrices).  gcd(0, x) == x, so zero
+  // offsets do not pin g at 1.
+  if (options.scaling && platform.is_identical()) {
+    rt::Time g = 0;
+    for (const CanonicalTask& t : tasks) {
+      g = std::gcd(g, t.params.offset);
+      g = std::gcd(g, t.params.wcet);
+      g = std::gcd(g, t.params.deadline);
+      g = std::gcd(g, t.params.period);
+    }
+    if (g > 1) {
+      for (CanonicalTask& t : tasks) {
+        t.params.offset /= g;
+        t.params.wcet /= g;
+        t.params.deadline /= g;
+        t.params.period /= g;
+      }
+    }
+  }
+
+  if (options.permutation) std::sort(tasks.begin(), tasks.end());
+
+  std::string key = "v1|";
+  key += ts.is_constrained() ? "c|" : "a|";
+
+  if (platform.is_identical()) {
+    key += "id:" + std::to_string(m);
+  } else if (platform.rate_rows() == 0) {
+    // Uniform platform: a speed per processor, task-independent, so the
+    // speed *multiset* is the canonical form.
+    std::vector<rt::Rate> speeds;
+    speeds.reserve(static_cast<std::size_t>(m));
+    for (rt::ProcId j = 0; j < m; ++j) speeds.push_back(platform.rate(0, j));
+    if (options.permutation) {
+      std::sort(speeds.begin(), speeds.end(), std::greater<>());
+    }
+    key += "un:";
+    for (std::size_t j = 0; j < speeds.size(); ++j) {
+      if (j != 0) key += ',';
+      key += std::to_string(speeds[j]);
+    }
+  } else {
+    // Heterogeneous: rate rows are serialized inline with their tasks
+    // below; here only the column count.
+    key += "he:" + std::to_string(m);
+  }
+
+  key += '|';
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    if (k != 0) key += ';';
+    append_params(key, tasks[k].params);
+    for (const rt::Rate rate : tasks[k].row) {
+      key += ':';
+      key += std::to_string(rate);
+    }
+  }
+  return key;
+}
+
+}  // namespace mgrts::core

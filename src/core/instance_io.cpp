@@ -30,6 +30,57 @@ bool next_line(std::istream& in, std::string& out, int& line_no) {
   return false;
 }
 
+/// Parses one strictly-integer token: rejects floats ("1.5"), NaN/inf
+/// spellings, hex/octal surprises, and values that do not fit std::int64_t
+/// — istream extraction would accept or truncate several of those.  Every
+/// path out is a value or a ParseError.
+std::int64_t parse_int_token(int line, const std::string& token,
+                             const std::string& what) {
+  std::size_t at = 0;
+  if (at < token.size() && (token[at] == '+' || token[at] == '-')) ++at;
+  if (at >= token.size()) fail(line, what + ": '" + token + "' is not a number");
+  for (std::size_t i = at; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') {
+      fail(line, what + ": '" + token + "' is not a plain integer");
+    }
+  }
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(token, &used);
+    if (used != token.size()) {
+      fail(line, what + ": trailing characters in '" + token + "'");
+    }
+    return value;
+  } catch (const std::out_of_range&) {
+    fail(line, what + ": '" + token + "' does not fit a 64-bit integer");
+  } catch (const std::invalid_argument&) {
+    fail(line, what + ": '" + token + "' is not a number");
+  }
+}
+
+/// Splits a content line into whitespace-separated tokens.
+std::vector<std::string> tokens_of(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(text);
+  std::string token;
+  while (ss >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Magnitude cap on task parameters and rates.  Far above any meaningful
+/// instance, far below where downstream products (C*T, hyperperiods, flow
+/// capacities) can overflow before the dedicated OverflowError guards see
+/// them.
+constexpr std::int64_t kMaxMagnitude = 1'000'000'000'000'000;  // 1e15
+
+/// Caps on counts, so a hostile header cannot buy a huge allocation with a
+/// three-line file.  Tasks are capped at 100k (the largest generated
+/// workloads are ~200 tasks); the rates block additionally caps the n*m
+/// entry total.
+constexpr std::int64_t kMaxTasks = 100'000;
+constexpr std::int64_t kMaxProcessors = 100'000;
+constexpr std::int64_t kMaxRateEntries = 4'000'000;
+
 }  // namespace
 
 InstanceFile read_instance(std::istream& in) {
@@ -38,70 +89,97 @@ InstanceFile read_instance(std::istream& in) {
 
   auto expect_keyword_value = [&](const std::string& text,
                                   const std::string& keyword) {
-    std::istringstream ss(text);
-    std::string word;
-    ss >> word;
-    if (word != keyword) {
+    const auto tokens = tokens_of(text);
+    if (tokens.size() != 2 || tokens[0] != keyword) {
       fail(line_no, "expected '" + keyword + " <value>', got '" + text + "'");
     }
-    std::int64_t value = 0;
-    if (!(ss >> value)) fail(line_no, "expected an integer after " + keyword);
-    return value;
+    return parse_int_token(line_no, tokens[1], keyword);
   };
 
   if (!next_line(in, line, line_no)) fail(line_no, "empty instance");
   const auto n = expect_keyword_value(line, "tasks");
-  if (n < 1 || n > 1'000'000) fail(line_no, "unreasonable task count");
+  if (n < 1 || n > kMaxTasks) {
+    fail(line_no, "task count must be in [1, " + std::to_string(kMaxTasks) +
+                      "], got " + std::to_string(n));
+  }
 
   std::vector<rt::TaskParams> params;
   params.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
     if (!next_line(in, line, line_no)) fail(line_no, "missing task line");
-    std::istringstream ss(line);
-    rt::TaskParams p;
-    if (!(ss >> p.offset >> p.wcet >> p.deadline >> p.period)) {
-      fail(line_no, "expected 'O C D T'");
+    const auto tokens = tokens_of(line);
+    if (tokens.size() != 4) {
+      fail(line_no, "expected 'O C D T', got '" + line + "'");
     }
-    std::string extra;
-    if (ss >> extra) fail(line_no, "trailing token '" + extra + "'");
+    rt::TaskParams p;
+    p.offset = parse_int_token(line_no, tokens[0], "offset");
+    p.wcet = parse_int_token(line_no, tokens[1], "WCET");
+    p.deadline = parse_int_token(line_no, tokens[2], "deadline");
+    p.period = parse_int_token(line_no, tokens[3], "period");
+    for (const std::int64_t v : {p.offset, p.wcet, p.deadline, p.period}) {
+      if (v < -kMaxMagnitude || v > kMaxMagnitude) {
+        fail(line_no, "task parameter " + std::to_string(v) +
+                          " exceeds the 1e15 magnitude cap");
+      }
+    }
     params.push_back(p);
   }
 
   if (!next_line(in, line, line_no)) fail(line_no, "missing 'processors'");
   const auto m = expect_keyword_value(line, "processors");
-  if (m < 1 || m > 1'000'000) fail(line_no, "unreasonable processor count");
+  if (m < 1 || m > kMaxProcessors) {
+    fail(line_no, "processor count must be in [1, " +
+                      std::to_string(kMaxProcessors) + "], got " +
+                      std::to_string(m));
+  }
 
   rt::DeadlineModel model = rt::DeadlineModel::kConstrained;
   bool have_rates = false;
   std::vector<std::vector<rt::Rate>> rates;
 
   while (next_line(in, line, line_no)) {
-    std::istringstream ss(line);
-    std::string word;
-    ss >> word;
+    const auto tokens = tokens_of(line);
+    const std::string& word = tokens.front();
     if (word == "deadline-model") {
-      std::string value;
-      ss >> value;
-      if (value == "constrained") {
+      if (tokens.size() != 2) {
+        fail(line_no, "expected 'deadline-model <value>', got '" + line + "'");
+      }
+      if (tokens[1] == "constrained") {
         model = rt::DeadlineModel::kConstrained;
-      } else if (value == "arbitrary") {
+      } else if (tokens[1] == "arbitrary") {
         model = rt::DeadlineModel::kArbitrary;
       } else {
-        fail(line_no, "unknown deadline-model '" + value + "'");
+        fail(line_no, "unknown deadline-model '" + tokens[1] + "'");
       }
     } else if (word == "rates") {
+      if (tokens.size() != 1) {
+        fail(line_no, "'rates' takes no argument, got '" + line + "'");
+      }
+      if (have_rates) fail(line_no, "duplicate 'rates' block");
       have_rates = true;
+      if (n * m > kMaxRateEntries) {
+        fail(line_no, "rates block of " + std::to_string(n) + "x" +
+                          std::to_string(m) + " exceeds the " +
+                          std::to_string(kMaxRateEntries) + "-entry cap");
+      }
       rates.reserve(static_cast<std::size_t>(n));
       for (std::int64_t i = 0; i < n; ++i) {
         if (!next_line(in, line, line_no)) fail(line_no, "missing rate row");
-        std::istringstream row(line);
+        const auto row_tokens = tokens_of(line);
+        if (static_cast<std::int64_t>(row_tokens.size()) != m) {
+          fail(line_no, "expected " + std::to_string(m) +
+                            " rates in the row, got " +
+                            std::to_string(row_tokens.size()));
+        }
         std::vector<rt::Rate> r;
         r.reserve(static_cast<std::size_t>(m));
-        for (std::int64_t j = 0; j < m; ++j) {
-          rt::Rate s = 0;
-          if (!(row >> s)) fail(line_no, "expected " + std::to_string(m) +
-                                             " rates in the row");
-          r.push_back(s);
+        for (const std::string& token : row_tokens) {
+          const std::int64_t s = parse_int_token(line_no, token, "rate");
+          // rt::Rate is 32-bit; the cap keeps the cast exact.
+          if (s < 0 || s > 1'000'000'000) {
+            fail(line_no, "rate " + token + " out of range [0, 1e9]");
+          }
+          r.push_back(static_cast<rt::Rate>(s));
         }
         rates.push_back(std::move(r));
       }
@@ -110,11 +188,18 @@ InstanceFile read_instance(std::istream& in) {
     }
   }
 
-  InstanceFile file{rt::TaskSet::from_params(params, model),
-                    have_rates
-                        ? rt::Platform::heterogeneous(std::move(rates))
-                        : rt::Platform::identical(static_cast<std::int32_t>(m))};
-  return file;
+  // The contract is ParseError/ValidationError only; arithmetic-range
+  // failures inside system construction surface as validation failures of
+  // the input.
+  try {
+    InstanceFile file{
+        rt::TaskSet::from_params(params, model),
+        have_rates ? rt::Platform::heterogeneous(std::move(rates))
+                   : rt::Platform::identical(static_cast<std::int32_t>(m))};
+    return file;
+  } catch (const OverflowError& e) {
+    throw ValidationError(e.what());
+  }
 }
 
 InstanceFile read_instance_string(const std::string& text) {

@@ -1,6 +1,7 @@
 #include "exp/harness.hpp"
 
 #include <exception>
+#include <mutex>
 
 #include "support/assert.hpp"
 #include "support/error.hpp"
@@ -113,6 +114,22 @@ std::vector<SolverSpec> paper_lineup(std::int64_t time_limit_ms,
   return specs;
 }
 
+std::string health_summary(const core::BatchHealth& health) {
+  if (health.failures == 0 && health.retries == 0 &&
+      health.quarantined == 0) {
+    return "health: clean (no contained failures)";
+  }
+  std::string out = "health: " + std::to_string(health.failures) +
+                    " contained failure(s), " +
+                    std::to_string(health.retries) + " retried, " +
+                    std::to_string(health.recovered) + " recovered, " +
+                    std::to_string(health.quarantined) + " quarantined";
+  if (!health.first_error.empty()) {
+    out += " (first: " + health.first_error + ")";
+  }
+  return out;
+}
+
 BatchResult run_batch(const BatchOptions& options,
                       const std::vector<SolverSpec>& specs) {
   MGRTS_EXPECTS(!specs.empty());
@@ -154,6 +171,14 @@ BatchResult run_batch(const BatchOptions& options,
   // pre-sized slot, so verdict tables are deterministic in layout
   // regardless of worker scheduling.  Library users with independent
   // instances should prefer core::solve_batch.
+  std::mutex health_mutex;
+  const auto note_failure = [&](const char* what) {
+    std::lock_guard<std::mutex> lock(health_mutex);
+    ++result.health.failures;
+    ++result.health.quarantined;
+    if (result.health.first_error.empty()) result.health.first_error = what;
+  };
+
   const std::size_t total_runs = count * specs.size();
   support::parallel_for_index(total_runs, options.workers,
                               [&](std::size_t flat) {
@@ -178,18 +203,21 @@ BatchResult run_batch(const BatchOptions& options,
     try {
       report = core::solve_instance(
           inst.tasks, rt::Platform::identical(inst.processors), config);
-    } catch (const FaultInjectedError&) {
+    } catch (const FaultInjectedError& e) {
       report.verdict = core::Verdict::kUnknown;
       report.complete = false;
       report.cause = core::FailureCause::kFaultInjected;
-    } catch (const ResourceError&) {
+      note_failure(e.what());
+    } catch (const ResourceError& e) {
       report.verdict = core::Verdict::kUnknown;
       report.complete = false;
       report.cause = core::FailureCause::kMemory;
-    } catch (const std::exception&) {
+      note_failure(e.what());
+    } catch (const std::exception& e) {
       report.verdict = core::Verdict::kUnknown;
       report.complete = false;
       report.cause = core::FailureCause::kInternalError;
+      note_failure(e.what());
     }
 
     RunRecord& run = result.instances[k].runs[s];

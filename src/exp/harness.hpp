@@ -142,7 +142,19 @@ struct InstanceRecord {
 struct BatchResult {
   std::vector<std::string> labels;
   std::vector<InstanceRecord> instances;
+  /// Aggregate containment accounting over every (instance, solver) run:
+  /// `failures` counts runs whose exception was contained into a kUnknown
+  /// record (their RunRecord::failure_cause says why), `first_error` keeps
+  /// the first such message.  The harness runs each pair exactly once, so
+  /// retries/recovered stay 0 here (core::solve_batch is the retrying
+  /// path); quarantined mirrors failures so the two surfaces read alike.
+  core::BatchHealth health;
 };
+
+/// One-line human summary of a BatchHealth block, shared by the bench
+/// executables' stdout and the quickstart ("health: clean" when nothing
+/// was contained).
+[[nodiscard]] std::string health_summary(const core::BatchHealth& health);
 
 struct BatchOptions {
   gen::GeneratorOptions generator;

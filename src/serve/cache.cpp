@@ -1,0 +1,53 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+namespace mgrts::serve {
+
+VerdictCache::VerdictCache(CacheOptions options) : options_(options) {}
+
+std::optional<CachedVerdict> VerdictCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  CachedVerdict value = it->second->value;  // hits BEFORE this lookup
+  ++it->second->value.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return value;
+}
+
+void VerdictCache::insert(const std::string& key, core::Verdict verdict,
+                          bool complete, const std::string& decided_by) {
+  if (!core::decisive(verdict, complete)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.capacity == 0) return;
+  if (index_.count(key) > 0) return;  // first decisive writer wins
+  lru_.push_front(Entry{key, CachedVerdict{verdict, complete, decided_by, 0}});
+  index_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  while (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats VerdictCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t VerdictCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace mgrts::serve

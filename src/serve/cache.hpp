@@ -1,0 +1,98 @@
+// Canonicalized verdict cache for the serving layer (DESIGN.md §13).
+//
+// Keys are core::canonical_key strings, so repeat queries that differ only
+// by task permutation (or, on identical platforms, a common utilization
+// scale factor) hit the same entry.  Two rules keep the cache sound:
+//
+//   * only DECISIVE verdicts are stored (feasible, or infeasible with a
+//     complete proof).  Budget outcomes (timeout, node limit, unknown) are
+//     functions of the request's budget and the machine's mood, not of the
+//     instance — caching them would let one starved request poison every
+//     duplicate after it;
+//   * entries carry provenance: who decided (`decided_by` of the original
+//     solve), when-insertion counters, and per-entry hit counts, so a
+//     cached answer is always attributable.
+//
+// Bounded LRU with a single mutex: the solver behind a miss costs
+// milliseconds, so a cache probe measured in tens of nanoseconds needs no
+// sharding heroics.  Eviction is by least-recent *use* (hits refresh).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/verdict.hpp"
+
+namespace mgrts::serve {
+
+struct CacheOptions {
+  /// Max resident entries; 0 disables caching entirely (every lookup
+  /// misses, inserts are dropped).
+  std::size_t capacity = 65'536;
+};
+
+/// Monotonic counters; read via VerdictCache::stats().
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t inserts = 0;
+  std::int64_t evictions = 0;
+  /// Inserts rejected because the verdict was not decisive (soundness
+  /// rule) — a nonzero count here during a chaos run is the containment
+  /// working, not a bug.
+  std::int64_t rejected = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// A cached decisive verdict with provenance.
+struct CachedVerdict {
+  core::Verdict verdict = core::Verdict::kUnknown;
+  bool complete = true;
+  /// The deciding stage/backend of the original solve ("flow-oracle",
+  /// "backend:CSP2(dedicated)", ...).
+  std::string decided_by;
+  /// Times this entry answered a lookup (before this one).
+  std::int64_t hits = 0;
+};
+
+class VerdictCache {
+ public:
+  explicit VerdictCache(CacheOptions options = {});
+
+  /// Returns the entry for `key` (refreshing its LRU position and hit
+  /// count) or nullopt.  Thread-safe.
+  [[nodiscard]] std::optional<CachedVerdict> lookup(const std::string& key);
+
+  /// Stores a decisive verdict under `key`; non-decisive verdicts are
+  /// rejected (counted in stats().rejected).  Re-inserting an existing key
+  /// keeps the original entry — a decisive verdict never changes, so the
+  /// first writer wins and provenance stays stable.  Thread-safe.
+  void insert(const std::string& key, core::Verdict verdict, bool complete,
+              const std::string& decided_by);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedVerdict value;
+  };
+
+  CacheOptions options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace mgrts::serve

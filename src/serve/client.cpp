@@ -1,0 +1,107 @@
+#include "serve/client.hpp"
+
+namespace mgrts::serve {
+
+Client::Client(const std::string& socket_path)
+    : fd_(support::connect_unix(socket_path)) {}
+
+Message Client::request(const Message& message, std::int64_t timeout_ms) {
+  send_frame(fd_, format_message(message));
+  std::string payload;
+  if (!recv_frame(fd_, payload, timeout_ms)) {
+    throw support::SocketError("daemon closed the connection without a reply");
+  }
+  return parse_message(payload);
+}
+
+SolveResult parse_solve_response(const Message& response) {
+  SolveResult result;
+  result.detail = response.body;
+  if (const auto id = response.get("id")) result.id = *id;
+
+  if (response.kind == "error") {
+    result.ok = false;
+    result.error_kind = response.get("error-kind").value_or("unknown");
+    result.verdict = core::Verdict::kUnknown;
+    if (const auto cause = response.get("cause")) {
+      const auto parsed = cause_from_string(*cause);
+      if (!parsed.has_value()) {
+        throw ProtocolError("unrecognized cause '" + *cause + "'");
+      }
+      result.cause = *parsed;
+    }
+    return result;
+  }
+  if (response.kind != "ok") {
+    throw ProtocolError("expected 'ok' or 'error', got '" + response.kind +
+                        "'");
+  }
+
+  result.ok = true;
+  const auto verdict_text = response.get("verdict");
+  if (!verdict_text.has_value()) {
+    throw ProtocolError("solve response without a verdict header");
+  }
+  const auto verdict = verdict_from_string(*verdict_text);
+  if (!verdict.has_value()) {
+    throw ProtocolError("unrecognized verdict '" + *verdict_text + "'");
+  }
+  result.verdict = *verdict;
+  result.complete = response.get_int("complete").value_or(0) != 0;
+  const auto cause_text = response.get("cause");
+  if (cause_text.has_value()) {
+    const auto cause = cause_from_string(*cause_text);
+    if (!cause.has_value()) {
+      throw ProtocolError("unrecognized cause '" + *cause_text + "'");
+    }
+    result.cause = *cause;
+  }
+  result.decided_by = response.get("decided-by").value_or("");
+  result.cache_hit = response.get("cache").value_or("") == "hit";
+  result.nodes = response.get_int("nodes").value_or(0);
+  result.micros = response.get_int("micros").value_or(0);
+  return result;
+}
+
+SolveResult Client::solve(const std::string& instance_text,
+                          const SolveParams& params, std::int64_t timeout_ms) {
+  Message message;
+  message.kind = "solve";
+  if (!params.id.empty()) message.set("id", params.id);
+  if (params.timeout_ms >= 0) message.set("timeout-ms", params.timeout_ms);
+  if (params.retries >= 0) {
+    message.set("retries", static_cast<std::int64_t>(params.retries));
+  }
+  if (!params.method.empty()) message.set("method", params.method);
+  if (params.no_cache) message.set("no-cache", std::int64_t{1});
+  if (params.seed.has_value()) message.set("seed", *params.seed);
+  message.body = instance_text;
+  return parse_solve_response(request(message, timeout_ms));
+}
+
+Message Client::health(std::int64_t timeout_ms) {
+  Message message;
+  message.kind = "health";
+  Message response = request(message, timeout_ms);
+  if (response.kind != "health") {
+    throw ProtocolError("expected 'health', got '" + response.kind + "'");
+  }
+  return response;
+}
+
+bool Client::ping(std::int64_t timeout_ms) {
+  Message message;
+  message.kind = "ping";
+  return request(message, timeout_ms).kind == "pong";
+}
+
+void Client::shutdown(std::int64_t timeout_ms) {
+  Message message;
+  message.kind = "shutdown";
+  const Message response = request(message, timeout_ms);
+  if (response.kind != "bye") {
+    throw ProtocolError("expected 'bye', got '" + response.kind + "'");
+  }
+}
+
+}  // namespace mgrts::serve

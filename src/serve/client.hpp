@@ -1,0 +1,77 @@
+// Client side of the daemon protocol: one connection, synchronous
+// request/response.  Used by the mgrts_ctl CLI, the tests, and the bench.
+//
+// Unlike the daemon, the client is allowed to throw — support::SocketError
+// for transport failures (no daemon listening, daemon died mid-reply) and
+// ProtocolError for responses it cannot interpret.  What it never does is
+// guess: an unrecognized verdict or kind is an error, not a default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/verdict.hpp"
+#include "serve/wire.hpp"
+#include "support/socket.hpp"
+
+namespace mgrts::serve {
+
+/// Knobs forwarded as solve-request headers (absent = daemon default).
+struct SolveParams {
+  std::int64_t timeout_ms = -1;  ///< -1: omit the header
+  std::int32_t retries = -1;     ///< -1: omit the header
+  std::string method;            ///< empty: omit (daemon default backend)
+  bool no_cache = false;
+  std::optional<std::int64_t> seed;
+  std::string id;                ///< request tag, echoed in the response
+};
+
+/// Parsed solve response ("ok" or "error").
+struct SolveResult {
+  bool ok = false;               ///< false: tagged "error" response
+  std::string error_kind;        ///< parse / validation / protocol / internal
+  core::Verdict verdict = core::Verdict::kUnknown;
+  bool complete = false;
+  core::FailureCause cause = core::FailureCause::kNone;
+  std::string decided_by;
+  bool cache_hit = false;
+  std::int64_t nodes = 0;
+  std::int64_t micros = 0;
+  std::string detail;            ///< response body
+  std::string id;                ///< echoed request tag
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws support::SocketError when no daemon
+  /// listens at `socket_path`.
+  explicit Client(const std::string& socket_path);
+
+  /// Sends one message and waits up to `timeout_ms` for the response.
+  [[nodiscard]] Message request(const Message& message,
+                                std::int64_t timeout_ms = 60'000);
+
+  /// Solve round-trip; instance_text is core::instance_io format.
+  [[nodiscard]] SolveResult solve(const std::string& instance_text,
+                                  const SolveParams& params = {},
+                                  std::int64_t timeout_ms = 60'000);
+
+  /// Health counters as returned by the daemon (kind "health").
+  [[nodiscard]] Message health(std::int64_t timeout_ms = 10'000);
+
+  /// True when the daemon answered the ping.
+  [[nodiscard]] bool ping(std::int64_t timeout_ms = 10'000);
+
+  /// Asks the daemon to shut down (response kind "bye").
+  void shutdown(std::int64_t timeout_ms = 10'000);
+
+ private:
+  support::Fd fd_;
+};
+
+/// Parses a solve response message ("ok"/"error") into a SolveResult;
+/// throws ProtocolError on any other kind or an unrecognized verdict/cause.
+[[nodiscard]] SolveResult parse_solve_response(const Message& response);
+
+}  // namespace mgrts::serve

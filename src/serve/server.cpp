@@ -1,0 +1,160 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "serve/wire.hpp"
+
+namespace mgrts::serve {
+
+namespace {
+
+/// Protocol-level refusal built without going through the Service (used
+/// when the frame itself was bad, so the Service never saw a payload).
+std::string protocol_refusal(const std::string& detail) {
+  Message error;
+  error.kind = "error";
+  error.set("error-kind", "protocol");
+  error.set("verdict", core::to_string(core::Verdict::kUnknown));
+  error.set("cause", core::to_string(core::FailureCause::kNone));
+  error.body = detail;
+  return format_message(error);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(options_.service),
+      listener_(support::listen_unix(options_.socket_path)),
+      pool_(std::make_unique<support::ThreadPool>(
+          std::max<std::size_t>(options_.workers, 1))) {
+  if (options_.watchdog_stall_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+Server::~Server() {
+  stop();
+  std::remove(options_.socket_path.c_str());
+}
+
+void Server::run() {
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !service_.shutdown_requested()) {
+    support::Fd connection =
+        support::accept_unix(listener_, options_.poll_interval_ms);
+    if (!connection.valid()) continue;  // timeout: poll the flags again
+    auto shared = std::make_shared<support::Fd>(std::move(connection));
+    pool_->submit([this, shared] { handle_connection(std::move(*shared)); });
+  }
+  // Graceful drain: no new connections, in-flight solves cancelled
+  // cooperatively, handlers notice stopping_ at their next poll.
+  stopping_.store(true, std::memory_order_relaxed);
+  stop_token_.cancel();
+  pool_->wait_idle();
+}
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { run(); });
+}
+
+void Server::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  stop_token_.cancel();
+  if (accept_thread_.joinable() &&
+      accept_thread_.get_id() != std::this_thread::get_id()) {
+    accept_thread_.join();
+  }
+  if (watchdog_.joinable() &&
+      watchdog_.get_id() != std::this_thread::get_id()) {
+    watchdog_.join();
+  }
+  pool_->wait_idle();
+}
+
+void Server::handle_connection(support::Fd connection) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    bool readable = false;
+    try {
+      readable = support::wait_readable(connection, options_.poll_interval_ms);
+    } catch (const support::SocketError&) {
+      return;
+    }
+    if (!readable) continue;  // idle: poll the stop flag
+
+    std::string payload;
+    try {
+      // Once bytes are pending, a whole frame should follow promptly; the
+      // bounded per-chunk timeout keeps a byte-dribbling peer from pinning
+      // this worker past the watchdog's reach.
+      if (!recv_frame(connection, payload, 10'000)) return;  // clean EOF
+    } catch (const ProtocolError& e) {
+      // Oversized/corrupt length: answer, then close — after a framing
+      // error the stream offset is unreliable.
+      try {
+        send_frame(connection, protocol_refusal(e.what()));
+      } catch (const support::SocketError&) {
+      }
+      return;
+    } catch (const support::SocketError&) {
+      return;  // transport failure or mid-frame EOF: nothing to answer
+    }
+
+    auto slot = std::make_shared<RequestSlot>();
+    slot->heartbeat = std::make_shared<std::atomic<std::uint64_t>>(0);
+    slot->token = support::CancelToken::linked(stop_token_);
+    slot->last_change = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      slots_.push_back(slot);
+    }
+    const std::string response =
+        service_.handle(payload, RequestContext{slot->token, slot->heartbeat});
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      slots_.erase(std::remove(slots_.begin(), slots_.end(), slot),
+                   slots_.end());
+    }
+
+    try {
+      send_frame(connection, response);
+    } catch (const support::SocketError&) {
+      return;  // peer vanished mid-answer; the solve result is simply lost
+    }
+    if (service_.shutdown_requested()) return;  // "bye" sent; close our end
+  }
+}
+
+void Server::watchdog_loop() {
+  const std::int64_t stall_ms = options_.watchdog_stall_ms;
+  const auto interval = std::chrono::milliseconds(
+      std::clamp<std::int64_t>(stall_ms / 4, 5, 250));
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(interval);
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const auto& slot : slots_) {
+      if (slot->culled) continue;
+      const std::uint64_t beat =
+          slot->heartbeat->load(std::memory_order_relaxed);
+      if (beat != slot->last_beat) {
+        slot->last_beat = beat;
+        slot->last_change = now;
+        continue;
+      }
+      // Only a request that has started polling (beat > 0) can stall; one
+      // still parsing or queueing has no heartbeat to judge.
+      if (beat > 0 &&
+          now - slot->last_change >= std::chrono::milliseconds(stall_ms)) {
+        slot->token.cancel();
+        slot->culled = true;
+        watchdog_culled_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace mgrts::serve

@@ -1,0 +1,106 @@
+// The resident solver daemon's socket front-end: an AF_UNIX accept loop
+// fanning connections out over a support::ThreadPool, wrapped around the
+// in-process Service (serve/service.hpp).
+//
+// Containment at this layer (DESIGN.md §13):
+//   * each connection handler converts frame/transport failures into tagged
+//     "error" responses where a response is still possible, and otherwise
+//     just drops the connection — the process never dies with a client;
+//   * every in-flight solve runs behind a per-request CancelToken linked to
+//     the server-wide stop token, so stop() and shutdown requests abort
+//     work cooperatively instead of abandoning threads;
+//   * a PR6-style heartbeat watchdog walks the in-flight request registry
+//     and culls handlers whose solver heartbeat stands still for
+//     `watchdog_stall_ms` — a wedged (or kStall-fault-injected) solve
+//     degrades to a kTimeout/kCancelled response instead of pinning a
+//     worker forever.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "support/socket.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mgrts::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX socket; a stale file is replaced.
+  std::string socket_path = "/tmp/mgrts.sock";
+  /// Connection-handler fan-out (also the max concurrent connections; the
+  /// listen backlog queues the rest).
+  std::size_t workers = 4;
+  /// Cull threshold for the stall watchdog; 0 disables it.
+  std::int64_t watchdog_stall_ms = 5'000;
+  /// Per-read timeout on idle connections — a poll point for the stop
+  /// flag, not a client deadline (the loop continues on timeout).
+  std::int64_t poll_interval_ms = 200;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  /// Binds the socket immediately (throws support::SocketError on failure);
+  /// serving starts with run() or start().
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; blocks until stop() or an accepted "shutdown" request,
+  /// then drains in-flight handlers and returns.
+  void run();
+
+  /// Runs the accept loop on a background thread (for tests and the
+  /// quickstart snippet; the daemon binary calls run() directly).
+  void start();
+
+  /// Requests a graceful stop: stop accepting, cancel in-flight solves via
+  /// their linked tokens, join.  Idempotent.
+  void stop();
+
+  [[nodiscard]] Service& service() noexcept { return service_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  /// Handlers the watchdog culled for a stalled heartbeat.
+  [[nodiscard]] std::int64_t watchdog_culled() const noexcept {
+    return watchdog_culled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One in-flight solve visible to the watchdog.
+  struct RequestSlot {
+    std::shared_ptr<std::atomic<std::uint64_t>> heartbeat;
+    support::CancelToken token;
+    std::uint64_t last_beat = 0;
+    std::chrono::steady_clock::time_point last_change;
+    bool culled = false;
+  };
+
+  void handle_connection(support::Fd connection);
+  void watchdog_loop();
+
+  ServerOptions options_;
+  Service service_;
+  support::Fd listener_;
+  support::CancelToken stop_token_ = support::CancelToken::make();
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> watchdog_culled_{0};
+
+  std::mutex slots_mutex_;
+  std::vector<std::shared_ptr<RequestSlot>> slots_;
+
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::thread watchdog_;
+  std::thread accept_thread_;  // start() only
+};
+
+}  // namespace mgrts::serve

@@ -1,0 +1,138 @@
+#include "support/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mgrts::support {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("socket path empty or too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// poll() for readability, retrying EINTR; true when readable, false on
+/// timeout.
+bool wait_readable(int fd, std::int64_t timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) fail("poll");
+  }
+}
+
+}  // namespace
+
+bool wait_readable(const Fd& fd, std::int64_t timeout_ms) {
+  return wait_readable(fd.get(), timeout_ms);
+}
+
+void Fd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  // A previous daemon's socket file would make bind fail with EADDRINUSE;
+  // connecting clients see the *new* daemon only after this unlink+bind.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) fail("listen " + path);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    fail("connect " + path);
+  }
+  return fd;
+}
+
+Fd accept_unix(const Fd& listener, std::int64_t timeout_ms) {
+  if (!wait_readable(listener.get(), timeout_ms)) return Fd();
+  for (;;) {
+    const int client = ::accept(listener.get(), nullptr, nullptr);
+    if (client >= 0) return Fd(client);
+    if (errno == EINTR) continue;
+    // The readiness seen by poll can evaporate (peer aborted the handshake);
+    // report a timeout-shaped miss instead of failing the accept loop.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Fd();
+    }
+    fail("accept");
+  }
+}
+
+bool read_exact(const Fd& fd, void* data, std::size_t size,
+                std::int64_t timeout_ms) {
+  auto* bytes = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    if (timeout_ms >= 0 && !wait_readable(fd.get(), timeout_ms)) {
+      throw SocketError("read timed out after " + std::to_string(timeout_ms) +
+                        "ms");
+    }
+    const ssize_t rc = ::recv(fd.get(), bytes + done, size - done, 0);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (done == 0) return false;  // clean EOF between messages
+      throw SocketError("peer closed mid-message (" + std::to_string(done) +
+                        "/" + std::to_string(size) + " bytes)");
+    }
+    if (errno != EINTR) fail("recv");
+  }
+  return true;
+}
+
+void write_all(const Fd& fd, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t rc =
+        ::send(fd.get(), bytes + done, size - done, MSG_NOSIGNAL);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    fail("send");
+  }
+}
+
+}  // namespace mgrts::support

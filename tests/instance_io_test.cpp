@@ -1,0 +1,216 @@
+// Hostile-input corpus for core::instance_io (the daemon's parse surface).
+//
+// Contract under test: read_instance_string throws ParseError (malformed
+// text) or ValidationError (well-formed text describing an invalid system)
+// — and NOTHING else.  No std::bad_alloc from a corrupt count, no silent
+// truncation of float-ish tokens, no istream quirk accepted as data.  Each
+// corpus entry pins the diagnostic substring so error messages stay
+// line-referenced and actionable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/instance_io.hpp"
+#include "support/error.hpp"
+
+namespace mgrts {
+namespace {
+
+struct BadCase {
+  const char* label;
+  std::string text;
+  const char* diagnostic;  // substring the error message must carry
+};
+
+std::string valid_header(const std::string& tasks_line) {
+  return tasks_line + "\n0 1 2 2\nprocessors 1\n";
+}
+
+// ------------------------------------------------------------- ParseError
+
+const std::vector<BadCase>& parse_corpus() {
+  static const std::vector<BadCase> corpus = {
+      {"empty", "", "empty instance"},
+      {"comments-only", "# nothing\n\n   \n# here\n", "empty instance"},
+      {"missing-tasks-keyword", "processors 2\n", "expected 'tasks <value>'"},
+      {"tasks-word-count", "tasks two\n", "not a plain integer"},
+      {"tasks-float", valid_header("tasks 1.0"), "not a plain integer"},
+      {"tasks-trailing", "tasks 1 junk\n0 1 2 2\nprocessors 1\n",
+       "expected 'tasks <value>'"},
+      {"tasks-zero", "tasks 0\nprocessors 1\n", "task count must be in"},
+      {"tasks-negative", "tasks -3\n", "task count must be in"},
+      {"tasks-absurd", "tasks 99999999\n", "task count must be in"},
+      {"tasks-overflow", "tasks 99999999999999999999\n",
+       "does not fit a 64-bit integer"},
+      {"missing-task-line", "tasks 2\n0 1 2 2\n", "missing task line"},
+      {"task-too-few-fields", "tasks 1\n0 1 2\nprocessors 1\n",
+       "expected 'O C D T'"},
+      {"task-trailing-token", "tasks 1\n0 1 2 2 9\nprocessors 1\n",
+       "expected 'O C D T'"},
+      {"task-float-wcet", "tasks 1\n0 1.5 2 2\nprocessors 1\n",
+       "not a plain integer"},
+      {"task-nan", "tasks 1\n0 nan 2 2\nprocessors 1\n", "not a plain integer"},
+      {"task-inf", "tasks 1\n0 inf 2 2\nprocessors 1\n", "not a plain integer"},
+      {"task-hex", "tasks 1\n0 0x10 2 2\nprocessors 1\n",
+       "not a plain integer"},
+      {"task-overflow", "tasks 1\n0 1 2 99999999999999999999\nprocessors 1\n",
+       "does not fit a 64-bit integer"},
+      {"task-magnitude", "tasks 1\n0 1 2 9999999999999999\nprocessors 1\n",
+       "magnitude cap"},
+      {"missing-processors", "tasks 1\n0 1 2 2\n", "missing 'processors'"},
+      {"processors-zero", "tasks 1\n0 1 2 2\nprocessors 0\n",
+       "processor count must be in"},
+      {"processors-negative", "tasks 1\n0 1 2 2\nprocessors -1\n",
+       "processor count must be in"},
+      {"processors-absurd", "tasks 1\n0 1 2 2\nprocessors 2000000\n",
+       "processor count must be in"},
+      {"unknown-directive", "tasks 1\n0 1 2 2\nprocessors 1\nbogus 3\n",
+       "unknown directive"},
+      {"deadline-model-unknown",
+       "tasks 1\n0 1 2 2\nprocessors 1\ndeadline-model sometimes\n",
+       "unknown deadline-model"},
+      {"deadline-model-trailing",
+       "tasks 1\n0 1 2 2\nprocessors 1\ndeadline-model constrained x\n",
+       "expected 'deadline-model <value>'"},
+      {"rates-takes-no-arg",
+       "tasks 1\n0 1 2 2\nprocessors 1\nrates 3\n1\n", "takes no argument"},
+      {"rates-missing-row", "tasks 2\n0 1 2 2\n0 1 2 2\nprocessors 1\nrates\n1\n",
+       "missing rate row"},
+      {"rates-short-row",
+       "tasks 1\n0 1 2 2\nprocessors 2\nrates\n1\n", "expected 2 rates"},
+      {"rates-long-row",
+       "tasks 1\n0 1 2 2\nprocessors 2\nrates\n1 2 3\n", "expected 2 rates"},
+      {"rates-negative",
+       "tasks 1\n0 1 2 2\nprocessors 1\nrates\n-1\n", "out of range"},
+      {"rates-float",
+       "tasks 1\n0 1 2 2\nprocessors 1\nrates\n1.5\n", "not a plain integer"},
+      {"rates-overflow-rate",
+       "tasks 1\n0 1 2 2\nprocessors 1\nrates\n4000000000\n", "out of range"},
+      {"rates-duplicate",
+       "tasks 1\n0 1 2 2\nprocessors 1\nrates\n1\nrates\n1\n",
+       "duplicate 'rates'"},
+  };
+  return corpus;
+}
+
+TEST(InstanceIoHostile, ParseCorpusThrowsParseErrorWithDiagnostic) {
+  for (const BadCase& bad : parse_corpus()) {
+    SCOPED_TRACE(bad.label);
+    try {
+      (void)core::read_instance_string(bad.text);
+      FAIL() << bad.label << ": accepted malformed input";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(bad.diagnostic), std::string::npos)
+          << "diagnostic was: " << e.what();
+      // Line-referenced, so a user can find the offending line.
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    } catch (const std::exception& e) {
+      FAIL() << bad.label << ": wrong exception type: " << e.what();
+    }
+  }
+}
+
+// -------------------------------------------------------- ValidationError
+
+const std::vector<BadCase>& validation_corpus() {
+  static const std::vector<BadCase> corpus = {
+      {"wcet-zero", "tasks 1\n0 0 2 4\nprocessors 1\n", "WCET"},
+      {"wcet-negative", "tasks 1\n0 -2 2 4\nprocessors 1\n", "WCET"},
+      {"period-zero", "tasks 1\n0 1 2 0\nprocessors 1\n", "period"},
+      {"deadline-negative", "tasks 1\n0 1 -5 4\nprocessors 1\n", "deadline"},
+      {"offset-negative", "tasks 1\n-1 1 2 4\nprocessors 1\n", "offset"},
+      {"offset-beyond-period", "tasks 1\n5 1 2 4\nprocessors 1\n", "offset"},
+      {"constrained-d-gt-t", "tasks 1\n0 1 9 4\nprocessors 1\n",
+       "constrained-deadline"},
+  };
+  return corpus;
+}
+
+TEST(InstanceIoHostile, ValidationCorpusThrowsValidationError) {
+  for (const BadCase& bad : validation_corpus()) {
+    SCOPED_TRACE(bad.label);
+    try {
+      (void)core::read_instance_string(bad.text);
+      FAIL() << bad.label << ": accepted invalid system";
+    } catch (const ValidationError& e) {
+      EXPECT_NE(std::string(e.what()).find(bad.diagnostic), std::string::npos)
+          << "diagnostic was: " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << bad.label << ": wrong exception type: " << e.what();
+    }
+  }
+}
+
+// Nothing but ParseError/ValidationError escapes, whatever the bytes.
+TEST(InstanceIoHostile, ArbitraryGarbageNeverEscapesTheContract) {
+  const std::string garbage_cases[] = {
+      std::string(1000, '\0'),
+      "tasks 1\n\x01\x02\x03\x04\nprocessors 1\n",
+      "\xff\xfe tasks 1",
+      "tasks\n",
+      "rates\nrates\nrates\n",
+      std::string("tasks 1\n0 1 2 2\nprocessors 1\n") + std::string(64, '#'),
+  };
+  for (const std::string& text : garbage_cases) {
+    try {
+      (void)core::read_instance_string(text);
+      // Accepting is fine only if the tail case (valid + comment) parsed.
+    } catch (const ParseError&) {
+    } catch (const ValidationError&) {
+    } catch (const std::exception& e) {
+      FAIL() << "contract breach: " << e.what();
+    }
+  }
+}
+
+// A hostile count must not buy an allocation: huge 'tasks' headers with no
+// body fail fast by range check, not by reserve().
+TEST(InstanceIoHostile, CorruptCountsCostNothing) {
+  EXPECT_THROW((void)core::read_instance_string("tasks 1000000000\n"),
+               ParseError);
+  EXPECT_THROW((void)core::read_instance_string(
+                   "tasks 100\n" /* no task lines */),
+               ParseError);
+  // n*m cap on the rates block: 100k tasks x 100k processors would be 1e10
+  // entries; rejected before any row is read.
+  std::string big = "tasks 2\n0 1 2 2\n0 1 2 2\nprocessors 100000\nrates\n";
+  // 2 x 100000 = 200k entries is fine; push beyond the cap via tasks.
+  EXPECT_THROW((void)core::read_instance_string(big), ParseError);  // rows missing
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(InstanceIoRoundTrip, IdenticalPlatform) {
+  const std::string text =
+      "tasks 3\n0 1 2 2\n1 3 4 4\n0 2 2 3\nprocessors 2\n";
+  const core::InstanceFile parsed = core::read_instance_string(text);
+  const std::string written =
+      core::write_instance_string(parsed.tasks, parsed.platform);
+  const core::InstanceFile reparsed = core::read_instance_string(written);
+  EXPECT_EQ(reparsed.tasks.size(), 3);
+  EXPECT_EQ(reparsed.platform.processors(), 2);
+  EXPECT_TRUE(reparsed.platform.is_identical());
+  for (rt::TaskId i = 0; i < 3; ++i) {
+    EXPECT_EQ(reparsed.tasks[i].params.wcet, parsed.tasks[i].params.wcet);
+    EXPECT_EQ(reparsed.tasks[i].params.period, parsed.tasks[i].params.period);
+  }
+}
+
+TEST(InstanceIoRoundTrip, HeterogeneousRatesAndArbitraryDeadlines) {
+  const std::string text =
+      "tasks 2\n0 1 5 4\n0 2 2 3\nprocessors 2\n"
+      "deadline-model arbitrary\nrates\n1 0\n1 2\n";
+  const core::InstanceFile parsed = core::read_instance_string(text);
+  EXPECT_FALSE(parsed.tasks.is_constrained());
+  EXPECT_FALSE(parsed.platform.is_identical());
+  const std::string written =
+      core::write_instance_string(parsed.tasks, parsed.platform);
+  const core::InstanceFile reparsed = core::read_instance_string(written);
+  EXPECT_EQ(reparsed.platform.rate(0, 1), 0);
+  EXPECT_EQ(reparsed.platform.rate(1, 1), 2);
+  EXPECT_FALSE(reparsed.tasks.is_constrained());
+}
+
+}  // namespace
+}  // namespace mgrts

@@ -1,0 +1,308 @@
+// Chaos soak for the serving layer (DESIGN.md §13): >= 1000 mixed requests
+// through the in-process Service with the seed-driven FaultInjector armed
+// at ALL eight sites.  The acceptance contract of the daemon, verbatim:
+//
+//   * zero lost responses — every request, however hostile or however
+//     faulted its solve, returns a parseable tagged response;
+//   * no flipped verdicts — every DECIDED verdict equals the fault-free
+//     flow-oracle truth (faults and cache hits may degrade or shortcut,
+//     never change an answer);
+//   * malformed / invalid requests keep their deterministic error kinds
+//     even while the injector is firing (no fault points live in parsing).
+//
+// The kCancel site is sticky (its target token stays cancelled), so the
+// soak re-arms the injector per chunk with a fresh seed and a fresh cancel
+// target: early chunks cover crash/stall/deadline faults, a fired cancel
+// poisons at most the remainder of its own chunk — whose requests must
+// STILL all be answered (as degraded kTimeout/kCancelled responses).
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#if MGRTS_FAULT_INJECTION
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance_io.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "rt/platform.hpp"
+#include "rt/task_set.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "testing.hpp"
+
+namespace mgrts::serve {
+namespace {
+
+using support::FaultInjector;
+using support::FaultPlan;
+using support::FaultSite;
+
+struct InjectorGuard {
+  explicit InjectorGuard(const FaultPlan& plan) { FaultInjector::arm(plan); }
+  ~InjectorGuard() { FaultInjector::disarm(); }
+};
+
+constexpr unsigned kAllSites =
+    FaultPlan::mask(FaultSite::kFlowNetwork) |
+    FaultPlan::mask(FaultSite::kJobTable) |
+    FaultPlan::mask(FaultSite::kScheduleTable) |
+    FaultPlan::mask(FaultSite::kCspVarBudget) |
+    FaultPlan::mask(FaultSite::kDeadline) |
+    FaultPlan::mask(FaultSite::kCancel) |
+    FaultPlan::mask(FaultSite::kPropagator) |
+    FaultPlan::mask(FaultSite::kStall);
+
+struct ValidCase {
+  std::string body;           ///< original orientation
+  std::string permuted_body;  ///< same instance, rotated task order
+  bool feasible = false;      ///< fault-free flow-oracle truth
+};
+
+std::vector<rt::TaskParams> params_of(const rt::TaskSet& ts) {
+  std::vector<rt::TaskParams> params;
+  for (rt::TaskId i = 0; i < ts.size(); ++i) {
+    params.push_back({ts[i].offset(), ts[i].wcet(), ts[i].deadline(),
+                      ts[i].period()});
+  }
+  return params;
+}
+
+// Fixtures plus generated draws, truth taken while the injector is OFF.
+std::vector<ValidCase> valid_cases() {
+  std::vector<ValidCase> cases;
+  const auto add = [&](const rt::TaskSet& ts, const rt::Platform& platform) {
+    ValidCase c;
+    c.body = core::write_instance_string(ts, platform);
+    auto params = params_of(ts);
+    std::rotate(params.begin(), params.begin() + 1, params.end());
+    c.permuted_body = core::write_instance_string(
+        rt::TaskSet::from_params(params, ts.model()), platform);
+    c.feasible = flow::is_feasible(ts, platform);
+    cases.push_back(std::move(c));
+  };
+  add(testing::example1(), testing::example1_platform());
+  add(testing::light3(), rt::Platform::identical(2));
+  add(testing::overloaded1(), rt::Platform::identical(1));
+  add(testing::dhall2(), rt::Platform::identical(2));
+  gen::GeneratorOptions g;
+  g.tasks = 4;
+  g.processors = 2;
+  g.t_max = 4;
+  for (std::uint64_t idx = 0; idx < 8; ++idx) {
+    const gen::Instance inst = gen::generate_indexed(g, 20090909, idx);
+    add(inst.tasks, rt::Platform::identical(inst.processors));
+  }
+  return cases;
+}
+
+TEST(ServeChaos, ThousandRequestSoakLosesNothingFlipsNothing) {
+  ServiceOptions options;
+  options.default_timeout_ms = 250;
+  Service service(options);
+
+  const std::vector<ValidCase> cases = valid_cases();
+
+  constexpr int kChunks = 10;
+  constexpr int kPerChunk = 110;  // 1100 requests >= the 1000-request pin
+
+  std::int64_t sent = 0;
+  std::int64_t answered = 0;
+  std::int64_t ok_responses = 0;
+  std::int64_t error_responses = 0;
+  std::int64_t decided_checked = 0;
+  std::int64_t faults_delivered = 0;
+
+  for (int chunk = 0; chunk < kChunks; ++chunk) {
+    // Fresh seed and fresh cancel target per chunk: deterministic schedule,
+    // bounded blast radius for the sticky kCancel site.
+    FaultPlan plan;
+    plan.seed = 0xC0FFEE00u + static_cast<std::uint64_t>(chunk);
+    plan.rate = 0.08;
+    plan.sites = kAllSites;
+    plan.cancel_target = support::CancelToken::make();
+    plan.stall_cap_ms = 25;
+    InjectorGuard guard(plan);
+
+    RequestContext context;
+    context.cancel = support::CancelToken::linked(plan.cancel_target);
+
+    for (int i = 0; i < kPerChunk; ++i) {
+      const int global = chunk * kPerChunk + i;
+      ++sent;
+
+      Message response;
+      switch (global % 9) {
+        case 0: {  // malformed instance text
+          Message request;
+          request.kind = "solve";
+          request.body = "tasks two\n0 1 2 2\nprocessors 1\n";
+          response = service.handle_message(request, context);
+          EXPECT_EQ(response.kind, "error");
+          EXPECT_EQ(response.get("error-kind"), "parse");
+          break;
+        }
+        case 1: {  // structurally invalid system (wcet = 0)
+          Message request;
+          request.kind = "solve";
+          request.body = "tasks 1\n0 0 2 4\nprocessors 1\n";
+          response = service.handle_message(request, context);
+          EXPECT_EQ(response.kind, "error");
+          EXPECT_EQ(response.get("error-kind"), "validation");
+          break;
+        }
+        case 2: {  // raw garbage through the payload funnel
+          response = parse_message(
+              service.handle("junk frame " + std::to_string(global), context));
+          EXPECT_EQ(response.kind, "error");
+          EXPECT_EQ(response.get("error-kind"), "protocol");
+          break;
+        }
+        case 3: {  // deadline-starved valid request
+          Message request;
+          request.kind = "solve";
+          request.body = cases[static_cast<std::size_t>(global) % cases.size()]
+                             .body;
+          request.set("timeout-ms", std::int64_t{0});
+          request.set("no-cache", "1");
+          response = service.handle_message(request, context);
+          EXPECT_EQ(response.kind, "ok");
+          break;
+        }
+        default: {  // valid request; odd rounds use the permuted duplicate
+          const ValidCase& c =
+              cases[static_cast<std::size_t>(global) % cases.size()];
+          Message request;
+          request.kind = "solve";
+          request.body = (global % 2 != 0) ? c.permuted_body : c.body;
+          response = service.handle_message(request, context);
+          EXPECT_EQ(response.kind, "ok");
+          break;
+        }
+      }
+
+      // Zero lost responses: whatever happened above, a tagged response
+      // with the canonical vocabulary came back.
+      ASSERT_FALSE(response.kind.empty());
+      ASSERT_TRUE(response.kind == "ok" || response.kind == "error")
+          << "request " << global << " answered with '" << response.kind
+          << "'";
+      ++answered;
+      if (response.kind == "ok") {
+        ++ok_responses;
+      } else {
+        ++error_responses;
+      }
+
+      const auto verdict_text = response.get("verdict");
+      ASSERT_TRUE(verdict_text.has_value());
+      const auto verdict = verdict_from_string(*verdict_text);
+      ASSERT_TRUE(verdict.has_value())
+          << "request " << global << ": unrecognized verdict '"
+          << *verdict_text << "'";
+      const auto cause_text = response.get("cause");
+      ASSERT_TRUE(cause_text.has_value());
+      ASSERT_TRUE(cause_from_string(*cause_text).has_value())
+          << "request " << global << ": unrecognized cause '" << *cause_text
+          << "'";
+
+      // No flipped verdicts: a DECIDED answer for a valid case must equal
+      // the fault-free truth (cache hits included — that is the cache
+      // soundness pin under fire).
+      if (response.kind == "ok" && global % 9 >= 3 &&
+          (*verdict == core::Verdict::kFeasible ||
+           (*verdict == core::Verdict::kInfeasible &&
+            response.get("complete") == "1"))) {
+        const ValidCase& c =
+            cases[static_cast<std::size_t>(global) % cases.size()];
+        EXPECT_EQ(*verdict == core::Verdict::kFeasible, c.feasible)
+            << "request " << global << " flipped the verdict under faults";
+        ++decided_checked;
+      }
+    }
+
+    faults_delivered += FaultInjector::active()->fired_total();
+  }
+
+  EXPECT_EQ(answered, sent);
+  EXPECT_EQ(ok_responses + error_responses, sent);
+  EXPECT_EQ(sent, kChunks * kPerChunk);
+  // The soak is vacuous unless faults actually fired and verdicts were
+  // actually checked against truth.
+  EXPECT_GT(faults_delivered, 0);
+  EXPECT_GT(decided_checked, 0);
+
+  // The service's own ledger agrees nothing was dropped: every request is
+  // accounted for as solved or as a tagged error.
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.requests, sent);
+  EXPECT_EQ(counters.solved + counters.parse_errors +
+                counters.validation_errors + counters.protocol_errors +
+                counters.internal_errors,
+            sent);
+  // Containment breadcrumbs are visible, not swallowed (retries/degraded
+  // may be zero on a lucky schedule; the error counters cannot be).
+  EXPECT_GT(counters.parse_errors, 0);
+  EXPECT_GT(counters.validation_errors, 0);
+  EXPECT_GT(counters.protocol_errors, 0);
+}
+
+// The watchdog path under injected stalls, against the real socket server:
+// a kStall fault starves a handler's heartbeat; the response still arrives
+// (degraded or decided), the daemon survives, and the soak stays bounded by
+// the stall cap rather than wedging a worker.
+TEST(ServeChaos, InjectedStallsNeverWedgeTheDaemon) {
+  ServerOptions options;
+  options.socket_path =
+      "/tmp/mgrts_chaos_" + std::to_string(::getpid()) + ".sock";
+  options.workers = 2;
+  options.watchdog_stall_ms = 100;
+  Server server(options);
+  server.start();
+
+  FaultPlan plan;
+  plan.seed = 20090910;
+  plan.rate = 0.3;
+  plan.sites = FaultPlan::mask(FaultSite::kStall) |
+               FaultPlan::mask(FaultSite::kDeadline);
+  plan.stall_cap_ms = 400;
+  InjectorGuard guard(plan);
+
+  const std::string body = core::write_instance_string(
+      testing::example1(), testing::example1_platform());
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    Client client(options.socket_path);
+    SolveParams params;
+    params.no_cache = true;  // force real solves so the sites get polled
+    params.timeout_ms = 200;
+    const SolveResult result = client.solve(body, params, /*timeout_ms=*/30'000);
+    // ok or tagged error — never a transport failure, never silence.
+    ++answered;
+    if (result.ok &&
+        core::decisive(result.verdict, result.complete)) {
+      EXPECT_EQ(result.verdict, core::Verdict::kFeasible)
+          << "stall/deadline faults must degrade, not flip";
+    }
+  }
+  EXPECT_EQ(answered, 20);
+
+  {
+    Client client(options.socket_path);
+    EXPECT_TRUE(client.ping());  // alive after the barrage
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mgrts::serve
+
+#endif  // MGRTS_FAULT_INJECTION

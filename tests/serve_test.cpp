@@ -1,0 +1,596 @@
+// Serving layer (DESIGN.md §13): wire protocol, canonical cache keys, the
+// verdict cache, the in-process Service funnel, and the socket daemon
+// end to end.  The contract under test everywhere: a request that reaches
+// the serving layer ALWAYS gets a tagged response carrying the canonical
+// Verdict/FailureCause vocabulary, and a cached answer is indistinguishable
+// from a fresh one except for its "cache:" provenance prefix.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/instance_io.hpp"
+#include "core/solve.hpp"
+#include "flow/oracle.hpp"
+#include "gen/generator.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "testing.hpp"
+
+namespace mgrts::serve {
+namespace {
+
+// ------------------------------------------------------------------ wire
+
+TEST(Wire, FormatParseRoundTrip) {
+  Message msg;
+  msg.kind = "solve";
+  msg.set("timeout-ms", std::int64_t{250});
+  msg.set("id", "req-1");
+  msg.body = "tasks 1\n0 1 2 2\nprocessors 1\n";
+
+  const Message parsed = parse_message(format_message(msg));
+  EXPECT_EQ(parsed.kind, "solve");
+  EXPECT_EQ(parsed.get("id"), "req-1");
+  EXPECT_EQ(parsed.get_int("timeout-ms"), 250);
+  EXPECT_EQ(parsed.body, msg.body);
+}
+
+TEST(Wire, EmptyHeadersAndBodyRoundTrip) {
+  Message msg;
+  msg.kind = "ping";
+  const Message parsed = parse_message(format_message(msg));
+  EXPECT_EQ(parsed.kind, "ping");
+  EXPECT_TRUE(parsed.headers.empty());
+  EXPECT_TRUE(parsed.body.empty());
+}
+
+TEST(Wire, RejectsForeignTag) {
+  EXPECT_THROW((void)parse_message("mgrts/2 solve\n\n"), ProtocolError);
+  EXPECT_THROW((void)parse_message("GET / HTTP/1.1\r\n\r\n"), ProtocolError);
+  EXPECT_THROW((void)parse_message(""), ProtocolError);
+}
+
+TEST(Wire, RejectsMissingKindOrHeaderShape) {
+  EXPECT_THROW((void)parse_message("mgrts/1\n\n"), ProtocolError);
+  EXPECT_THROW((void)parse_message("mgrts/1 solve\nno-separator"),
+               ProtocolError);
+}
+
+TEST(Wire, GetIntRejectsNonNumericHeader) {
+  Message msg;
+  msg.kind = "solve";
+  msg.set("timeout-ms", "soon");
+  EXPECT_THROW((void)msg.get_int("timeout-ms"), ProtocolError);
+  EXPECT_EQ(msg.get_int("absent"), std::nullopt);
+}
+
+TEST(Wire, VerdictAndCauseStringsRoundTrip) {
+  for (const core::Verdict v :
+       {core::Verdict::kFeasible, core::Verdict::kInfeasible,
+        core::Verdict::kTimeout, core::Verdict::kNodeLimit,
+        core::Verdict::kMemoryLimit, core::Verdict::kUnknown}) {
+    EXPECT_EQ(verdict_from_string(core::to_string(v)), v);
+  }
+  for (const core::FailureCause c :
+       {core::FailureCause::kNone, core::FailureCause::kDeadline,
+        core::FailureCause::kCancelled, core::FailureCause::kMemory,
+        core::FailureCause::kNodeBudget, core::FailureCause::kInternalError,
+        core::FailureCause::kFaultInjected}) {
+    EXPECT_EQ(cause_from_string(core::to_string(c)), c);
+  }
+  EXPECT_EQ(verdict_from_string("maybe"), std::nullopt);
+  EXPECT_EQ(cause_from_string("gremlins"), std::nullopt);
+}
+
+// -------------------------------------------------------- canonical keys
+
+rt::TaskSet permuted(const rt::TaskSet& ts) {
+  std::vector<rt::TaskParams> params;
+  for (rt::TaskId i = 0; i < ts.size(); ++i) {
+    params.push_back({ts[i].offset(), ts[i].wcet(), ts[i].deadline(),
+                      ts[i].period()});
+  }
+  std::rotate(params.begin(), params.begin() + 1, params.end());
+  return rt::TaskSet::from_params(params, ts.model());
+}
+
+TEST(CanonicalKey, PermutationInvariant) {
+  const rt::TaskSet ts = testing::example1();
+  const rt::Platform platform = testing::example1_platform();
+  EXPECT_EQ(core::canonical_key(ts, platform),
+            core::canonical_key(permuted(ts), platform));
+  EXPECT_EQ(core::canonical_key(ts, platform),
+            core::canonical_key(permuted(permuted(ts)), platform));
+}
+
+TEST(CanonicalKey, ScalingInvariantOnIdenticalPlatforms) {
+  // Every parameter times 3 is the same schedulability instance on an
+  // identical platform (the max-flow condition scales linearly).
+  const rt::TaskSet base = testing::example1();
+  std::vector<rt::TaskParams> scaled;
+  for (rt::TaskId i = 0; i < base.size(); ++i) {
+    scaled.push_back({base[i].offset() * 3, base[i].wcet() * 3,
+                      base[i].deadline() * 3, base[i].period() * 3});
+  }
+  const rt::TaskSet ts3 = rt::TaskSet::from_params(scaled, base.model());
+  const rt::Platform platform = testing::example1_platform();
+  EXPECT_EQ(core::canonical_key(base, platform),
+            core::canonical_key(ts3, platform));
+
+  // ... and scaling can be opted out of.
+  core::CanonicalOptions no_scale;
+  no_scale.scaling = false;
+  EXPECT_NE(core::canonical_key(base, platform, no_scale),
+            core::canonical_key(ts3, platform, no_scale));
+}
+
+TEST(CanonicalKey, ScalingNotAppliedOffIdenticalPlatforms) {
+  // No exactness theorem off identical platforms, so the scaled pair must
+  // NOT collide even with scaling enabled.
+  const rt::TaskSet base =
+      rt::TaskSet::from_params({{0, 2, 4, 4}, {0, 2, 4, 4}});
+  const rt::TaskSet ts2 =
+      rt::TaskSet::from_params({{0, 4, 8, 8}, {0, 4, 8, 8}});
+  const rt::Platform uniform = rt::Platform::uniform({2, 1});
+  EXPECT_NE(core::canonical_key(base, uniform),
+            core::canonical_key(ts2, uniform));
+}
+
+TEST(CanonicalKey, UniformSpeedOrderIsCanonical) {
+  const rt::TaskSet ts = testing::light3();
+  EXPECT_EQ(core::canonical_key(ts, rt::Platform::uniform({1, 3, 2})),
+            core::canonical_key(ts, rt::Platform::uniform({3, 2, 1})));
+  EXPECT_NE(core::canonical_key(ts, rt::Platform::uniform({3, 2, 1})),
+            core::canonical_key(ts, rt::Platform::uniform({3, 2, 2})));
+}
+
+TEST(CanonicalKey, HeterogeneousRateRowsTravelWithTheirTasks) {
+  // Permuting tasks *with* their rate rows is the same instance; permuting
+  // tasks while leaving the rate matrix behind is a different one.
+  const rt::TaskSet ts =
+      rt::TaskSet::from_params({{0, 1, 2, 2}, {0, 2, 3, 3}});
+  const rt::TaskSet swapped =
+      rt::TaskSet::from_params({{0, 2, 3, 3}, {0, 1, 2, 2}});
+  const rt::Platform rates = rt::Platform::heterogeneous({{1, 2}, {2, 0}});
+  const rt::Platform rates_swapped =
+      rt::Platform::heterogeneous({{2, 0}, {1, 2}});
+  EXPECT_EQ(core::canonical_key(ts, rates),
+            core::canonical_key(swapped, rates_swapped));
+  EXPECT_NE(core::canonical_key(ts, rates),
+            core::canonical_key(swapped, rates));
+}
+
+TEST(CanonicalKey, DistinctInstancesStayDistinct) {
+  const rt::Platform m2 = rt::Platform::identical(2);
+  EXPECT_NE(core::canonical_key(testing::example1(), m2),
+            core::canonical_key(testing::light3(), m2));
+  EXPECT_NE(core::canonical_key(testing::example1(), m2),
+            core::canonical_key(testing::example1(), rt::Platform::identical(3)));
+}
+
+// ---------------------------------------------------------- verdict cache
+
+TEST(VerdictCache, MissThenHitWithProvenance) {
+  VerdictCache cache;
+  EXPECT_EQ(cache.lookup("k1"), std::nullopt);
+  cache.insert("k1", core::Verdict::kFeasible, true, "flow-oracle");
+
+  const auto hit = cache.lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, core::Verdict::kFeasible);
+  EXPECT_TRUE(hit->complete);
+  EXPECT_EQ(hit->decided_by, "flow-oracle");
+  EXPECT_EQ(hit->hits, 0);  // hits before this lookup
+
+  const auto again = cache.lookup("k1");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->hits, 1);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+}
+
+TEST(VerdictCache, RejectsNonDecisiveVerdicts) {
+  // Budget outcomes are a function of the budget, not the instance; caching
+  // one would poison every duplicate after a starved request.
+  VerdictCache cache;
+  cache.insert("t", core::Verdict::kTimeout, false, "backend:CSP2(dedicated)");
+  cache.insert("n", core::Verdict::kNodeLimit, false, "x");
+  cache.insert("m", core::Verdict::kMemoryLimit, false, "x");
+  cache.insert("u", core::Verdict::kUnknown, false, "x");
+  // Incomplete infeasible = "ran out of budget while unsat so far", not a
+  // proof — must be rejected too.
+  cache.insert("i", core::Verdict::kInfeasible, false, "x");
+
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 5);
+
+  // Complete infeasible IS a proof.
+  cache.insert("proof", core::Verdict::kInfeasible, true, "analysis");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VerdictCache, FirstWriterWinsKeepsProvenanceStable) {
+  VerdictCache cache;
+  cache.insert("k", core::Verdict::kFeasible, true, "flow-oracle");
+  cache.insert("k", core::Verdict::kFeasible, true, "backend:CSP2(dedicated)");
+  const auto hit = cache.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->decided_by, "flow-oracle");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VerdictCache, LruEvictionRefreshedByHits) {
+  CacheOptions options;
+  options.capacity = 2;
+  VerdictCache cache(options);
+  cache.insert("a", core::Verdict::kFeasible, true, "x");
+  cache.insert("b", core::Verdict::kFeasible, true, "x");
+  (void)cache.lookup("a");  // refresh "a"; "b" is now least-recently used
+  cache.insert("c", core::Verdict::kFeasible, true, "x");
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(VerdictCache, CapacityZeroDisablesCaching) {
+  CacheOptions options;
+  options.capacity = 0;
+  VerdictCache cache(options);
+  cache.insert("k", core::Verdict::kFeasible, true, "x");
+  EXPECT_EQ(cache.lookup("k"), std::nullopt);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --------------------------------------------------------------- service
+
+Message solve_request(const std::string& body) {
+  Message request;
+  request.kind = "solve";
+  request.body = body;
+  return request;
+}
+
+TEST(Service, SolvesAndTagsAFeasibleInstance) {
+  Service service;
+  const Message response = service.handle_message(solve_request(
+      core::write_instance_string(testing::example1(),
+                                  testing::example1_platform())));
+  EXPECT_EQ(response.kind, "ok");
+  EXPECT_EQ(response.get("verdict"), "feasible");
+  EXPECT_EQ(response.get("complete"), "1");
+  EXPECT_EQ(response.get("cause"), "none");
+  EXPECT_EQ(response.get("decided-by"), "flow-oracle");
+  EXPECT_EQ(response.get("cache"), "miss");
+}
+
+TEST(Service, PermutedAndScaledDuplicatesHitTheCache) {
+  Service service;
+  const rt::TaskSet base = testing::example1();
+  const rt::Platform platform = testing::example1_platform();
+
+  const Message first = service.handle_message(
+      solve_request(core::write_instance_string(base, platform)));
+  EXPECT_EQ(first.get("cache"), "miss");
+
+  const Message second = service.handle_message(
+      solve_request(core::write_instance_string(permuted(base), platform)));
+  EXPECT_EQ(second.get("cache"), "hit");
+  EXPECT_EQ(second.get("verdict"), first.get("verdict"));
+  EXPECT_EQ(second.get("decided-by"), "cache:flow-oracle");
+  EXPECT_EQ(second.get("cause"), "none");
+
+  std::vector<rt::TaskParams> scaled;
+  for (rt::TaskId i = 0; i < base.size(); ++i) {
+    scaled.push_back({base[i].offset() * 5, base[i].wcet() * 5,
+                      base[i].deadline() * 5, base[i].period() * 5});
+  }
+  const Message third = service.handle_message(solve_request(
+      core::write_instance_string(
+          rt::TaskSet::from_params(scaled, base.model()), platform)));
+  EXPECT_EQ(third.get("cache"), "hit");
+  EXPECT_EQ(third.get("verdict"), first.get("verdict"));
+
+  EXPECT_EQ(service.counters().cache_hits, 2);
+}
+
+TEST(Service, NoCacheHeaderBypasses) {
+  Service service;
+  const std::string body = core::write_instance_string(
+      testing::example1(), testing::example1_platform());
+  (void)service.handle_message(solve_request(body));
+
+  Message request = solve_request(body);
+  request.set("no-cache", "1");
+  const Message response = service.handle_message(request);
+  EXPECT_EQ(response.get("cache"), "bypass");
+  EXPECT_EQ(response.get("decided-by"), "flow-oracle");  // solved fresh
+  EXPECT_EQ(service.counters().cache_hits, 0);
+}
+
+TEST(Service, MalformedInstanceDegradesToParseError) {
+  Service service;
+  const Message response =
+      service.handle_message(solve_request("tasks two\n0 1 2 2\n"));
+  EXPECT_EQ(response.kind, "error");
+  EXPECT_EQ(response.get("error-kind"), "parse");
+  EXPECT_EQ(response.get("verdict"), "unknown");
+  EXPECT_EQ(response.get("cause"), "none");
+  EXPECT_FALSE(response.body.empty());
+  EXPECT_EQ(service.counters().parse_errors, 1);
+}
+
+TEST(Service, InvalidSystemDegradesToValidationError) {
+  Service service;
+  const Message response = service.handle_message(
+      solve_request("tasks 1\n0 0 2 4\nprocessors 1\n"));  // wcet = 0
+  EXPECT_EQ(response.kind, "error");
+  EXPECT_EQ(response.get("error-kind"), "validation");
+  EXPECT_EQ(service.counters().validation_errors, 1);
+}
+
+TEST(Service, UnknownKindAndUnknownMethodAreProtocolErrors) {
+  Service service;
+  Message bogus;
+  bogus.kind = "teleport";
+  EXPECT_EQ(service.handle_message(bogus).get("error-kind"), "protocol");
+
+  Message request = solve_request(core::write_instance_string(
+      testing::example1(), testing::example1_platform()));
+  request.set("method", "quantum-annealing");
+  EXPECT_EQ(service.handle_message(request).get("error-kind"), "protocol");
+  EXPECT_EQ(service.counters().protocol_errors, 2);
+}
+
+TEST(Service, RawPayloadFunnelNeverThrows) {
+  Service service;
+  for (const std::string payload :
+       {std::string("not a frame"), std::string(""),
+        std::string("mgrts/1 solve\nbroken"),
+        std::string(512, '\0')}) {
+    const Message response = parse_message(service.handle(payload));
+    EXPECT_EQ(response.kind, "error");
+    EXPECT_EQ(response.get("error-kind"), "protocol");
+  }
+}
+
+TEST(Service, StarvedDeadlineDegradesNotErrors) {
+  Service service;
+  // An arbitrary-deadline instance skips the constrained-only presolve
+  // stages, and the generic engine polls the deadline before opening its
+  // first decision — so a zero budget deterministically reads as expired.
+  Message request = solve_request(core::write_instance_string(
+      rt::TaskSet::from_params(
+          {{0, 2, 4, 3}, {0, 2, 4, 3}, {0, 1, 3, 3}},
+          rt::DeadlineModel::kArbitrary),
+      rt::Platform::identical(2)));
+  request.set("method", "CSP1(generic)");
+  request.set("timeout-ms", std::int64_t{0});
+  request.set("no-cache", "1");  // don't let the cache answer instantly
+  const Message response = service.handle_message(request);
+  EXPECT_EQ(response.kind, "ok");
+  EXPECT_EQ(response.get("verdict"), "timeout");
+  EXPECT_EQ(response.get("cause"), "deadline");
+}
+
+TEST(Service, CancelledContextReportsCancelled) {
+  Service service;
+  RequestContext context;
+  context.cancel = support::CancelToken::make();
+  context.cancel.cancel();  // cancelled before the solve starts
+
+  Message request = solve_request(core::write_instance_string(
+      testing::example1(), testing::example1_platform()));
+  request.set("no-cache", "1");
+  // Force a search backend: the flow oracle decides without polling, so a
+  // pre-cancelled token needs a polling solver to be observed.
+  request.set("method", "CSP2(dedicated)");
+  const Message response = service.handle_message(request, context);
+  EXPECT_EQ(response.kind, "ok");
+  // Cancellation is cooperative: either the search finished before its
+  // first poll, or it degraded to kTimeout attributed to the cancel.
+  if (response.get("verdict") == "timeout") {
+    EXPECT_EQ(response.get("cause"), "cancelled");
+  } else {
+    EXPECT_EQ(response.get("verdict"), "feasible");
+  }
+}
+
+TEST(Service, IdIsEchoed) {
+  Service service;
+  Message request = solve_request(core::write_instance_string(
+      testing::example1(), testing::example1_platform()));
+  request.set("id", "tag-42");
+  EXPECT_EQ(service.handle_message(request).get("id"), "tag-42");
+
+  Message ping;
+  ping.kind = "ping";
+  ping.set("id", "tag-43");
+  EXPECT_EQ(service.handle_message(ping).get("id"), "tag-43");
+}
+
+TEST(Service, HealthReportsTheCounterBlock) {
+  Service service;
+  const std::string good = core::write_instance_string(
+      testing::example1(), testing::example1_platform());
+  (void)service.handle_message(solve_request(good));
+  (void)service.handle_message(solve_request(good));  // cache hit
+  (void)service.handle_message(solve_request("tasks zero\n"));
+
+  Message health;
+  health.kind = "health";
+  const Message response = service.handle_message(health);
+  EXPECT_EQ(response.kind, "health");
+  EXPECT_EQ(response.get_int("requests"), 4);  // 3 above + this health
+  EXPECT_EQ(response.get_int("solved"), 2);
+  EXPECT_EQ(response.get_int("decided"), 2);
+  EXPECT_EQ(response.get_int("cache-hits"), 1);
+  EXPECT_EQ(response.get_int("parse-errors"), 1);
+  EXPECT_EQ(response.get_int("latency-samples"), 0);  // handle() path only
+  EXPECT_FALSE(response.body.empty());  // first_error carries the parse mess
+}
+
+TEST(Service, ShutdownFlagFlips) {
+  Service service;
+  EXPECT_FALSE(service.shutdown_requested());
+  Message request;
+  request.kind = "shutdown";
+  EXPECT_EQ(service.handle_message(request).kind, "bye");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+// The acceptance pin: a cached answer must equal a fresh solve of the same
+// (permuted, rescaled) instance — over a generated stream, not just the
+// fixture.
+TEST(Service, CachedVerdictEqualsFreshSolve) {
+  Service service;
+  gen::GeneratorOptions g;
+  g.tasks = 4;
+  g.processors = 2;
+  g.t_max = 5;
+  for (std::uint64_t idx = 0; idx < 20; ++idx) {
+    const gen::Instance inst = gen::generate_indexed(g, 20090908, idx);
+    const rt::Platform platform = rt::Platform::identical(inst.processors);
+    const std::string label = "instance " + std::to_string(idx);
+
+    // Prime the cache with the original orientation.
+    const Message primed = service.handle_message(
+        solve_request(core::write_instance_string(inst.tasks, platform)));
+    ASSERT_EQ(primed.kind, "ok") << label;
+
+    // Permuted duplicate: answered from cache...
+    const Message cached = service.handle_message(solve_request(
+        core::write_instance_string(permuted(inst.tasks), platform)));
+    ASSERT_EQ(cached.kind, "ok") << label;
+
+    // ... and the same duplicate solved fresh with the cache bypassed.
+    Message fresh_request = solve_request(
+        core::write_instance_string(permuted(inst.tasks), platform));
+    fresh_request.set("no-cache", "1");
+    const Message fresh = service.handle_message(fresh_request);
+    ASSERT_EQ(fresh.kind, "ok") << label;
+
+    if (cached.get("cache") == "hit") {
+      EXPECT_EQ(cached.get("verdict"), fresh.get("verdict"))
+          << label << ": cached verdict diverged from a fresh solve";
+    }
+    // Both must agree with the polynomial ground truth.
+    const bool truth = flow::is_feasible(inst.tasks, platform);
+    EXPECT_EQ(fresh.get("verdict"), truth ? "feasible" : "infeasible")
+        << label;
+    EXPECT_EQ(cached.get("verdict"), truth ? "feasible" : "infeasible")
+        << label;
+  }
+  EXPECT_GT(service.counters().cache_hits, 0);
+}
+
+// ------------------------------------------------------- socket end to end
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/mgrts_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Daemon, SolvePingHealthOverTheSocket) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("e2e");
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  {
+    Client client(options.socket_path);
+    EXPECT_TRUE(client.ping());
+  }
+  {
+    Client client(options.socket_path);
+    const SolveResult result = client.solve(core::write_instance_string(
+        testing::example1(), testing::example1_platform()));
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.verdict, core::Verdict::kFeasible);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.cause, core::FailureCause::kNone);
+    EXPECT_EQ(result.decided_by, "flow-oracle");
+  }
+  {
+    // A malformed instance through the real transport: tagged, not fatal.
+    Client client(options.socket_path);
+    const SolveResult result = client.solve("tasks banana\n");
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_kind, "parse");
+    EXPECT_EQ(result.verdict, core::Verdict::kUnknown);
+  }
+  {
+    Client client(options.socket_path);
+    const Message health = client.health();
+    EXPECT_EQ(health.kind, "health");
+    EXPECT_GE(health.get_int("requests").value_or(0), 3);
+    EXPECT_EQ(health.get_int("solved"), 1);
+    EXPECT_EQ(health.get_int("parse-errors"), 1);
+  }
+
+  server.stop();
+}
+
+TEST(Daemon, ShutdownRequestStopsTheAcceptLoop) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("bye");
+  options.workers = 2;
+  options.poll_interval_ms = 50;
+  Server server(options);
+  server.start();
+
+  {
+    Client client(options.socket_path);
+    client.shutdown();
+  }
+  // stop() joins the accept loop; after a shutdown request it must already
+  // be unwinding, so this returns promptly rather than timing out.
+  server.stop();
+  EXPECT_TRUE(server.service().shutdown_requested());
+}
+
+TEST(Daemon, GarbageBytesOnTheSocketGetARefusalNotACrash) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("garbage");
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  {
+    // A length prefix announcing far beyond kMaxFrameBytes: the server
+    // must answer with a protocol refusal and drop the connection.
+    support::Fd fd = support::connect_unix(options.socket_path);
+    const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+    support::write_all(fd, huge, 4);
+    std::string payload;
+    EXPECT_TRUE(recv_frame(fd, payload, 5'000));
+    const Message refusal = parse_message(payload);
+    EXPECT_EQ(refusal.kind, "error");
+    EXPECT_EQ(refusal.get("error-kind"), "protocol");
+  }
+  {
+    // The daemon is still alive and serving afterwards.
+    Client client(options.socket_path);
+    EXPECT_TRUE(client.ping());
+  }
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mgrts::serve

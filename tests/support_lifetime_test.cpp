@@ -1,0 +1,200 @@
+// Lifetime contracts the serving daemon leans on, pinned directly:
+//
+//   * Deadline::poll ticks the attached heartbeat exactly once per call and
+//     the counter is monotone — the server's watchdog decides "wedged" from
+//     "beat > 0 and unchanged", so a poll that skipped or double-ticked the
+//     counter would mis-cull live handlers (or never cull stuck ones);
+//   * CancelToken chains stay safe across destruction — a linked child holds
+//     its own copy of the parent's flag chain, so a request token outliving
+//     the connection (or the server's stop token being rebound) never
+//     dangles, and a child's cancel never leaks up to siblings.
+//
+// Both types are reused per request in src/serve; these are their direct
+// lifetime tests (the solver suites only exercise them incidentally).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "support/deadline.hpp"
+
+namespace mgrts::support {
+namespace {
+
+// ------------------------------------------------- heartbeat monotonicity
+
+TEST(DeadlineHeartbeat, PollTicksExactlyOncePerCall) {
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  Deadline deadline;  // unlimited: poll must still beat
+  deadline.set_heartbeat(beat);
+
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_FALSE(deadline.poll());
+    EXPECT_EQ(beat->load(), i);
+  }
+}
+
+TEST(DeadlineHeartbeat, MonotoneAcrossExpiry) {
+  // The watchdog must keep seeing progress ticks even after the deadline
+  // expires: a handler draining toward its kTimeout verdict still polls,
+  // and those polls must not read as a stall.
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  Deadline deadline = Deadline::after_ms(0);  // expires immediately
+  deadline.set_heartbeat(beat);
+
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(deadline.poll());  // expired, but still beating
+    const std::uint64_t now = beat->load();
+    EXPECT_EQ(now, last + 1);
+    last = now;
+  }
+}
+
+TEST(DeadlineHeartbeat, CancelledPollStillBeats) {
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const CancelToken token = CancelToken::make();
+  Deadline deadline;
+  deadline.set_heartbeat(beat);
+  deadline.set_cancel(token);
+
+  EXPECT_FALSE(deadline.poll());
+  token.cancel();
+  EXPECT_TRUE(deadline.poll());
+  EXPECT_TRUE(deadline.poll());
+  EXPECT_EQ(beat->load(), 3u);
+}
+
+TEST(DeadlineHeartbeat, DetachedDeadlineNeverTouchesOldCounter) {
+  // Copy-assigning a fresh Deadline over a beating one must drop the old
+  // heartbeat reference: the server reuses per-slot state across requests,
+  // and a stale reference would let request N+1 tick request N's counter.
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  Deadline deadline;
+  deadline.set_heartbeat(beat);
+  EXPECT_FALSE(deadline.poll());
+  EXPECT_EQ(beat->load(), 1u);
+
+  deadline = Deadline();  // rebind the slot
+  EXPECT_FALSE(deadline.poll());
+  EXPECT_EQ(beat->load(), 1u);  // untouched
+  EXPECT_EQ(beat.use_count(), 1);  // the old reference is really gone
+}
+
+TEST(DeadlineHeartbeat, CounterOutlivesDeadline) {
+  // The watchdog reads the counter after the handler's Deadline is long
+  // destroyed; shared ownership keeps the read valid.
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+  {
+    Deadline deadline = Deadline::after_ms(60'000);
+    deadline.set_heartbeat(beat);
+    for (int i = 0; i < 5; ++i) (void)deadline.poll();
+  }
+  EXPECT_EQ(beat->load(), 5u);
+  EXPECT_EQ(beat.use_count(), 1);
+}
+
+// --------------------------------------------- cancel-token chain lifetime
+
+TEST(CancelTokenChain, ChildObservesParentAfterParentDestroyed) {
+  // The daemon links every request token to the server's stop token.  The
+  // link must not dangle when the original parent object goes away: the
+  // child keeps the parent's flag chain alive by value.
+  CancelToken child;
+  {
+    CancelToken parent = CancelToken::make();
+    child = CancelToken::linked(parent);
+    parent.cancel();
+  }  // parent destroyed; its flag survives inside the child's chain
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(CancelTokenChain, DestroyedChildUnlinksFromParent) {
+  // Destroying the child must fully release the parent's flag: the slot
+  // table drops request tokens on unregister, and a leaked reference would
+  // pin per-request state for the life of the server.
+  CancelToken parent = CancelToken::make();
+  auto probe = std::make_optional(CancelToken::linked(parent));
+  EXPECT_FALSE(probe->cancelled());
+  probe.reset();
+
+  // The parent is unaffected and still usable after the child is gone.
+  EXPECT_FALSE(parent.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(parent.cancelled());
+}
+
+TEST(CancelTokenChain, ChildCancelNeverLeaksUp) {
+  const CancelToken parent = CancelToken::make();
+  const CancelToken sibling = CancelToken::linked(parent);
+  {
+    const CancelToken child = CancelToken::linked(parent);
+    child.cancel();
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_FALSE(parent.cancelled());
+    EXPECT_FALSE(sibling.cancelled());
+  }  // cancelled child destroyed
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_FALSE(sibling.cancelled());
+}
+
+TEST(CancelTokenChain, GrandparentCancelReachesGrandchildAcrossScopes) {
+  // caller -> race -> lane, with the middle link destroyed: the grandchild
+  // must still observe the grandparent (the chain is held by value at every
+  // hop, not by reference into destroyed frames).
+  const CancelToken grandparent = CancelToken::make();
+  CancelToken grandchild;
+  {
+    const CancelToken parent = CancelToken::linked(grandparent);
+    grandchild = CancelToken::linked(parent);
+  }  // middle of the chain destroyed
+  EXPECT_FALSE(grandchild.cancelled());
+  grandparent.cancel();
+  EXPECT_TRUE(grandchild.cancelled());
+}
+
+TEST(CancelTokenChain, CopiesShareTheFlagMovesTransferIt) {
+  CancelToken original = CancelToken::make();
+  const CancelToken copy = original;
+  const CancelToken moved = std::move(original);
+  copy.cancel();
+  EXPECT_TRUE(moved.cancelled());
+  // NOLINTNEXTLINE(bugprone-use-after-move): moved-from tokens are empty.
+  EXPECT_FALSE(original.engaged());
+}
+
+TEST(CancelTokenChain, EmptyParentMakesUnlinkedChild) {
+  // linked() on a default token must not fabricate a chain: the server
+  // with no stop token hands out plain per-request tokens.
+  const CancelToken empty;
+  const CancelToken child = CancelToken::linked(empty);
+  EXPECT_TRUE(child.engaged());
+  EXPECT_FALSE(child.cancelled());
+}
+
+TEST(CancelTokenChain, StickyAcrossLinkedDeadlines) {
+  // The per-request wiring exactly as server.cpp builds it: a deadline with
+  // a linked token and a heartbeat.  Watchdog culls by cancelling the
+  // request token; the poll must report expiry and keep reporting it.
+  const CancelToken stop = CancelToken::make();
+  const CancelToken request = CancelToken::linked(stop);
+  auto beat = std::make_shared<std::atomic<std::uint64_t>>(0);
+
+  Deadline deadline = Deadline::after_ms(60'000);
+  deadline.set_cancel(request);
+  deadline.set_heartbeat(beat);
+
+  EXPECT_FALSE(deadline.poll());
+  request.cancel();  // the watchdog's cull
+  EXPECT_TRUE(deadline.poll());
+  EXPECT_TRUE(deadline.cancel_requested());
+  EXPECT_TRUE(deadline.poll());  // sticky
+  EXPECT_EQ(beat->load(), 3u);
+  EXPECT_FALSE(stop.cancelled());  // cull never propagates to the server
+}
+
+}  // namespace
+}  // namespace mgrts::support
