@@ -423,11 +423,16 @@ void report_portfolio(bench::BenchJson& json) {
 // oracle would absorb everything) and trims the csp2-presolve node budget,
 // then generic-engine nogood lanes race over the surviving indices: true
 // 1-UIP learning (the default), decision-set learning (the PR-4 baseline),
-// and shrinking off.  Gated ledger entries: `residue_nodes_per_sec` (1-UIP
-// lane throughput), `nogood_shrink_ratio` (recorded/raw literal ratio,
-// lower is better) and `uip_clause_len_ratio` (1-UIP vs decision-set
+// shrinking off, the always-on differential, and the 1-UIP configuration
+// with the slot-column AllDifferentExcept raised to Régin-style matching
+// GAC (DESIGN.md §14).  Gated ledger entries: `residue_nodes_per_sec`
+// (1-UIP lane throughput), `nogood_shrink_ratio` (recorded/raw literal
+// ratio, lower is better), `uip_clause_len_ratio` (1-UIP vs decision-set
 // clause length for the same conflicts, lower is better and <= 1.0 by
-// construction).  The residue set is reproducible across PRs from the
+// construction) and `alldiff_prune_strength` (forward-check vs matching
+// nodes-to-verdict — how much tree the GAC level saves per decisive
+// answer, higher is better).  The residue set is reproducible across PRs
+// from the
 // --seed flag (default 20090911); exp::residue_spec re-derives it
 // anywhere.
 
@@ -476,14 +481,23 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
   exp::SolverSpec ds_always =
       lane("residue-ds-always", true, csp::NogoodLearn::kUip1);
   ds_always.config.generic.nogood_ds_sample = 1;
+  // The 5th lane re-runs the default 1-UIP configuration with the slot
+  // columns' AllDifferentExcept raised from forward checking to matching
+  // GAC; everything else identical, so verdict_nodes[0]/verdict_nodes[4]
+  // is the pruning strength the matching level buys per decisive answer.
+  exp::SolverSpec matching =
+      lane("residue-matching", true, csp::NogoodLearn::kUip1);
+  matching.config.csp2_generic.alldiff_level =
+      csp::PropagationLevel::kMatching;
   const exp::BatchResult batch = exp::run_batch(
       residue.batch,
       {lane("residue-1uip", true, csp::NogoodLearn::kUip1),
        lane("residue-dset", true, csp::NogoodLearn::kDecisionSet),
        lane("residue-shrink-off", false, csp::NogoodLearn::kUip1),
-       std::move(ds_always)});
+       std::move(ds_always), std::move(matching)});
   const char* names[] = {"residue_1uip", "residue_dset",
-                         "residue_shrink_off", "residue_ds_always"};
+                         "residue_shrink_off", "residue_ds_always",
+                         "residue_matching"};
 
   double nodes_per_sec_uip = 0.0;
   double shrink_ratio_uip = 1.0;
@@ -561,18 +575,24 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
               verdict_nodes[2] > 0.0 ? verdict_nodes[0] / verdict_nodes[2]
                                      : 1.0)
       .metric("ds_sample_speedup",
-              lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0);
+              lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0)
+      .metric("alldiff_prune_strength",
+              verdict_nodes[4] > 0.0 ? verdict_nodes[0] / verdict_nodes[4]
+                                     : 1.0);
   std::printf("%-32s 1-UIP costs %.2fx the nodes per verdict of the "
               "decision set, %.2fx of shrink-off (shrink %.2f, uip/ds "
               "length %.2f); sampling the differential runs %.2fx the "
-              "always-on rate\n",
+              "always-on rate; matching GAC prunes %.2fx the FC tree per "
+              "verdict\n",
               "residue_summary",
               verdict_nodes[1] > 0.0 ? verdict_nodes[0] / verdict_nodes[1]
                                      : 1.0,
               verdict_nodes[2] > 0.0 ? verdict_nodes[0] / verdict_nodes[2]
                                      : 1.0,
               shrink_ratio_uip, uip_len_ratio,
-              lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0);
+              lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0,
+              verdict_nodes[4] > 0.0 ? verdict_nodes[0] / verdict_nodes[4]
+                                     : 1.0);
 }
 
 // --------------------------------------------------- hardened-layer cost

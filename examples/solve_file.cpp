@@ -73,6 +73,17 @@ void print_json(const mgrts::core::SolveReport& report,
   std::printf("  \"witness_valid\": %s,\n",
               report.witness_valid ? "true" : "false");
   std::printf("  \"detail\": \"%s\",\n", json_escape(report.detail).c_str());
+  std::printf("  \"propagators\": [");
+  for (std::size_t k = 0; k < report.propagators.size(); ++k) {
+    const mgrts::core::PropagatorStats& row = report.propagators[k];
+    std::printf("%s\n    {\"name\": \"%s\", \"wakes\": %lld, \"runs\": %lld, "
+                "\"prunes\": %lld, \"seconds\": %.6f}",
+                k == 0 ? "" : ",", json_escape(row.name).c_str(),
+                static_cast<long long>(row.wakes),
+                static_cast<long long>(row.runs),
+                static_cast<long long>(row.prunes), row.seconds);
+  }
+  std::printf("%s],\n", report.propagators.empty() ? "" : "\n  ");
   std::printf("  \"health\": {\n");
   std::printf("    \"failures\": %lld,\n",
               static_cast<long long>(health.failures));

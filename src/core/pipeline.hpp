@@ -122,6 +122,18 @@ struct NogoodStats {
   }
 };
 
+/// Per-propagator-class observability row of a generic-engine backend run
+/// (mirrors csp::PropagatorProfile): advisor wake-ups, actual sweeps, the
+/// domain changes those sweeps produced, and — only when the backend ran
+/// with csp::SearchOptions::prop_profile — wall time inside the sweeps.
+struct PropagatorStats {
+  std::string name;
+  std::int64_t wakes = 0;
+  std::int64_t runs = 0;
+  std::int64_t prunes = 0;
+  double seconds = 0.0;
+};
+
 /// What a stage (or backend) found.  Stages leave `verdict` at kUnknown to
 /// pass the instance on; backends report whatever their search produced.
 struct StageResult {
@@ -139,6 +151,9 @@ struct StageResult {
   std::int64_t nodes = 0;
   std::int64_t failures = 0;
   NogoodStats nogoods;  ///< generic-engine backends only; zeros elsewhere
+  /// Per-propagator wake/run/prune rows, sorted by class name
+  /// (generic-engine backends only; empty elsewhere).
+  std::vector<PropagatorStats> propagators;
 
   [[nodiscard]] bool decisive() const noexcept {
     return core::decisive(verdict, complete);

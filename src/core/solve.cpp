@@ -61,6 +61,18 @@ NogoodStats to_nogood_stats(const csp::SolveStats& stats) {
   return out;
 }
 
+/// Lifts the engine's per-propagator rows into the provenance shape.
+std::vector<PropagatorStats> to_propagator_stats(
+    const csp::SolveStats& stats) {
+  std::vector<PropagatorStats> out;
+  out.reserve(stats.propagators.size());
+  for (const csp::PropagatorProfile& row : stats.propagators) {
+    out.push_back(PropagatorStats{row.name, row.wakes, row.runs, row.prunes,
+                                  row.seconds});
+  }
+  return out;
+}
+
 /// Attributes a budget verdict to its FailureCause: wall expiry vs
 /// cooperative cancellation for kTimeout, node budget, memory.  Decisive
 /// verdicts and plain incomplete give-ups keep kNone.
@@ -139,6 +151,7 @@ class MethodBackend final : public Backend {
         out.nodes = outcome.stats.nodes;
         out.failures = outcome.stats.failures;
         out.nogoods = to_nogood_stats(outcome.stats);
+        out.propagators = to_propagator_stats(outcome.stats);
         if (outcome.status == csp::SolveStatus::kSat) {
           out.schedule = enc::decode_csp1(model, outcome.assignment);
         }
@@ -156,6 +169,7 @@ class MethodBackend final : public Backend {
         out.nodes = outcome.stats.nodes;
         out.failures = outcome.stats.failures;
         out.nogoods = to_nogood_stats(outcome.stats);
+        out.propagators = to_propagator_stats(outcome.stats);
         if (outcome.status == csp::SolveStatus::kSat) {
           out.schedule = enc::decode_csp2_generic(model, outcome.assignment);
         }
@@ -208,6 +222,7 @@ class MethodBackend final : public Backend {
         out.nodes = race.report.nodes;
         out.failures = race.report.failures;
         out.nogoods = race.report.nogoods;
+        out.propagators = std::move(race.report.propagators);
         out.decided_by = std::move(race.report.decided_by);
         out.detail =
             race.winner >= 0
@@ -275,6 +290,7 @@ SolveReport to_report(PipelineOutcome&& outcome) {
   report.nodes = outcome.result.nodes;
   report.failures = outcome.result.failures;
   report.nogoods = outcome.result.nogoods;
+  report.propagators = std::move(outcome.result.propagators);
   report.detail = std::move(outcome.result.detail);
   report.decided_by = std::move(outcome.decided_by);
   report.stage_times = std::move(outcome.stages);

@@ -179,6 +179,10 @@ struct SolveReport {
   /// Nogood-learning stats of the deciding backend (zeros unless a
   /// generic-engine method with SearchOptions::nogoods ran).
   NogoodStats nogoods;
+  /// Per-propagator wake/run/prune rows of the deciding backend (empty
+  /// unless a generic-engine method ran; seconds only under
+  /// SearchOptions::prop_profile).
+  std::vector<PropagatorStats> propagators;
   std::string detail;  ///< human-readable note (e.g. memory-limit reason)
 };
 

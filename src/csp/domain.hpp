@@ -91,6 +91,63 @@ class Domain64 {
   void set_raw_mask(std::uint64_t mask) noexcept { mask_ = mask; }
   [[nodiscard]] Value base() const noexcept { return base_; }
 
+  // ------------------------------------------------------- mask kernels
+  //
+  // Word-scan primitives over raw masks, shared by the hot propagator
+  // sweeps, the nogood watch checks and the matching propagator.  All of
+  // them treat a mask exactly as a Domain64 with the same base: bit k is
+  // value base + k.
+
+  /// Number of values in a raw mask.
+  [[nodiscard]] static constexpr int mask_size(std::uint64_t mask) noexcept {
+    return std::popcount(mask);
+  }
+
+  /// True iff the raw mask holds exactly one value.
+  [[nodiscard]] static constexpr bool mask_fixed(std::uint64_t mask) noexcept {
+    return mask != 0 && (mask & (mask - 1)) == 0;
+  }
+
+  /// True iff value v is in the raw mask (relative to base).
+  [[nodiscard]] static constexpr bool mask_contains(std::uint64_t mask,
+                                                    Value base,
+                                                    Value v) noexcept {
+    const std::int64_t off = v - base;
+    return off >= 0 && off < kMaxSpan &&
+           ((mask >> static_cast<unsigned>(off)) & 1U) != 0;
+  }
+
+  /// Mask of every representable value <= v (relative to base).  Clamps at
+  /// the window edges: v below the window gives 0, v at or past the top
+  /// gives all ones — matching Lit::truth_mask's window semantics.
+  [[nodiscard]] static constexpr std::uint64_t mask_le(Value base,
+                                                       Value v) noexcept {
+    const std::int64_t off = v - base;
+    if (off < 0) return 0;
+    if (off >= kMaxSpan - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << static_cast<unsigned>(off + 1)) - 1;
+  }
+
+  /// Mask of every representable value >= v (relative to base); clamped
+  /// like mask_le.
+  [[nodiscard]] static constexpr std::uint64_t mask_ge(Value base,
+                                                       Value v) noexcept {
+    const std::int64_t off = v - base;
+    if (off <= 0) return ~std::uint64_t{0};
+    if (off >= kMaxSpan) return 0;
+    return ~std::uint64_t{0} << static_cast<unsigned>(off);
+  }
+
+  /// Iterates the values of a raw mask in ascending order (ctz scan).
+  template <typename Fn>
+  static void for_each_in_mask(std::uint64_t mask, Value base, Fn&& fn) {
+    while (mask != 0) {
+      const int off = std::countr_zero(mask);
+      fn(base + off);
+      mask &= mask - 1;
+    }
+  }
+
  private:
   std::uint64_t mask_ = 0;
   Value base_ = 0;

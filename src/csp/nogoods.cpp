@@ -73,6 +73,13 @@ const std::vector<VarId>& NogoodStore::failure_scope() const {
   return conflict_vars_.empty() ? scope_ : conflict_vars_;
 }
 
+void NogoodStore::push_watch(Lit lit, std::int32_t clause_id) {
+  const Value base =
+      solver_ != nullptr ? solver_->domain(lit.var).base() : Value{0};
+  watch_[static_cast<std::size_t>(lit.var)].push_back(
+      WatchRef{~truth_mask(lit, base), clause_id});
+}
+
 void NogoodStore::add_clause(const Lit* lits, std::int32_t len,
                              std::int32_t lbd, bool imported) {
   MGRTS_EXPECTS(len >= 2);
@@ -80,8 +87,8 @@ void NogoodStore::add_clause(const Lit* lits, std::int32_t len,
   lits_.insert(lits_.end(), lits, lits + len);
   const auto id = static_cast<std::int32_t>(clauses_.size());
   clauses_.push_back(Clause{offset, len, lbd, imported, /*deleted=*/false});
-  watch_[static_cast<std::size_t>(lits[0].var)].push_back(id);
-  watch_[static_cast<std::size_t>(lits[1].var)].push_back(id);
+  push_watch(lits[0], id);
+  push_watch(lits[1], id);
   ++live_;
 }
 
@@ -125,14 +132,14 @@ void NogoodStore::record(const std::vector<Lit>& lits, std::int32_t raw_len,
   // to be un-entailed by further backtracking).  Both watches are
   // therefore as close to non-entailed as a mid-search insertion allows;
   // any re-entailment arrives as an event on a watched variable.
-  std::vector<Lit> ordered;
-  ordered.reserve(lits.size());
-  ordered.push_back(lits[static_cast<std::size_t>(len - 1)]);
-  ordered.push_back(lits[static_cast<std::size_t>(len - 2)]);
+  ordered_.clear();
+  ordered_.reserve(lits.size());
+  ordered_.push_back(lits[static_cast<std::size_t>(len - 1)]);
+  ordered_.push_back(lits[static_cast<std::size_t>(len - 2)]);
   for (std::int32_t k = 0; k < len - 2; ++k) {
-    ordered.push_back(lits[static_cast<std::size_t>(k)]);
+    ordered_.push_back(lits[static_cast<std::size_t>(k)]);
   }
-  add_clause(ordered.data(), len, lbd, /*imported=*/false);
+  add_clause(ordered_.data(), len, lbd, /*imported=*/false);
   last_recorded_ = static_cast<std::int32_t>(clauses_.size()) - 1;
   ++stats.nogoods_recorded;
   stats.nogood_lits_before += raw_len;
@@ -142,26 +149,22 @@ void NogoodStore::record(const std::vector<Lit>& lits, std::int32_t raw_len,
 bool NogoodStore::on_event(Solver& solver, std::int32_t pos,
                            std::uint64_t old_mask) {
   // Scope is the identity map, so pos is the variable id.  Queue every
-  // clause one of whose *current* watches just became entailed — for a
-  // (var == val) watch that is exactly a fix to val (the kFixedOnly
-  // behavior), for bound and != watches any narrowing can do it, which is
-  // why general stores subscribe to every change.  Entries are
-  // stale-tolerant (watch lists may carry moved-away watches, and the
-  // change may be unwound before the run).
+  // clause one of whose watches just became entailed — for a (var == val)
+  // watch that is exactly a fix to val (the kFixedOnly behavior), for
+  // bound and != watches any narrowing can do it, which is why general
+  // stores subscribe to every change.  Each WatchRef carries its literal's
+  // precomputed miss mask, so the transition test is two ANDs per entry
+  // with no clause-memory access at all.  Entries are stale-tolerant
+  // (moved-away or deleted-clause watches may fire spuriously; examine()
+  // re-verifies against clause memory, and the change may be unwound
+  // before the run anyway).
   const VarId var = scope_[static_cast<std::size_t>(pos)];
-  const Domain64& d = solver.domain(var);
+  const std::uint64_t cur_mask = solver.domain(var).raw_mask();
   bool woke = false;
-  for (const std::int32_t id : watch_[static_cast<std::size_t>(var)]) {
-    const Clause& c = clauses_[static_cast<std::size_t>(id)];
-    if (c.deleted) continue;
-    for (int w = 0; w < 2; ++w) {
-      const Lit& lit = lits_[static_cast<std::size_t>(c.offset + w)];
-      if (lit.var != var) continue;
-      if (entailed(d, lit) && !entailed_mask(old_mask, d.base(), lit)) {
-        pending_.push_back(id);
-        woke = true;
-        break;
-      }
+  for (const WatchRef& w : watch_[static_cast<std::size_t>(var)]) {
+    if ((cur_mask & w.miss) == 0 && (old_mask & w.miss) != 0) {
+      pending_.push_back(w.clause);
+      woke = true;
     }
   }
   return woke;
@@ -224,7 +227,7 @@ PropResult NogoodStore::examine(Solver& solver, std::int32_t clause_id) {
     for (std::int32_t k = 2; k < c.len; ++k) {
       if (lit_entailed(solver, lits[k])) continue;
       std::swap(lits[w], lits[k]);
-      watch_[static_cast<std::size_t>(lits[w].var)].push_back(clause_id);
+      push_watch(lits[w], clause_id);
       // The old entry under the entailed variable goes stale; on_event
       // re-verifies watch membership, so no erase is needed here.
       moved = true;
@@ -286,6 +289,7 @@ PropResult NogoodStore::propagate(Solver& solver) {
 
 bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
                                       std::int32_t lane, SolveStats& stats) {
+  solver_ = &solver;  // pre-attach imports (tests) need bases for watches
   pending_.clear();
   conflict_vars_.clear();
   last_recorded_ = -1;  // compaction renumbers; drop the subsumption anchor
@@ -414,8 +418,8 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
     new_clauses.push_back(Clause{offset,
                                  static_cast<std::int32_t>(live.size()),
                                  c.lbd, c.imported, /*deleted=*/false});
-    watch_[static_cast<std::size_t>(live[0].var)].push_back(id);
-    watch_[static_cast<std::size_t>(live[1].var)].push_back(id);
+    push_watch(live[0], id);
+    push_watch(live[1], id);
   }
   lits_ = std::move(new_lits);
   clauses_ = std::move(new_clauses);

@@ -99,6 +99,7 @@ class NogoodStore final : public Propagator {
 
   // ---- Propagator interface ------------------------------------------
   PropResult propagate(Solver& solver) override;
+  void attach(Solver& solver) override { solver_ = &solver; }
   [[nodiscard]] const std::vector<VarId>& scope() const override {
     return scope_;
   }
@@ -154,6 +155,20 @@ class NogoodStore final : public Propagator {
     bool deleted;      ///< subsumed mid-search; dropped at maintenance
   };
 
+  /// One clause watch, precomputed for the advisor's hot loop: `miss` is
+  /// the complement of the watched literal's truth mask relative to the
+  /// variable's (immutable) domain base, so "the watch is entailed by mask
+  /// m" is the single test (m & miss) == 0 and the entailment *transition*
+  /// the advisor looks for is two ANDs — no clause-memory chase on the
+  /// event path.  Entries go stale when a watch moves (the miss mask then
+  /// describes the old literal); stale wakes only enqueue the clause for
+  /// examine(), which re-verifies against clause memory, so they cost a
+  /// redundant examination, never a missed or wrong propagation.
+  struct WatchRef {
+    std::uint64_t miss;
+    std::int32_t clause;
+  };
+
   /// Conjunct entailed by the current domain: the literal *must* hold.
   [[nodiscard]] static bool lit_entailed(const Solver& solver, Lit lit) {
     return entailed(solver.domain(lit.var), lit);
@@ -165,6 +180,11 @@ class NogoodStore final : public Propagator {
 
   void add_clause(const Lit* lits, std::int32_t len, std::int32_t lbd,
                   bool imported);
+  /// Appends a WatchRef for `lit` under its variable; the miss mask needs
+  /// the variable's domain base, read through solver_ (standalone stores —
+  /// tests recording without a solver — fall back to base 0, which is fine
+  /// because nothing ever delivers events to them).
+  void push_watch(Lit lit, std::int32_t clause_id);
   PropResult examine(Solver& solver, std::int32_t clause_id);
   /// Prunes every value satisfying `lit` (asserts the negation); the
   /// caller wraps the call in the clause's explicit-reason window.
@@ -182,11 +202,13 @@ class NogoodStore final : public Propagator {
   /// Per-variable clause-watch lists.  Entries are stale-tolerant (a watch
   /// move appends to the new variable's list without erasing the old
   /// entry); restart_maintenance rebuilds them compactly.
-  std::vector<std::vector<std::int32_t>> watch_;
+  std::vector<std::vector<WatchRef>> watch_;
   std::vector<std::int32_t> pending_;  ///< clause ids with an entailed watch
   std::vector<Lit> root_units_;        ///< length-1 nogoods awaiting a restart
   std::vector<VarId> conflict_vars_;   ///< last failing clause, for dom/wdeg
   std::vector<std::int32_t> depth_buf_;  ///< refresh_lbd scratch
+  std::vector<Lit> ordered_;             ///< record() watch-order scratch
+  const Solver* solver_ = nullptr;       ///< bound at attach / maintenance
   std::size_t export_cursor_ = 0;      ///< first clause not yet published
   std::size_t pool_cursor_ = 0;        ///< pool read position
   SolveStats* stats_ = nullptr;        ///< bound by the active solve

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "csp/domain.hpp"
@@ -56,6 +57,18 @@ enum class PropagationMode {
   kIncremental,  ///< trailed counters / pending lists (the fast path)
   kScratch,      ///< recompute every propagator from its full scope
   kLegacy,       ///< kScratch + wake-on-any-change (pre-change emulation)
+};
+
+/// Consistency level of structural global constraints that support both
+/// (today: AllDifferentExcept).  kForwardCheck is the cheap classic sweep
+/// (prune a fixed value from the siblings); kMatching is Régin-style
+/// generalized arc consistency over the value graph — a maximum matching
+/// plus SCC pruning of unmatchable edges (DESIGN.md §14).  kMatching prunes
+/// a superset of kForwardCheck at every node, so trees may shrink but never
+/// grow; kForwardCheck stays the differential baseline.
+enum class PropagationLevel {
+  kForwardCheck,
+  kMatching,
 };
 
 /// What conflict analysis records when shrinking is on (DESIGN.md §10–11).
@@ -134,6 +147,13 @@ struct SearchOptions {
   /// diagnostics hook: the determinism tests use it to prove the trail
   /// build is a pure observer (bit-identical trees with it on or off).
   bool force_reason_trail = false;
+
+  /// Per-propagator wall-time profiling (SolveStats::propagators.seconds).
+  /// The wake/run/prune counters are always on (plain array increments);
+  /// the clock reads around every propagator run are not, so they hide
+  /// behind this flag.  Off by default — profiling must not tax the
+  /// throughput ledger.
+  bool prop_profile = false;
 };
 
 enum class SolveStatus {
@@ -147,6 +167,19 @@ enum class SolveStatus {
 [[nodiscard]] constexpr bool decided(SolveStatus s) noexcept {
   return s == SolveStatus::kSat || s == SolveStatus::kUnsat;
 }
+
+/// Per-propagator-class observability row, aggregated over a solve by
+/// Propagator::name(): how often the class's advisors asked to run
+/// (wakes), how often it actually swept (runs), how many domain changes
+/// its sweeps produced (prunes), and — only under
+/// SearchOptions::prop_profile — the wall time spent inside its sweeps.
+struct PropagatorProfile {
+  std::string name;
+  std::int64_t wakes = 0;
+  std::int64_t runs = 0;
+  std::int64_t prunes = 0;
+  double seconds = 0.0;
+};
 
 struct SolveStats {
   std::int64_t nodes = 0;         ///< decision nodes explored
@@ -177,6 +210,9 @@ struct SolveStats {
   /// Replay-hit LBD refreshes: a firing clause recomputed its block LBD
   /// from current depths and improved it (possibly into the core tier).
   std::int64_t nogood_lbd_refreshed = 0;
+  /// Per-propagator-class wake/run/prune rows (seconds only when
+  /// SearchOptions::prop_profile is set), sorted by name.
+  std::vector<PropagatorProfile> propagators;
   double seconds = 0.0;
 };
 

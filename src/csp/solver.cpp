@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 
 #include "csp/nogoods.hpp"
@@ -103,6 +104,12 @@ void Solver::trail_push(VarId v, std::uint64_t old_mask) {
     prev = head;
     head = static_cast<std::int32_t>(trail_.size());
   }
+  // Prune attribution: every trailed change inside a propagator run counts
+  // toward that propagator's profile row (decisions and root maintenance
+  // run with running_prop_ == -1 and are not charged).
+  if (running_prop_ >= 0) {
+    ++prop_prunes_[static_cast<std::size_t>(running_prop_)];
+  }
   trail_.push_back(TrailEntry{old_mask, v, active_reason_, cur_depth_, prev});
 }
 
@@ -163,21 +170,45 @@ void Solver::wake_list(const WatchList& list, VarId v,
   if (legacy_) {
     // Pre-change emulation: no advisors, every watcher is queued.
     for (std::size_t k = begin; k < end; ++k) {
-      enqueue(*propagators_[static_cast<std::size_t>(list.data[k].pid)]);
+      const std::int32_t pid = list.data[k].pid;
+      ++prop_wakes_[static_cast<std::size_t>(pid)];
+      enqueue(*propagators_[static_cast<std::size_t>(pid)]);
     }
     return;
   }
   for (std::size_t k = begin; k < end; ++k) {
     const Watch w = list.data[k];
     Propagator& p = *propagators_[static_cast<std::size_t>(w.pid)];
-    if (p.on_event(*this, w.pos, old_mask)) enqueue(p);
+    if (p.on_event(*this, w.pos, old_mask)) {
+      ++prop_wakes_[static_cast<std::size_t>(w.pid)];
+      enqueue(p);
+    }
+  }
+}
+
+void Solver::notify_store(VarId v, std::uint64_t old_mask) {
+  // Event-count parity with the CSR path the store was removed from: its
+  // one watch entry per variable counted one event per delivery.
+  ++stats_.events;
+  NogoodStore& store = *nogood_store_;  // final: on_event devirtualizes
+  if (store.on_event(*this, v, old_mask)) {
+    Propagator& p = store;
+    ++prop_wakes_[static_cast<std::size_t>(p.id_)];
+    enqueue(p);
   }
 }
 
 void Solver::notify_watchers(VarId v, std::uint64_t old_mask,
                              bool became_fixed) {
+  // The direct store calls sit exactly where the CSR walks would have
+  // reached the store's (added-last) entries, so the enqueue order — and
+  // with it the propagation order and the search tree — is unchanged.
   wake_list(any_watch_, v, old_mask);
-  if (became_fixed) wake_list(fixed_watch_, v, old_mask);
+  if (store_direct_any_) notify_store(v, old_mask);
+  if (became_fixed) {
+    wake_list(fixed_watch_, v, old_mask);
+    if (store_direct_fixed_) notify_store(v, old_mask);
+  }
 }
 
 PropResult Solver::remove(VarId v, Value a) {
@@ -281,8 +312,20 @@ bool Solver::propagate_queue() {
     Propagator& p = *propagators_[static_cast<std::size_t>(id)];
     p.queued_ = false;
     ++stats_.propagations;
+    ++prop_runs_[static_cast<std::size_t>(id)];
     if (track_reasons_) active_reason_ = id;
-    const PropResult result = p.propagate(*this);
+    running_prop_ = id;
+    PropResult result;
+    if (prop_profile_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      result = p.propagate(*this);
+      prop_seconds_[static_cast<std::size_t>(id)] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    } else {
+      result = p.propagate(*this);
+    }
+    running_prop_ = -1;
     if (track_reasons_) active_reason_ = kReasonNone;
     if (result == PropResult::kFail) {
       failing_prop_ = id;
@@ -473,11 +516,15 @@ void Solver::snapshot_root_bounds() {
 std::int32_t Solver::entailment_depth(Lit lit) const {
   const auto var = static_cast<std::size_t>(lit.var);
   const Domain64& d = domains_[var];
-  if (!entailed(d, lit)) return -1;
+  // Hoist the literal's miss mask out of the chain walk: entailment of a
+  // mask m is (m & miss) == 0, so the per-entry test is a single AND
+  // instead of recomputing truth_mask(lit, base) at every link.
+  const std::uint64_t miss = ~truth_mask(lit, d.base());
+  if ((d.raw_mask() & miss) != 0) return -1;  // not entailed
   std::int32_t k = last_entry_[var];
   while (k >= 0) {
     const TrailEntry& e = trail_[static_cast<std::size_t>(k)];
-    if (!entailed_mask(e.old_mask, d.base(), lit)) return e.depth;
+    if ((e.old_mask & miss) != 0) return e.depth;
     k = e.prev_on_var;
   }
   return 0;  // entailed by the root domain itself
@@ -491,10 +538,16 @@ void Solver::build_watch_lists() {
   auto effective_policy = [&](const Propagator& p) {
     return legacy_ ? WakePolicy::kAnyChange : p.wake_policy();
   };
+  // The solve-owned nogood store gets direct delivery (notify_store), so
+  // its all-variable scope never inflates the CSR lists: one fewer entry
+  // to walk per variable per event on the hottest loop in the solver.
+  auto skip_store = [&](const Propagator& p) {
+    return &p == static_cast<const Propagator*>(nogood_store_);
+  };
   auto build = [&](WakePolicy policy, WatchList& list) {
     std::vector<std::int32_t> counts(n + 1, 0);
     for (const auto& p : propagators_) {
-      if (effective_policy(*p) != policy) continue;
+      if (skip_store(*p) || effective_policy(*p) != policy) continue;
       for (const VarId v : p->scope()) {
         ++counts[static_cast<std::size_t>(v) + 1];
       }
@@ -504,7 +557,7 @@ void Solver::build_watch_lists() {
     list.data.assign(static_cast<std::size_t>(counts[n]), Watch{0, 0});
     std::vector<std::int32_t> cursor = list.offset;
     for (const auto& p : propagators_) {
-      if (effective_policy(*p) != policy) continue;
+      if (skip_store(*p) || effective_policy(*p) != policy) continue;
       const auto& scope = p->scope();
       for (std::size_t pos = 0; pos < scope.size(); ++pos) {
         const auto v = static_cast<std::size_t>(scope[pos]);
@@ -594,7 +647,9 @@ VarId Solver::select_from_heap(const SearchOptions& options,
   // of heap layout or event order), and drawing from it in ascending-id
   // order keeps the choice reproducible for a given seed and tree prefix.
   ++heap_stamp_;
-  std::vector<VarId> ties{best.var};
+  std::vector<VarId>& ties = heap_ties_;
+  ties.clear();
+  ties.push_back(best.var);
   heap_seen_[static_cast<std::size_t>(best.var)] = heap_stamp_;
   while (!heap_.empty()) {
     const HeapEntry& top = heap_.front();
@@ -744,7 +799,19 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
     nogood_store_ = store.get();
     add(std::move(store));
   }
+  // Direct event delivery for the solve-owned store (see notify_store);
+  // externally added stores stay on the CSR lists and both flags stay off.
+  store_direct_any_ = nogood_store_ != nullptr && uip_learning;
+  store_direct_fixed_ = nogood_store_ != nullptr && !uip_learning;
   if (nogood_store_ != nullptr) nogood_store_->bind_stats(&stats_);
+
+  // Per-propagator observability (the propagator set is final here).
+  prop_wakes_.assign(propagators_.size(), 0);
+  prop_runs_.assign(propagators_.size(), 0);
+  prop_prunes_.assign(propagators_.size(), 0);
+  prop_seconds_.assign(propagators_.size(), 0.0);
+  prop_profile_ = options.prop_profile;
+  running_prop_ = -1;
 
   // Reason tracking (DESIGN.md §10) is built only when conflict-analysis
   // shrinking can use it (or the determinism probe forces it); otherwise
@@ -770,6 +837,28 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
   SolveOutcome outcome;
   auto finish = [&](SolveStatus status) {
     stats_.seconds = watch.seconds();
+    // Fold the per-id counters into per-class rows keyed by name() (the
+    // class set is tiny, so a linear probe beats a map), sorted by name
+    // for stable output.
+    stats_.propagators.clear();
+    for (std::size_t k = 0; k < propagators_.size(); ++k) {
+      const char* nm = propagators_[k]->name();
+      auto row = std::find_if(
+          stats_.propagators.begin(), stats_.propagators.end(),
+          [&](const PropagatorProfile& r) { return r.name == nm; });
+      if (row == stats_.propagators.end()) {
+        stats_.propagators.push_back(PropagatorProfile{nm, 0, 0, 0, 0.0});
+        row = stats_.propagators.end() - 1;
+      }
+      row->wakes += prop_wakes_[k];
+      row->runs += prop_runs_[k];
+      row->prunes += prop_prunes_[k];
+      row->seconds += prop_seconds_[k];
+    }
+    std::sort(stats_.propagators.begin(), stats_.propagators.end(),
+              [](const PropagatorProfile& a, const PropagatorProfile& b) {
+                return a.name < b.name;
+              });
     outcome.status = status;
     outcome.stats = stats_;
     if (status == SolveStatus::kSat) {

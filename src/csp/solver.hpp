@@ -297,6 +297,12 @@ class Solver {
   void sync_membership(VarId v);
   void notify_watchers(VarId v, std::uint64_t old_mask, bool became_fixed);
   void wake_list(const WatchList& list, VarId v, std::uint64_t old_mask);
+  /// Direct (non-virtual) event delivery to the solve-owned nogood store —
+  /// the store watches *every* variable, so routing it through the CSR
+  /// lists would add one entry per variable per list; instead the lists
+  /// skip it and notify_watchers calls it explicitly, preserving the
+  /// added-last ordering the CSR walk gave it.
+  void notify_store(VarId v, std::uint64_t old_mask);
   void enqueue(Propagator& p);
   bool propagate_queue();         // false on conflict
   void clear_queue();
@@ -346,6 +352,7 @@ class Solver {
   // go stale and are refreshed at pop).
   std::vector<HeapEntry> heap_;
   std::vector<std::int64_t> heap_seen_;  ///< tie-dedup stamps per variable
+  std::vector<VarId> heap_ties_;         ///< random-tie scratch (no realloc)
   std::int64_t heap_stamp_ = 0;
   bool heap_active_ = false;
   bool heap_use_wdeg_ = false;
@@ -464,9 +471,24 @@ class Solver {
   SolveStats stats_;
   std::int32_t failing_prop_ = -1;
 
+  // ---- per-propagator observability (SolveStats::propagators) ----------
+  // Indexed by propagator id; wake/run/prune counters are always on (plain
+  // array increments), the per-run clock reads only under prop_profile_.
+  // Aggregated by Propagator::name() when a solve finishes.
+  std::vector<std::int64_t> prop_wakes_;
+  std::vector<std::int64_t> prop_runs_;
+  std::vector<std::int64_t> prop_prunes_;
+  std::vector<double> prop_seconds_;
+  std::int32_t running_prop_ = -1;  ///< id inside propagate(), else -1
+  bool prop_profile_ = false;
+
   /// Owned by propagators_ like any propagator; non-null while the active
   /// solve records nogoods (see solve()).
   NogoodStore* nogood_store_ = nullptr;
+  /// Direct-delivery subscription of nogood_store_ (kAnyChange vs
+  /// kFixedOnly); both false when the store is absent or externally added.
+  bool store_direct_any_ = false;
+  bool store_direct_fixed_ = false;
 };
 
 }  // namespace mgrts::csp

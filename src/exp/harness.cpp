@@ -229,6 +229,7 @@ BatchResult run_batch(const BatchOptions& options,
     run.decided_by = report.decided_by;
     run.failure_cause = report.cause;
     run.nogoods = report.nogoods;
+    run.propagators = std::move(report.propagators);
   });
 
   return result;

@@ -89,6 +89,9 @@ struct RunRecord {
   /// counters (lits_uip/lits_ds — uip_len_ratio is the gated ledger view)
   /// plus subsumption/LBD-refresh events for NogoodLearn::kUip1 runs.
   core::NogoodStats nogoods;
+  /// Per-propagator wake/run/prune rows of the run (SolveReport::
+  /// propagators; empty unless a generic-engine backend searched).
+  std::vector<core::PropagatorStats> propagators;
 
   /// The paper's "overrun": the run did not decide within its budget.
   [[nodiscard]] bool overrun() const noexcept {

@@ -1,0 +1,171 @@
+// Exhaustive small-domain tests for Domain64 and its static mask kernels.
+//
+// The kernels (mask_size/mask_fixed/mask_contains/mask_le/mask_ge/
+// for_each_in_mask) are the word-scan primitives under the hot propagator
+// sweeps and the nogood watch checks; each is checked against a naive
+// bit-by-bit reference over every 6-bit mask, at several window bases and
+// shifts, plus the 64-bit window edges where the clamping rules live.
+#include "csp/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace mgrts::csp {
+namespace {
+
+// Naive references: walk all 64 bits.
+int ref_size(std::uint64_t mask) {
+  int n = 0;
+  for (int k = 0; k < 64; ++k) n += static_cast<int>((mask >> k) & 1U);
+  return n;
+}
+
+bool ref_contains(std::uint64_t mask, Value base, Value v) {
+  for (int k = 0; k < 64; ++k) {
+    if (((mask >> k) & 1U) != 0 && base + k == v) return true;
+  }
+  return false;
+}
+
+std::uint64_t ref_le(Value base, Value v) {
+  std::uint64_t mask = 0;
+  for (int k = 0; k < 64; ++k) {
+    if (base + k <= v) mask |= std::uint64_t{1} << k;
+  }
+  return mask;
+}
+
+std::uint64_t ref_ge(Value base, Value v) {
+  std::uint64_t mask = 0;
+  for (int k = 0; k < 64; ++k) {
+    if (base + k >= v) mask |= std::uint64_t{1} << k;
+  }
+  return mask;
+}
+
+std::vector<Value> ref_values(std::uint64_t mask, Value base) {
+  std::vector<Value> out;
+  for (int k = 0; k < 64; ++k) {
+    if (((mask >> k) & 1U) != 0) out.push_back(base + k);
+  }
+  return out;
+}
+
+// Every 6-bit mask, at a handful of word positions and window bases —
+// exhaustive over the small-domain shapes the encodings actually build
+// (CSP1 booleans, CSP2's n+1-valued columns) plus high-bit placements.
+constexpr Value kBases[] = {-7, -1, 0, 1, 42};
+constexpr int kShifts[] = {0, 1, 29, 58};
+
+TEST(Domain64Kernels, SizeAndFixedMatchReference) {
+  for (std::uint64_t low = 0; low < 64; ++low) {
+    for (const int shift : kShifts) {
+      const std::uint64_t mask = low << shift;
+      EXPECT_EQ(Domain64::mask_size(mask), ref_size(mask)) << mask;
+      EXPECT_EQ(Domain64::mask_fixed(mask), ref_size(mask) == 1) << mask;
+    }
+  }
+  EXPECT_FALSE(Domain64::mask_fixed(0));
+  EXPECT_TRUE(Domain64::mask_fixed(std::uint64_t{1} << 63));
+  EXPECT_EQ(Domain64::mask_size(~std::uint64_t{0}), 64);
+}
+
+TEST(Domain64Kernels, ContainsMatchesReferenceIncludingOutOfWindow) {
+  for (std::uint64_t low = 0; low < 64; ++low) {
+    for (const int shift : kShifts) {
+      const std::uint64_t mask = low << shift;
+      for (const Value base : kBases) {
+        for (Value v = base - 3; v <= base + 66; ++v) {
+          EXPECT_EQ(Domain64::mask_contains(mask, base, v),
+                    ref_contains(mask, base, v))
+              << "mask=" << mask << " base=" << base << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Domain64Kernels, LeGeMatchReferenceAndClampAtWindowEdges) {
+  for (const Value base : kBases) {
+    // Sweep v across and past both window edges; the references walk the
+    // representable values only, which is exactly the clamping contract.
+    for (Value v = base - 4; v <= base + 68; ++v) {
+      EXPECT_EQ(Domain64::mask_le(base, v), ref_le(base, v))
+          << "base=" << base << " v=" << v;
+      EXPECT_EQ(Domain64::mask_ge(base, v), ref_ge(base, v))
+          << "base=" << base << " v=" << v;
+    }
+    // The edges spelled out: below-window v has no values <= it and all
+    // values >= it, past-window v the reverse.
+    EXPECT_EQ(Domain64::mask_le(base, base - 1), 0U);
+    EXPECT_EQ(Domain64::mask_ge(base, base - 1), ~std::uint64_t{0});
+    EXPECT_EQ(Domain64::mask_le(base, base + 64), ~std::uint64_t{0});
+    EXPECT_EQ(Domain64::mask_ge(base, base + 64), 0U);
+    // le/ge at the same v always tile the window (overlap exactly at v).
+    for (Value v = base; v < base + 64; ++v) {
+      EXPECT_EQ(Domain64::mask_le(base, v) | Domain64::mask_ge(base, v),
+                ~std::uint64_t{0});
+      EXPECT_EQ(Domain64::mask_le(base, v) & Domain64::mask_ge(base, v),
+                Domain64::mask_ge(base, v) & ref_le(base, v));
+    }
+  }
+}
+
+TEST(Domain64Kernels, ForEachInMaskVisitsAscending) {
+  for (std::uint64_t low = 0; low < 64; ++low) {
+    for (const int shift : kShifts) {
+      const std::uint64_t mask = low << shift;
+      for (const Value base : kBases) {
+        std::vector<Value> seen;
+        Domain64::for_each_in_mask(mask, base,
+                                   [&](Value v) { seen.push_back(v); });
+        EXPECT_EQ(seen, ref_values(mask, base))
+            << "mask=" << mask << " base=" << base;
+      }
+    }
+  }
+}
+
+TEST(Domain64Kernels, AgreeWithInstanceMethods) {
+  // A kernel applied to raw_mask()/base() must agree with the member
+  // queries for every reachable small domain.
+  for (std::uint64_t low = 1; low < 64; ++low) {
+    for (const Value base : kBases) {
+      Domain64 d(base, base + 63);
+      d.set_raw_mask(low);
+      EXPECT_EQ(Domain64::mask_size(d.raw_mask()), d.size());
+      EXPECT_EQ(Domain64::mask_fixed(d.raw_mask()), d.is_fixed());
+      for (Value v = base - 2; v <= base + 8; ++v) {
+        EXPECT_EQ(Domain64::mask_contains(d.raw_mask(), d.base(), v),
+                  d.contains(v));
+      }
+      std::vector<Value> via_kernel;
+      Domain64::for_each_in_mask(d.raw_mask(), d.base(),
+                                 [&](Value v) { via_kernel.push_back(v); });
+      std::vector<Value> via_member;
+      d.for_each([&](Value v) { via_member.push_back(v); });
+      EXPECT_EQ(via_kernel, via_member);
+      EXPECT_EQ(via_kernel.front(), d.min());
+      EXPECT_EQ(via_kernel.back(), d.max());
+    }
+  }
+}
+
+TEST(Domain64Kernels, LeGeComposeToIntervalMasks) {
+  // Propagators build interval prunes as mask_ge(lo) & mask_le(hi); check
+  // the composition against Domain64 construction, which is the other
+  // producer of interval masks.
+  for (Value lo = -2; lo <= 2; ++lo) {
+    for (Value hi = lo; hi < lo + 64; ++hi) {
+      const Domain64 d(lo, hi);
+      const std::uint64_t composed =
+          Domain64::mask_ge(lo, lo) & Domain64::mask_le(lo, hi);
+      EXPECT_EQ(composed, d.raw_mask()) << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgrts::csp

@@ -1,0 +1,300 @@
+// AllDifferentExcept at PropagationLevel::kMatching (Régin-style GAC over
+// the value graph, DESIGN.md §14): unit behavior, strict-superset pruning
+// against the forward-checking baseline, scratch/incremental parity, and a
+// randomized differential — FC and matching must agree on every verdict
+// while matching never explores more nodes under identical branching.
+#include "csp/propagators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "csp/solver.hpp"
+#include "encodings/csp2_generic.hpp"
+#include "gen/generator.hpp"
+#include "support/rng.hpp"
+
+namespace mgrts::csp {
+namespace {
+
+// Deterministic branching shared by both levels: static order, ascending
+// values, no restarts, no learning — so the only degree of freedom between
+// two runs is how hard the alldiff propagator prunes, and "matching prunes
+// a superset per node" translates directly into "matching's tree is a
+// subtree of FC's".
+SearchOptions lockstep_options() {
+  SearchOptions options;
+  options.var_heuristic = VarHeuristic::kLex;
+  options.val_heuristic = ValHeuristic::kMin;
+  options.restart = RestartPolicy::kNone;
+  options.random_var_ties = false;
+  options.nogoods = false;
+  return options;
+}
+
+// ------------------------------------------------------------- unit tests
+
+TEST(AllDiffMatching, GacPrunesWhereForwardCheckCannot) {
+  // Régin's classic Hall set: y0, y1 saturate {0,1}, so GAC must strip 0
+  // from the wide variable w (domain {0,2}) at the root.  w is declared
+  // first, so lex branching tries w = 0 — forward checking (silent at the
+  // root: nothing is fixed) walks into that dead end and has to refute it
+  // (y0 = 1 empties y1), while GAC never visits it.
+  const auto run = [](PropagationLevel level) {
+    Solver solver;
+    const VarId w = solver.add_variable(0, 2);
+    solver.post_remove(w, 1);
+    std::vector<VarId> vars{w, solver.add_variable(0, 1),
+                            solver.add_variable(0, 1)};
+    solver.add(make_all_different_except(vars, -1, level));
+    return solver.solve(lockstep_options());
+  };
+  const SolveOutcome fc = run(PropagationLevel::kForwardCheck);
+  const SolveOutcome gac = run(PropagationLevel::kMatching);
+  ASSERT_EQ(fc.status, SolveStatus::kSat);
+  ASSERT_EQ(gac.status, SolveStatus::kSat);
+  EXPECT_EQ(fc.assignment[0], 2);
+  EXPECT_EQ(gac.assignment[0], 2);
+  // FC pays for the refuted w = 0 subtree; GAC's tree skips it entirely.
+  EXPECT_GT(fc.stats.failures, 0);
+  EXPECT_EQ(gac.stats.failures, 0);
+  EXPECT_LT(gac.stats.nodes, fc.stats.nodes);
+}
+
+TEST(AllDiffMatching, HallSetInfeasibilityDetectedAtRoot) {
+  // Three variables over {0,1}: no matching saturates them, so the GAC
+  // level must fail during root propagation, before any decision.
+  Solver solver;
+  std::vector<VarId> vars{solver.add_variable(0, 1), solver.add_variable(0, 1),
+                          solver.add_variable(0, 1)};
+  solver.add(make_all_different_except(vars, -1, PropagationLevel::kMatching));
+  const SolveOutcome outcome = solver.solve(lockstep_options());
+  EXPECT_EQ(outcome.status, SolveStatus::kUnsat);
+  EXPECT_EQ(outcome.stats.nodes, 0);
+}
+
+TEST(AllDiffMatching, ExceptValueMayRepeat) {
+  // Idle (-1) never occupies a value node, so any number of variables may
+  // take it; non-idle values stay pairwise distinct.
+  const auto sat_with = [](const std::vector<std::pair<int, Value>>& pins) {
+    Solver solver;
+    std::vector<VarId> vars{solver.add_variable(-1, 1),
+                            solver.add_variable(-1, 1),
+                            solver.add_variable(-1, 1)};
+    solver.add(
+        make_all_different_except(vars, -1, PropagationLevel::kMatching));
+    for (const auto& [idx, value] : pins) {
+      if (!solver.post_fix(vars[static_cast<std::size_t>(idx)], value)) {
+        return false;
+      }
+    }
+    return solver.solve({}).status == SolveStatus::kSat;
+  };
+  EXPECT_TRUE(sat_with({{0, -1}, {1, -1}, {2, -1}}));
+  EXPECT_TRUE(sat_with({{0, 0}, {1, 1}, {2, -1}}));
+  EXPECT_FALSE(sat_with({{0, 0}, {1, 0}}));
+  EXPECT_FALSE(sat_with({{1, 1}, {2, 1}}));
+}
+
+TEST(AllDiffMatching, PropagatesRemovalFromFixedLikeForwardCheck) {
+  Solver solver;
+  std::vector<VarId> vars{solver.add_variable(0, 1), solver.add_variable(0, 1)};
+  solver.add(make_all_different_except(vars, -1, PropagationLevel::kMatching));
+  ASSERT_TRUE(solver.post_fix(vars[0], 1));
+  const SolveOutcome outcome = solver.solve({});
+  ASSERT_EQ(outcome.status, SolveStatus::kSat);
+  EXPECT_EQ(outcome.assignment[1], 0);
+}
+
+// --------------------------------------------- randomized differential
+
+// A random alldiff-heavy model: `n` variables over a value window with
+// random holes and pins, one AllDifferentExcept over all of them with the
+// top value as the repeatable idle.  Mirrors the CSP2 slot-column shape.
+struct RandomModel {
+  int n = 0;
+  Value idle = 0;
+  std::vector<std::uint64_t> masks;  // per-variable surviving values
+};
+
+RandomModel draw_model(support::Rng& rng) {
+  RandomModel m;
+  m.n = static_cast<int>(rng.uniform(4, 9));
+  // Tight value windows (sometimes fewer real values than variables) keep
+  // Hall sets and infeasible columns frequent.
+  const int values = static_cast<int>(rng.uniform(m.n - 2, m.n + 2));
+  m.idle = values;  // domain window is 0..values, idle == top
+  for (int x = 0; x < m.n; ++x) {
+    std::uint64_t mask = (std::uint64_t{1} << (values + 1)) - 1;
+    for (Value v = 0; v <= values; ++v) {
+      if (rng.chance(0.35)) mask &= ~(std::uint64_t{1} << v);
+    }
+    if (mask == 0) mask = std::uint64_t{1} << rng.uniform(0, values);
+    // Some variables arrive pre-fixed, like decisions already taken.
+    if (rng.chance(0.2)) {
+      Value keep = static_cast<Value>(rng.uniform(0, values));
+      while (!Domain64::mask_contains(mask, 0, keep)) {
+        keep = static_cast<Value>(rng.uniform(0, values));
+      }
+      mask = std::uint64_t{1} << keep;
+    }
+    m.masks.push_back(mask);
+  }
+  return m;
+}
+
+SolveOutcome solve_model(const RandomModel& m, PropagationLevel level,
+                         PropagationMode mode) {
+  Solver solver;
+  std::vector<VarId> vars;
+  for (int x = 0; x < m.n; ++x) {
+    const VarId v = solver.add_variable(0, m.idle);
+    for (Value a = 0; a <= m.idle; ++a) {
+      if (!Domain64::mask_contains(m.masks[static_cast<std::size_t>(x)], 0,
+                                   a)) {
+        solver.post_remove(v, a);
+      }
+    }
+    vars.push_back(v);
+  }
+  solver.add(make_all_different_except(vars, m.idle, level));
+  SearchOptions options = lockstep_options();
+  options.propagation = mode;
+  return solver.solve(options);
+}
+
+bool assignment_respects_alldiff(const RandomModel& m,
+                                 const std::vector<Value>& values) {
+  std::vector<int> used(static_cast<std::size_t>(m.idle) + 1, 0);
+  for (int x = 0; x < m.n; ++x) {
+    const Value v = values[static_cast<std::size_t>(x)];
+    if (!Domain64::mask_contains(m.masks[static_cast<std::size_t>(x)], 0, v)) {
+      return false;  // escaped its own domain
+    }
+    if (v != m.idle && ++used[static_cast<std::size_t>(v)] > 1) return false;
+  }
+  return true;
+}
+
+TEST(AllDiffMatching, RandomDifferentialAgainstForwardCheck) {
+  support::Rng rng(20090911);
+  std::int64_t nodes_fc = 0;
+  std::int64_t nodes_gac = 0;
+  int unsat_seen = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const RandomModel m = draw_model(rng);
+    const SolveOutcome fc =
+        solve_model(m, PropagationLevel::kForwardCheck,
+                    PropagationMode::kIncremental);
+    const SolveOutcome gac = solve_model(m, PropagationLevel::kMatching,
+                                         PropagationMode::kIncremental);
+    // Complete searches on both levels: the verdict must match exactly.
+    ASSERT_EQ(fc.status, gac.status) << "trial " << trial;
+    if (fc.status == SolveStatus::kSat) {
+      EXPECT_TRUE(assignment_respects_alldiff(m, fc.assignment));
+      EXPECT_TRUE(assignment_respects_alldiff(m, gac.assignment));
+    } else {
+      ++unsat_seen;
+    }
+    // GAC prunes a superset at every node and branching is lockstep, so
+    // the matching tree can never be larger — per instance, not just on
+    // average.
+    EXPECT_LE(gac.stats.nodes, fc.stats.nodes) << "trial " << trial;
+    nodes_fc += fc.stats.nodes;
+    nodes_gac += gac.stats.nodes;
+  }
+  // The family must exercise both verdicts, and matching must actually
+  // save work somewhere (not merely tie everywhere).
+  EXPECT_GT(unsat_seen, 0);
+  EXPECT_LT(unsat_seen, 200);
+  EXPECT_LT(nodes_gac, nodes_fc);
+}
+
+TEST(AllDiffMatching, ScratchAndIncrementalExploreIdenticalTrees) {
+  // The matching propagator's prune set is a function of the current
+  // domains alone (the repaired matching is an internal accelerator), so
+  // scratch-mode recomputation must reproduce the incremental tree
+  // bit-identically — same nodes, same failures, same verdict.
+  support::Rng rng(424242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const RandomModel m = draw_model(rng);
+    const SolveOutcome inc = solve_model(m, PropagationLevel::kMatching,
+                                         PropagationMode::kIncremental);
+    const SolveOutcome scr = solve_model(m, PropagationLevel::kMatching,
+                                         PropagationMode::kScratch);
+    ASSERT_EQ(inc.status, scr.status) << "trial " << trial;
+    EXPECT_EQ(inc.stats.nodes, scr.stats.nodes) << "trial " << trial;
+    EXPECT_EQ(inc.stats.failures, scr.stats.failures) << "trial " << trial;
+    if (inc.status == SolveStatus::kSat) {
+      EXPECT_EQ(inc.assignment, scr.assignment) << "trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------------- residue-shaped instances
+
+TEST(AllDiffMatching, Csp2GenericDifferentialOnGeneratedInstances) {
+  // The production consumer: CSP2 on the generic engine, slot columns
+  // posted at each level over the paper's §VII-A generator stream.  Every
+  // decided pair must agree, and the matching family never explores more
+  // nodes in total.
+  gen::GeneratorOptions generator;
+  generator.tasks = 6;
+  generator.processors = 3;
+  generator.t_max = 6;
+
+  SearchOptions options = lockstep_options();
+  options.max_nodes = 30'000;
+
+  std::int64_t nodes_fc = 0;
+  std::int64_t nodes_gac = 0;
+  int decided_pairs = 0;
+  for (std::uint64_t index = 0; index < 24; ++index) {
+    const gen::Instance inst = gen::generate_indexed(generator, 7, index);
+    if (inst.tasks.exceeds_capacity(inst.processors)) continue;
+
+    SolveOutcome outcomes[2];
+    for (int lane = 0; lane < 2; ++lane) {
+      enc::Csp2GenericOptions enc_options;
+      enc_options.alldiff_level = lane == 0 ? PropagationLevel::kForwardCheck
+                                            : PropagationLevel::kMatching;
+      enc::Csp2GenericModel model = enc::build_csp2_generic(
+          inst.tasks, rt::Platform::identical(inst.processors), enc_options);
+      outcomes[lane] = model.solver->solve(options);
+    }
+    const SolveOutcome& fc = outcomes[0];
+    const SolveOutcome& gac = outcomes[1];
+    if (decided(fc.status) && decided(gac.status)) {
+      EXPECT_EQ(fc.status, gac.status) << "instance " << index;
+      ++decided_pairs;
+    }
+    EXPECT_LE(gac.stats.nodes, fc.stats.nodes) << "instance " << index;
+    nodes_fc += fc.stats.nodes;
+    nodes_gac += gac.stats.nodes;
+  }
+  EXPECT_GT(decided_pairs, 0);
+  EXPECT_LE(nodes_gac, nodes_fc);
+}
+
+// -------------------------------------------------------- observability
+
+TEST(AllDiffMatching, PerPropagatorStatsReportTheMatchingRows) {
+  Solver solver;
+  std::vector<VarId> vars{solver.add_variable(0, 1), solver.add_variable(0, 1),
+                          solver.add_variable(0, 2)};
+  solver.add(make_all_different_except(vars, -1, PropagationLevel::kMatching));
+  const SolveOutcome outcome = solver.solve(lockstep_options());
+  ASSERT_EQ(outcome.status, SolveStatus::kSat);
+  ASSERT_EQ(outcome.stats.propagators.size(), 1U);
+  const PropagatorProfile& row = outcome.stats.propagators.front();
+  EXPECT_EQ(row.name, "all-different-matching");
+  EXPECT_GT(row.runs, 0);
+  // The root GAC sweep fixed x2 (see GacPrunesWhereForwardCheckCannot), so
+  // at least one prune is attributed to this propagator.
+  EXPECT_GT(row.prunes, 0);
+  // Profiling is off by default: the seconds column stays zero.
+  EXPECT_EQ(row.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace mgrts::csp

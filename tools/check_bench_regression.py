@@ -10,7 +10,9 @@ of the Table-I workload the presolve stages settle before search
 against the post-hoc best fixed value order (portfolio_vs_best_order), the
 conflict-analysis nogood shrink ratio on the pipeline residue
 (nogood_shrink_ratio), the 1-UIP vs decision-set clause-length ratio
-for the same conflicts (uip_clause_len_ratio), the fault-injection
+for the same conflicts (uip_clause_len_ratio), the forward-check vs
+matching-GAC nodes-to-verdict ratio of the AllDifferent columns
+(alldiff_prune_strength, higher is better), the fault-injection
 hardening tax on a fault-free run (residue_faultfree_overhead), and the
 serving layer's repeat-mix throughput, cache hit ratio, and latency
 percentiles (serve_requests_per_sec, serve_cache_hit_ratio,
@@ -45,6 +47,7 @@ GATED_METRICS = (
     "residue_nodes_per_sec",
     "nogood_shrink_ratio",
     "uip_clause_len_ratio",
+    "alldiff_prune_strength",
     "residue_faultfree_overhead",
     "serve_requests_per_sec",
     "serve_cache_hit_ratio",
