@@ -56,7 +56,18 @@ inline gen::GeneratorOptions paper_workload_small() {
 // perf trajectory (nodes/sec, propagations/sec, wall time) is tracked
 // across PRs by tooling instead of eyeballs.  Schema:
 //   { "bench": "<name>",
-//     "entries": [ { "name": "...", "<metric>": <number>, ... }, ... ] }
+//     "entries": [ { "name": "...", "<metric>": <number>, ... }, ... ],
+//     "history": [ { "sha": "...", "metrics": {"<name>.<metric>": n} } ] }
+//
+// `entries` is always the current run.  `history` makes the committed file
+// a real cross-PR trajectory instead of a single overwritten snapshot:
+// each write appends one flattened {sha, metrics} row for this run to the
+// rows carried over from the committed baseline (MGRTS_BENCH_BASELINE when
+// set, else the previous file at the output path), capped at the newest
+// kHistoryCap rows.  tools/check_bench_regression.py gates against the
+// LAST committed history row (falling back to `entries` for pre-history
+// baselines), so the ledger compares like-for-like runs while the full
+// trajectory stays greppable in one file.
 
 /// One record in BENCH_<name>.json: a label plus numeric metrics.
 struct BenchRecord {
@@ -86,6 +97,12 @@ class BenchJson {
                                  ? std::string(dir) + "/BENCH_" + bench_ +
                                        ".json"
                                  : "BENCH_" + bench_ + ".json";
+    const char* baseline = std::getenv("MGRTS_BENCH_BASELINE");
+    std::vector<std::string> history = read_history(
+        baseline != nullptr && *baseline != '\0' ? baseline : path.c_str());
+    history.push_back(snapshot_line());
+    while (history.size() > kHistoryCap) history.erase(history.begin());
+
     std::ofstream out(path);
     if (!out) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -96,17 +113,82 @@ class BenchJson {
       const BenchRecord& r = records_[k];
       out << (k == 0 ? "\n" : ",\n") << "    {\"name\": \"" << r.name << '"';
       for (const auto& [key, value] : r.metrics) {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.6g", value);
-        out << ", \"" << key << "\": " << buf;
+        out << ", \"" << key << "\": " << format_number(value);
       }
       out << '}';
     }
+    out << "\n  ],\n  \"history\": [";
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      out << (k == 0 ? "\n" : ",\n") << "    " << history[k];
+    }
     out << "\n  ]\n}\n";
-    std::printf("(json written to %s)\n", path.c_str());
+    std::printf("(json written to %s, history depth %zu)\n", path.c_str(),
+                history.size());
   }
 
  private:
+  /// Newest-first trajectory rows kept in the file; old rows age out so the
+  /// committed ledger stays reviewable.
+  static constexpr std::size_t kHistoryCap = 12;
+
+  static std::string format_number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return buf;
+  }
+
+  /// This run as one flattened single-line history row.
+  std::string snapshot_line() const {
+    std::string sha = "unknown";
+    if (const char* env = std::getenv("MGRTS_GIT_SHA");
+        env != nullptr && *env != '\0') {
+      sha = env;
+    } else if (std::FILE* pipe =
+                   ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buf[64] = {};
+      if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+        std::string raw(buf);
+        raw.erase(raw.find_last_not_of(" \n\r\t") + 1);
+        if (!raw.empty()) sha = std::move(raw);
+      }
+      ::pclose(pipe);
+    }
+    std::string line = "{\"sha\": \"" + sha + "\", \"metrics\": {";
+    bool first = true;
+    for (const BenchRecord& r : records_) {
+      for (const auto& [key, value] : r.metrics) {
+        if (!first) line += ", ";
+        first = false;
+        line += "\"" + r.name + "." + key + "\": " + format_number(value);
+      }
+    }
+    line += "}}";
+    return line;
+  }
+
+  /// Carried-over history rows of `path` (one row per line, the shape this
+  /// writer emits).  Missing file or no history block -> empty.
+  static std::vector<std::string> read_history(const char* path) {
+    std::vector<std::string> rows;
+    std::ifstream in(path);
+    if (!in) return rows;
+    std::string line;
+    bool inside = false;
+    while (std::getline(in, line)) {
+      const std::size_t begin = line.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      std::string body = line.substr(begin);
+      if (!inside) {
+        inside = body.rfind("\"history\":", 0) == 0;
+        continue;
+      }
+      if (body[0] == ']') break;
+      if (body.back() == ',') body.pop_back();
+      if (body[0] == '{') rows.push_back(std::move(body));
+    }
+    return rows;
+  }
+
   std::string bench_;
   // Deque: record() hands out references that must survive later record()
   // calls (a vector reallocation would dangle them).

@@ -422,17 +422,21 @@ void report_portfolio(bench::BenchJson& json) {
 // a search residue actually exists — on identical platforms the exact
 // oracle would absorb everything) and trims the csp2-presolve node budget,
 // then generic-engine nogood lanes race over the surviving indices: true
-// 1-UIP learning (the default), decision-set learning (the PR-4 baseline),
-// shrinking off, the always-on differential, and the 1-UIP configuration
-// with the slot-column AllDifferentExcept raised to Régin-style matching
-// GAC (DESIGN.md §14).  Gated ledger entries: `residue_nodes_per_sec`
-// (1-UIP lane throughput), `nogood_shrink_ratio` (recorded/raw literal
-// ratio, lower is better), `uip_clause_len_ratio` (1-UIP vs decision-set
-// clause length for the same conflicts, lower is better and <= 1.0 by
-// construction) and `alldiff_prune_strength` (forward-check vs matching
-// nodes-to-verdict — how much tree the GAC level saves per decisive
-// answer, higher is better).  The residue set is reproducible across PRs
-// from the
+// 1-UIP learning under chronological retry, decision-set learning (the
+// PR-4 baseline), shrinking off, the always-on differential, the 1-UIP
+// configuration with the slot-column AllDifferentExcept raised to
+// Régin-style matching GAC (DESIGN.md §14), and the 1-UIP configuration
+// with non-chronological backjumping + recursive minimization — the
+// production defaults (DESIGN.md §15).  Gated ledger entries:
+// `residue_nodes_per_sec` (1-UIP lane throughput), `nogood_shrink_ratio`
+// (recorded/raw literal ratio, lower is better), `uip_clause_len_ratio`
+// (1-UIP vs decision-set clause length for the same conflicts, lower is
+// better and <= 1.0 by construction), `alldiff_prune_strength`
+// (forward-check vs matching nodes-to-verdict — how much tree the GAC
+// level saves per decisive answer, higher is better) and
+// `backjump_nodes_per_verdict_ratio` (backjump-lane vs decision-set
+// nodes-to-verdict, lower is better — CDCL's payoff per decisive
+// answer).  The residue set is reproducible across PRs from the
 // --seed flag (default 20090911); exp::residue_spec re-derives it
 // anywhere.
 
@@ -470,6 +474,12 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
     spec.config.generic.nogoods = true;
     spec.config.generic.nogood_shrink = shrink;
     spec.config.generic.nogood_learn = learn;
+    // Lanes 0-4 are the historical chronological configurations; pinning
+    // the knobs keeps their ledger lines comparable across PRs now that
+    // SearchOptions defaults both to on.  The backjump lane re-enables
+    // them below.
+    spec.config.generic.backjump = false;
+    spec.config.generic.nogood_minimize = false;
     return spec;
   };
   // The 4th lane re-runs the 1-UIP configuration with the decision-set
@@ -489,15 +499,26 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
       lane("residue-matching", true, csp::NogoodLearn::kUip1);
   matching.config.csp2_generic.alldiff_level =
       csp::PropagationLevel::kMatching;
+  // The 6th lane is the 1-UIP configuration with the asserting-clause
+  // machinery switched on (DESIGN.md §15): non-chronological backjumping
+  // to the assertion level plus recursive self-subsumption minimization —
+  // i.e. the SearchOptions defaults every production consumer now runs.
+  // verdict_nodes[5]/verdict_nodes[1] is the gated
+  // backjump_nodes_per_verdict_ratio (CDCL's payoff per decisive answer
+  // vs the decision-set baseline, lower is better).
+  exp::SolverSpec backjump =
+      lane("residue-backjump", true, csp::NogoodLearn::kUip1);
+  backjump.config.generic.backjump = true;
+  backjump.config.generic.nogood_minimize = true;
   const exp::BatchResult batch = exp::run_batch(
       residue.batch,
       {lane("residue-1uip", true, csp::NogoodLearn::kUip1),
        lane("residue-dset", true, csp::NogoodLearn::kDecisionSet),
        lane("residue-shrink-off", false, csp::NogoodLearn::kUip1),
-       std::move(ds_always), std::move(matching)});
+       std::move(ds_always), std::move(matching), std::move(backjump)});
   const char* names[] = {"residue_1uip", "residue_dset",
                          "residue_shrink_off", "residue_ds_always",
-                         "residue_matching"};
+                         "residue_matching", "residue_backjump"};
 
   double nodes_per_sec_uip = 0.0;
   double shrink_ratio_uip = 1.0;
@@ -522,6 +543,9 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
       learn.lits_ds += run.nogoods.lits_ds;
       learn.subsumed += run.nogoods.subsumed;
       learn.lbd_refreshed += run.nogoods.lbd_refreshed;
+      learn.backjumps += run.nogoods.backjumps;
+      learn.backjump_levels_saved += run.nogoods.backjump_levels_saved;
+      learn.lits_minimized += run.nogoods.lits_minimized;
     }
     const double nodes_per_sec =
         wall > 0.0 ? static_cast<double>(nodes) / wall : 0.0;
@@ -552,6 +576,13 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
                 static_cast<double>(learn.lbd_refreshed))
         .metric("shrink_ratio", learn.shrink_ratio());
     if (s == 0) record.metric("uip_clause_len_ratio", uip_len_ratio);
+    if (s == 5) {
+      record.metric("backjumps", static_cast<double>(learn.backjumps))
+          .metric("backjump_levels_saved",
+                  static_cast<double>(learn.backjump_levels_saved))
+          .metric("nogood_lits_minimized",
+                  static_cast<double>(learn.lits_minimized));
+    }
     std::printf("%-32s %10.3fs  %8lld nodes  %2lld decided  "
                 "%6.0f nodes/verdict  shrink %.2f  uip/ds %.2f\n",
                 batch.labels[s].c_str(), wall,
@@ -578,12 +609,17 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
               lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0)
       .metric("alldiff_prune_strength",
               verdict_nodes[4] > 0.0 ? verdict_nodes[0] / verdict_nodes[4]
+                                     : 1.0)
+      .metric("nodes_to_verdict_backjump", verdict_nodes[5])
+      .metric("backjump_nodes_per_verdict_ratio",
+              verdict_nodes[1] > 0.0 ? verdict_nodes[5] / verdict_nodes[1]
                                      : 1.0);
   std::printf("%-32s 1-UIP costs %.2fx the nodes per verdict of the "
               "decision set, %.2fx of shrink-off (shrink %.2f, uip/ds "
               "length %.2f); sampling the differential runs %.2fx the "
               "always-on rate; matching GAC prunes %.2fx the FC tree per "
-              "verdict\n",
+              "verdict; backjumping spends %.2fx the decision-set nodes "
+              "per verdict\n",
               "residue_summary",
               verdict_nodes[1] > 0.0 ? verdict_nodes[0] / verdict_nodes[1]
                                      : 1.0,
@@ -592,6 +628,8 @@ void report_residue(bench::BenchJson& json, std::uint64_t seed) {
               shrink_ratio_uip, uip_len_ratio,
               lane_nps[3] > 0.0 ? lane_nps[0] / lane_nps[3] : 1.0,
               verdict_nodes[4] > 0.0 ? verdict_nodes[0] / verdict_nodes[4]
+                                     : 1.0,
+              verdict_nodes[1] > 0.0 ? verdict_nodes[5] / verdict_nodes[1]
                                      : 1.0);
 }
 

@@ -103,6 +103,13 @@ struct NogoodStats {
   /// predecessor) and replay-hit block-LBD refreshes.
   std::int64_t subsumed = 0;
   std::int64_t lbd_refreshed = 0;
+  /// Non-chronological backjumps taken (csp::SearchOptions::backjump), the
+  /// total decision levels they skipped beyond the chronological single
+  /// level, and the literals removed by recursive self-subsumption
+  /// minimization (DESIGN.md §15).
+  std::int64_t backjumps = 0;
+  std::int64_t backjump_levels_saved = 0;
+  std::int64_t lits_minimized = 0;
 
   /// Average recorded length over average decision-set length; 1.0 when
   /// nothing was recorded (or shrinking is off and nothing was dropped).

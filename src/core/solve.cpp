@@ -58,6 +58,9 @@ NogoodStats to_nogood_stats(const csp::SolveStats& stats) {
   out.lits_ds = stats.nogood_lits_ds;
   out.subsumed = stats.nogoods_subsumed;
   out.lbd_refreshed = stats.nogood_lbd_refreshed;
+  out.backjumps = stats.backjumps;
+  out.backjump_levels_saved = stats.backjump_levels_saved;
+  out.lits_minimized = stats.nogood_lits_minimized;
   return out;
 }
 

@@ -65,6 +65,7 @@ NogoodStore::NogoodStore(std::int64_t vars, std::int32_t max_length,
   scope_.resize(static_cast<std::size_t>(vars));
   std::iota(scope_.begin(), scope_.end(), VarId{0});
   watch_.resize(static_cast<std::size_t>(vars));
+  agg_miss_.assign(static_cast<std::size_t>(vars), 0);
 }
 
 const std::vector<VarId>& NogoodStore::failure_scope() const {
@@ -76,8 +77,10 @@ const std::vector<VarId>& NogoodStore::failure_scope() const {
 void NogoodStore::push_watch(Lit lit, std::int32_t clause_id) {
   const Value base =
       solver_ != nullptr ? solver_->domain(lit.var).base() : Value{0};
+  const std::uint64_t miss = ~truth_mask(lit, base);
+  agg_miss_[static_cast<std::size_t>(lit.var)] |= miss;
   watch_[static_cast<std::size_t>(lit.var)].push_back(
-      WatchRef{~truth_mask(lit, base), clause_id});
+      WatchRef{miss, clause_id});
 }
 
 void NogoodStore::add_clause(const Lit* lits, std::int32_t len,
@@ -160,6 +163,14 @@ bool NogoodStore::on_event(Solver& solver, std::int32_t pos,
   // before the run anyway).
   const VarId var = scope_[static_cast<std::size_t>(pos)];
   const std::uint64_t cur_mask = solver.domain(var).raw_mask();
+  // Aggregate pre-test (PR 8 profiling follow-up): a transition needs the
+  // removed bits to hit some watch's miss mask, so one AND against the
+  // per-variable aggregate proves most deltas can't wake anything and
+  // skips the list walk.
+  if (((old_mask & ~cur_mask) & agg_miss_[static_cast<std::size_t>(var)]) ==
+      0) {
+    return false;
+  }
   bool woke = false;
   for (const WatchRef& w : watch_[static_cast<std::size_t>(var)]) {
     if ((cur_mask & w.miss) == 0 && (old_mask & w.miss) != 0) {
@@ -388,6 +399,7 @@ bool NogoodStore::restart_maintenance(Solver& solver, NogoodPool* pool,
   new_lits.reserve(lits_.size());
   new_clauses.reserve(kept.size());
   for (auto& list : watch_) list.clear();
+  std::fill(agg_miss_.begin(), agg_miss_.end(), std::uint64_t{0});
   bool unsat = false;
   for (const Clause& c : kept) {
     const Lit* lits = &lits_[static_cast<std::size_t>(c.offset)];

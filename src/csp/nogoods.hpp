@@ -203,6 +203,16 @@ class NogoodStore final : public Propagator {
   /// move appends to the new variable's list without erasing the old
   /// entry); restart_maintenance rebuilds them compactly.
   std::vector<std::vector<WatchRef>> watch_;
+  /// Per-variable OR of every WatchRef::miss in watch_[var].  An entailment
+  /// transition needs removed domain bits inside some watch's miss mask, so
+  /// when (removed & agg_miss_[var]) == 0 the advisor skips the per-watch
+  /// scan entirely — the common case for general (any-change) stores, where
+  /// most events touch values no watch cares about.  The aggregate only
+  /// grows between maintenances (watch moves OR into the new variable
+  /// without shrinking the old one), so like the lists themselves it
+  /// over-approximates and can only cost scans, never miss a wake;
+  /// restart_maintenance rebuilds it compactly alongside the lists.
+  std::vector<std::uint64_t> agg_miss_;
   std::vector<std::int32_t> pending_;  ///< clause ids with an entailed watch
   std::vector<Lit> root_units_;        ///< length-1 nogoods awaiting a restart
   std::vector<VarId> conflict_vars_;   ///< last failing clause, for dom/wdeg

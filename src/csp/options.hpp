@@ -143,6 +143,24 @@ struct SearchOptions {
   /// lazily-run decision-set walk either way.
   std::int32_t nogood_ds_sample = 16;
 
+  /// Non-chronological backjumping (DESIGN.md §15): when 1-UIP analysis
+  /// yields an asserting clause, unwind the trail straight to its assertion
+  /// level (the second-highest decision depth among its literals) and
+  /// assert the negated UIP literal there with the clause as its reason —
+  /// learned clauses drive search instead of merely pruning it.  Conflicts
+  /// whose analysis fails (or whose clause still pins the conflict level)
+  /// fall back to the chronological retry.  Only active under kUip1
+  /// learning with shrinking on; turning it off restores the pure
+  /// chronological search, which stays the differential baseline.
+  bool backjump = true;
+
+  /// Recursive self-subsumption minimization (DESIGN.md §15): after the
+  /// 1-UIP walk, resolve away clause literals whose reasons are already
+  /// covered by the remaining literals (Sörensson-style, depth-bounded by
+  /// the trail).  Deepens the shrink ratio at a small analysis cost; the
+  /// minimized clause is never longer than the unminimized one.
+  bool nogood_minimize = true;
+
   /// Build the reason trail even when nogood recording is off.  Testing /
   /// diagnostics hook: the determinism tests use it to prove the trail
   /// build is a pure observer (bit-identical trees with it on or off).
@@ -210,6 +228,14 @@ struct SolveStats {
   /// Replay-hit LBD refreshes: a firing clause recomputed its block LBD
   /// from current depths and improved it (possibly into the core tier).
   std::int64_t nogood_lbd_refreshed = 0;
+  /// Non-chronological backjumps taken (SearchOptions::backjump) and the
+  /// total decision levels skipped by them (levels_saved / backjumps is the
+  /// mean jump distance beyond the chronological single level).
+  std::int64_t backjumps = 0;
+  std::int64_t backjump_levels_saved = 0;
+  /// Literals removed by recursive self-subsumption minimization
+  /// (SearchOptions::nogood_minimize), summed over recorded clauses.
+  std::int64_t nogood_lits_minimized = 0;
   /// Per-propagator-class wake/run/prune rows (seconds only when
   /// SearchOptions::prop_profile is set), sorted by name.
   std::vector<PropagatorProfile> propagators;

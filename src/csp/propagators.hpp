@@ -22,6 +22,34 @@
 // solver runs PropagationMode::kScratch they recompute from the full scope
 // instead — same fixpoints, used as the differential-test reference.  All
 // pruning goes through Solver::fix/remove so changes are trailed.
+//
+// Multi-level unwinding contract (DESIGN.md §15).  Non-chronological
+// backjumping restores the trail several decision levels at once, so every
+// piece of per-propagator incremental state must be correct after a restore
+// to an ARBITRARY earlier mark, not just the parent level.  Each class here
+// satisfies that through one of two disciplines:
+//
+// * Trailed counters (AtMostOneTrue::one_pos_, CountEq/WeightedCountEq
+//   lb_/ub_) live in Solver state slots.  The state trail replays old
+//   values back-to-front down to the target mark, and a backjump's mark is
+//   a prefix of the trail exactly like a chronological one — the restored
+//   counter is the counter that held at that level, whatever the distance.
+//
+// * Stale-tolerant pending buffers (AtMostOneTrue::pending_,
+//   AllDifferentExcept::marked_, SymmetryChain::pair_dirty_/worklist_) are
+//   NOT unwound; every entry is re-verified against the current domain at
+//   drain time, so entries stranded by a backjump are no-ops (never wrong).
+//   The buffers only ever over-approximate the work set.
+//
+// * The kMatching cached matching relies on post-restore domains being
+//   SUPERSETS of the state the matching was computed in.  That monotonicity
+//   argument is distance-independent: a jump over five levels restores a
+//   superset just like a single-level pop, so cached edges stay valid and
+//   the repair pass drops exactly the edges the new branch invalidated.
+//
+// None of these disciplines inspects the backtrack distance, which is the
+// invariant the multi-level-unwind consistency pins in csp_engine_test and
+// csp_uip_test lock down.
 #pragma once
 
 #include <memory>

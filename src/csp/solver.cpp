@@ -415,7 +415,92 @@ Lit Solver::entry_literal(const TrailEntry& e, std::uint64_t post_mask) const {
   return Lit::ne(e.var, a);
 }
 
-bool Solver::analyze_uip(std::size_t root_trail, std::size_t level_start) {
+namespace {
+/// Recursion bound of the self-subsumption walk; deeper chains are treated
+/// as not covered (sound — the literal just stays in the clause).
+constexpr int kMinimizeDepthCap = 48;
+/// Frontier clauses past this size never beat the decision form on the
+/// workloads we ledger, so the minimization pass skips them outright.
+constexpr std::size_t kMaxFrontier = 64;
+}  // namespace
+
+bool Solver::reason_covered(std::size_t idx, std::size_t root_trail,
+                            int depth) {
+  if (min_stamp_[idx] == relevant_epoch_) return min_ok_[idx] != 0;
+  const TrailEntry& e = trail_[idx];
+  bool ok = depth < kMinimizeDepthCap && e.reason != kReasonDecision;
+  if (ok) {
+    // Every antecedent change (an older entry on a reason variable) must be
+    // covered: on a Phase-A-relevant variable its literal is in the
+    // frontier (or was dropped for being covered itself), otherwise its own
+    // reason must be covered recursively.  Antecedent indices strictly
+    // decrease, so the walk is acyclic and the memo grounds out.
+    auto check = [&](VarId u) {
+      if (!ok) return;
+      std::int32_t j = last_entry_[static_cast<std::size_t>(u)];
+      while (j >= 0 && static_cast<std::size_t>(j) >= idx) {
+        j = trail_[static_cast<std::size_t>(j)].prev_on_var;
+      }
+      while (ok && j >= 0 && static_cast<std::size_t>(j) >= root_trail) {
+        const auto ju = static_cast<std::size_t>(j);
+        if (relevant_stamp_[static_cast<std::size_t>(trail_[ju].var)] !=
+                relevant_epoch_ &&
+            !reason_covered(ju, root_trail, depth + 1)) {
+          ok = false;
+        }
+        j = trail_[ju].prev_on_var;
+      }
+    };
+    if (!expand_reason(e, check)) ok = false;
+  }
+  min_stamp_[idx] = relevant_epoch_;
+  min_ok_[idx] = ok ? 1 : 0;
+  return ok;
+}
+
+std::int64_t Solver::minimize_frontier(std::size_t root_trail) {
+  if (min_stamp_.size() < trail_.size()) {
+    min_stamp_.resize(trail_.size(), 0);
+    min_ok_.resize(trail_.size(), 0);
+  }
+  std::int64_t removed = 0;
+  // Pass 1 — recursive self-subsumption: drop literals whose reasons are
+  // transitively covered by the Phase-A relevant set.  Runs before the
+  // implication dedupe so the "marked variable => covered" ground stays
+  // index-founded (dedupe edges can point forward in the trail).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(frontier_[i].trail_idx);
+    if (reason_covered(idx, root_trail, 0)) {
+      ++removed;
+      continue;
+    }
+    frontier_[out++] = frontier_[i];
+  }
+  frontier_.resize(out);
+  // Pass 2 — same-variable implication dedupe among survivors: the clause
+  // is a conjunction, so a literal implied by a kept stronger literal
+  // forbids nothing extra (a moving-bound chain >=3, >=4, >=5 collapses to
+  // >=5).  Literals are pairwise distinct, so implication is a strict
+  // order and the maximal elements survive.
+  out = 0;
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    bool redundant = false;
+    for (std::size_t j = 0; j < frontier_.size() && !redundant; ++j) {
+      redundant = j != i && implies(frontier_[j].lit, frontier_[i].lit);
+    }
+    if (redundant) {
+      ++removed;
+      continue;
+    }
+    frontier_[out++] = frontier_[i];
+  }
+  frontier_.resize(out);
+  return removed;
+}
+
+bool Solver::analyze_uip(std::size_t root_trail, std::size_t level_start,
+                         bool minimize) {
   MGRTS_ASSERT(failing_prop_ >= 0);
   MGRTS_ASSERT(level_start >= root_trail && level_start < trail_.size());
 
@@ -474,6 +559,53 @@ bool Solver::analyze_uip(std::size_t root_trail, std::size_t level_start) {
   }
   if (!have_uip || !ok) return false;
 
+  // Frontier form (DESIGN.md §15): before the decision-form expansion
+  // mutates the mark set, collect the literal of every remaining entry on
+  // a Phase-A-relevant variable — the conjunction of those entries plus the
+  // root domain is exactly the marked variables' state below the conflict
+  // level, so (frontier ∧ UIP) is a sound nogood on its own.  The walk
+  // keeps threading the post-change mask overlay Phase A started, which is
+  // what entry_literal needs to recognize fixes.  Oversized frontiers are
+  // abandoned (the decision form will win anyway).
+  std::int64_t minimized = 0;
+  bool have_frontier = false;
+  if (minimize) {
+    frontier_.clear();
+    have_frontier = true;
+    std::size_t j = k;
+    while (j > root_trail) {
+      --j;
+      const TrailEntry& e = trail_[j];
+      const auto var = static_cast<std::size_t>(e.var);
+      const std::uint64_t post = walk_stamp_[var] == relevant_epoch_
+                                     ? walk_mask_[var]
+                                     : domains_[var].raw_mask();
+      walk_mask_[var] = e.old_mask;
+      walk_stamp_[var] = relevant_epoch_;
+      if (relevant_stamp_[var] != relevant_epoch_) continue;
+      if (frontier_.size() >= kMaxFrontier) {
+        have_frontier = false;
+        break;
+      }
+      frontier_.push_back(FrontierLit{entry_literal(e, post), e.depth,
+                                      static_cast<std::int32_t>(j)});
+    }
+    if (have_frontier) {
+      std::reverse(frontier_.begin(), frontier_.end());  // trail order
+      minimized = minimize_frontier(root_trail);
+      // A frontier literal the UIP already implies is dead weight too.
+      std::size_t out = 0;
+      for (const FrontierLit& f : frontier_) {
+        if (implies(uip, f.lit)) {
+          ++minimized;
+          continue;
+        }
+        frontier_[out++] = f;
+      }
+      frontier_.resize(out);
+    }
+  }
+
   // Phase B — below the conflict level: keep relevant decisions as the
   // clause frontier, expand everything else (kept decisions reproduce all
   // relevant lower state, same induction as the decision-set walk).
@@ -497,6 +629,19 @@ bool Solver::analyze_uip(std::size_t root_trail, std::size_t level_start) {
   }
   std::reverse(uip_lits_.begin(), uip_lits_.end());
   std::reverse(uip_depths_.begin(), uip_depths_.end());
+
+  // Keep whichever form is shorter; ties go to the decision form (the
+  // pre-minimization behavior), which also preserves the per-conflict
+  // "never longer than the decision set" invariant the ratio gate pins.
+  if (have_frontier && frontier_.size() < uip_lits_.size()) {
+    stats_.nogood_lits_minimized += minimized;
+    uip_lits_.clear();
+    uip_depths_.clear();
+    for (const FrontierLit& f : frontier_) {
+      uip_lits_.push_back(f.lit);
+      uip_depths_.push_back(f.depth);
+    }
+  }
   uip_lits_.push_back(uip);
   uip_depths_.push_back(uip_depth);
   return true;
@@ -1039,12 +1184,14 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
         // sized for real 1-UIP runs.
         if (uip_learning && can_analyze && !ds_sampled) {
           // Unsampled fast path: skip the differential reference entirely.
-          use_uip = analyze_uip(root_mark.domain, top.mark.domain);
+          use_uip = analyze_uip(root_mark.domain, top.mark.domain,
+                                options.nogood_minimize);
           if (!use_uip) ds_walk();
         } else {
           ds_walk();
           if (shrink && uip_learning) {
-            use_uip = analyze_uip(root_mark.domain, top.mark.domain);
+            use_uip = analyze_uip(root_mark.domain, top.mark.domain,
+                                  options.nogood_minimize);
             if (use_uip) {
               stats_.nogood_lits_uip +=
                   static_cast<std::int64_t>(uip_lits_.size());
@@ -1055,26 +1202,144 @@ SolveOutcome Solver::solve(const SearchOptions& options) {
           }
         }
         failing_prop_ = -1;
-        backtrack_to(top.mark);
 
-        if (nogood_store_ != nullptr) {
-          const std::vector<Lit>& lits = use_uip ? uip_lits_ : nogood_buf;
-          const std::vector<std::int32_t>& depths =
-              use_uip ? uip_depths_ : depth_buf;
-          if (!lits.empty() && static_cast<std::int64_t>(lits.size()) <=
-                                   options.nogood_max_length) {
-            nogood_store_->record(
-                lits, static_cast<std::int32_t>(frames.size()),
-                block_lbd(depths.data(),
-                          static_cast<std::int32_t>(depths.size())),
-                stats_);
+        // Records one learned clause; the frontier form can carry several
+        // literals at one depth, so block_lbd gets the deduped strictly-
+        // ascending depth set.
+        auto record_clause = [&](const std::vector<Lit>& lits,
+                                 const std::vector<std::int32_t>& depths,
+                                 std::int32_t raw_len) {
+          if (nogood_store_ == nullptr || lits.empty() ||
+              static_cast<std::int64_t>(lits.size()) >
+                  options.nogood_max_length) {
+            return;
           }
+          lbd_depths_.clear();
+          for (const std::int32_t d : depths) {
+            if (lbd_depths_.empty() || lbd_depths_.back() != d) {
+              lbd_depths_.push_back(d);
+            }
+          }
+          nogood_store_->record(
+              lits, raw_len,
+              block_lbd(lbd_depths_.data(),
+                        static_cast<std::int32_t>(lbd_depths_.size())),
+              stats_);
+        };
+
+        // Non-chronological backjumping (DESIGN.md §15): when the learned
+        // clause is asserting — its assertion level (the second-highest
+        // literal depth) sits strictly below the conflict level — unwind
+        // straight to that level, record the clause, and assert the
+        // negated UIP literal there with the clause as its explicit
+        // reason.  A clause that still pins the conflict level (Phase B
+        // kept the conflict decision) falls back to the chronological
+        // retry, as does every conflict without a usable 1-UIP analysis.
+        if (failures_until_restart > 0 && --failures_until_restart == 0) {
+          restart_requested = true;  // record below, then restart
+        }
+        std::int32_t jump_to = -1;
+        if (!restart_requested && options.backjump && use_uip) {
+          const auto conflict_depth =
+              static_cast<std::int32_t>(frames.size());
+          const std::int32_t assert_level =
+              uip_lits_.size() >= 2 ? uip_depths_[uip_lits_.size() - 2] : 0;
+          if (assert_level < conflict_depth) jump_to = assert_level;
         }
 
-        if (failures_until_restart > 0 && --failures_until_restart == 0) {
-          restart_requested = true;
-          break;
+        if (jump_to < 0) {
+          // Chronological retry: the differential baseline, and the
+          // fallback for non-asserting clauses.
+          backtrack_to(top.mark);
+          record_clause(use_uip ? uip_lits_ : nogood_buf,
+                        use_uip ? uip_depths_ : depth_buf,
+                        static_cast<std::int32_t>(frames.size()));
+          if (restart_requested) break;
+          continue;
         }
+
+        bool descend = false;
+        for (;;) {  // assertion loop: jump, assert, re-propagate
+          const auto depth_now = static_cast<std::int32_t>(frames.size());
+          const Mark target = frames[static_cast<std::size_t>(jump_to)].mark;
+          frames.resize(static_cast<std::size_t>(jump_to));
+          backtrack_to(target);
+          cur_depth_ = jump_to;
+          ++stats_.backjumps;
+          stats_.backjump_levels_saved += (depth_now - 1) - jump_to;
+          // Record first (the clause's non-UIP literals are still entailed
+          // at the assertion level, the UIP literal is free — exactly the
+          // state record() watches against), then assert the negated UIP
+          // literal under the clause variables as the explicit reason.
+          record_clause(uip_lits_, uip_depths_, depth_now);
+          const Lit uip = uip_lits_.back();
+          assert_vars_.clear();
+          for (const Lit& l : uip_lits_) assert_vars_.push_back(l.var);
+          begin_explicit_reason(
+              assert_vars_.data(),
+              static_cast<std::int32_t>(assert_vars_.size()));
+          PropResult asserted = PropResult::kOk;
+          if (uip.rel == Rel::kNe) {
+            // ¬(var != val) is the assignment itself.
+            asserted = fix(uip.var, uip.val);
+          } else {
+            const Domain64& ud = domains_[static_cast<std::size_t>(uip.var)];
+            std::uint64_t kill = ud.raw_mask() & truth_mask(uip, ud.base());
+            while (kill != 0 && asserted == PropResult::kOk) {
+              const Value v = ud.base() + std::countr_zero(kill);
+              kill &= kill - 1;
+              asserted = remove(uip.var, v);
+            }
+          }
+          end_explicit_reason();
+
+          if (asserted == PropResult::kOk && propagate_queue()) {
+            descend = true;
+            break;
+          }
+          // Fresh conflict at the assertion level.  A failed assert
+          // short-circuits propagate_queue, so flush its stale wakeups.
+          if (asserted != PropResult::kOk) clear_queue();
+          ++stats_.failures;
+          bump_failure(failing_prop_);
+          if (frames.empty()) {
+            // The clause asserts at the root and still conflicts: UNSAT.
+            failing_prop_ = -1;
+            return finish(SolveStatus::kUnsat);
+          }
+          bool again = false;
+          if (nogood_store_ != nullptr && track_reasons_ &&
+              failing_prop_ >= 0) {
+            again = analyze_uip(root_mark.domain, frames.back().mark.domain,
+                                options.nogood_minimize);
+          }
+          failing_prop_ = -1;
+          std::int32_t next_level = -1;
+          if (again) {
+            const auto d_now = static_cast<std::int32_t>(frames.size());
+            const std::int32_t lvl =
+                uip_lits_.size() >= 2 ? uip_depths_[uip_lits_.size() - 2]
+                                      : 0;
+            if (lvl < d_now) next_level = lvl;
+          }
+          if (failures_until_restart > 0 &&
+              --failures_until_restart == 0) {
+            restart_requested = true;
+          }
+          if (next_level < 0 || restart_requested) {
+            // Chronological fallback: unwind this level and let the value
+            // loop retry the standing frame's remaining values.
+            backtrack_to(frames.back().mark);
+            if (again) {
+              record_clause(uip_lits_, uip_depths_,
+                            static_cast<std::int32_t>(frames.size()));
+            }
+            break;
+          }
+          jump_to = next_level;
+        }
+        if (descend) break;     // resume decisions from the assertion level
+        if (restart_requested) break;
       }
     }
 

@@ -409,6 +409,26 @@ class Solver {
   /// analyze_uip output: the learned clause, ascending depth, UIP last.
   std::vector<Lit> uip_lits_;
   std::vector<std::int32_t> uip_depths_;
+  /// Frontier-form scratch (recursive minimization, DESIGN.md §15): the
+  /// implied-literal frontier before the decision-form expansion, as
+  /// (literal, depth, trail index) triples in trail order.
+  struct FrontierLit {
+    Lit lit;
+    std::int32_t depth;
+    std::int32_t trail_idx;
+  };
+  std::vector<FrontierLit> frontier_;
+  /// Per-trail-entry memo of the self-subsumption recursion ("is this
+  /// entry's reason transitively covered by the Phase-A mark set?"),
+  /// epoch-stamped so no per-conflict clearing is needed.
+  std::vector<std::int64_t> min_stamp_;
+  std::vector<std::uint8_t> min_ok_;
+  /// Clause variables of the in-flight UIP assertion; must outlive the
+  /// explicit-reason window of the assert (see backjump in solve()).
+  std::vector<VarId> assert_vars_;
+  /// Strictly-ascending unique depths for block_lbd (the frontier form can
+  /// carry several literals at one depth).
+  std::vector<std::int32_t> lbd_depths_;
 
   /// Conflict analysis (DESIGN.md §10): stamps every variable the conflict
   /// transitively depends on — seeded with failing_prop_'s failure scope,
@@ -445,13 +465,32 @@ class Solver {
   /// decision-set recording (untracked entry, or no conflict-level
   /// dependency).  Must run before the conflict is backtracked, and after
   /// any same-conflict analyze_conflict call (it reuses the stamp epoch).
+  /// With `minimize` the walk additionally builds the implied-literal
+  /// frontier form, prunes it by recursive self-subsumption, and keeps
+  /// whichever of the two forms is shorter (DESIGN.md §15) — so the
+  /// emitted clause is still never longer than the decision set.
   [[nodiscard]] bool analyze_uip(std::size_t root_trail,
-                                 std::size_t level_start);
+                                 std::size_t level_start, bool minimize);
 
   /// Refreshes root_min_/root_max_ from the current (root-level) domains;
   /// called whenever the root mark advances while 1-UIP learning is on —
   /// entry_literal's bound-form test is relative to these.
   void snapshot_root_bounds();
+
+  // ---- recursive clause minimization (DESIGN.md §15) -------------------
+
+  /// True when trail entry `idx`'s reason is transitively covered by the
+  /// Phase-A relevant set: every antecedent entry either sits on a marked
+  /// variable (its literal is in the frontier clause) or is itself
+  /// recursively covered.  Decisions are never covered.  Memoized per
+  /// trail entry (min_stamp_/min_ok_); `depth` bounds the recursion.
+  [[nodiscard]] bool reason_covered(std::size_t idx, std::size_t root_trail,
+                                    int depth);
+
+  /// Sörensson-style self-subsumption over frontier_: drops literals
+  /// implied by stronger same-variable literals, then literals whose
+  /// reasons are covered (reason_covered).  Returns the number removed.
+  std::int64_t minimize_frontier(std::size_t root_trail);
 
   // Trailed propagator state (incremental counters etc.).
   std::vector<std::int64_t> pstate_;

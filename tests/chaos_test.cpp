@@ -292,6 +292,65 @@ TEST(Chaos, RetryRecoversTransientFault) {
   EXPECT_EQ(FaultInjector::active()->fired(FaultSite::kPropagator), 1);
 }
 
+// Non-chronological backjumping under fire (DESIGN.md §15): the asserting
+// clause path — multi-level trail unwind, solver-side assert under an
+// explicit reason, secondary-conflict re-analysis — runs inside the same
+// degradation funnel as plain search.  A fault landing mid-unwind or
+// mid-assert must degrade the run to an explained kUnknown, never flip a
+// verdict against the fault-free truth and never escape as an exception.
+TEST(Chaos, BackjumpUnwindingDegradationsStaySound) {
+  const std::vector<Case> cases = chaos_cases();
+  const auto config_for = [](std::uint64_t seed) {
+    core::SolveConfig config;
+    config.method = core::Method::kCsp2Generic;
+    config.pipeline = core::PipelineOptions::none();
+    config.time_limit_ms = 2'000;
+    config.generic = core::choco_like_defaults(seed);
+    config.generic.nogoods = true;  // kUip1 + backjump are the defaults
+    return config;
+  };
+
+  // Disarmed control pass: this configuration must actually drive the
+  // suite through the backjump path, or the armed sweep proves nothing.
+  std::int64_t control_jumps = 0;
+  for (const Case& c : cases) {
+    const core::SolveReport report =
+        core::solve_instance(c.ts, c.platform, config_for(3));
+    control_jumps += report.nogoods.backjumps;
+  }
+  ASSERT_GT(control_jumps, 0) << "the chaos cases never backjump";
+
+  std::int64_t fired = 0;
+  for (const std::uint64_t seed : {17u, 59u, 101u}) {
+    for (const Case& c : cases) {
+      core::SolveConfig config = config_for(seed);
+      config.cancel = support::CancelToken::make();
+
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.rate = 0.02;  // propagator site is hot inside the assert loop
+      plan.sites = FaultPlan::mask(FaultSite::kPropagator) |
+                   FaultPlan::mask(FaultSite::kCspVarBudget);
+      plan.max_faults = 2;
+      plan.cancel_target = config.cancel;
+      InjectorGuard guard(plan);
+
+      const std::string context =
+          c.label + "/backjump/seed" + std::to_string(seed);
+      core::SolveReport report;
+      try {
+        report = core::solve_instance(c.ts, c.platform, config);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << context << " escaped containment: " << e.what();
+        continue;
+      }
+      expect_sound(report, c, context);
+      fired += FaultInjector::active()->fired_total();
+    }
+  }
+  EXPECT_GT(fired, 0);
+}
+
 TEST(Chaos, WatchdogCullsStalledLaneWhileRaceDecides) {
   // Find an instance whose lane-0 search (kInput order, paper-faithful)
   // runs past the 1024-node deadline poll — that poll is where the

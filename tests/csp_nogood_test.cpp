@@ -49,6 +49,10 @@ TEST(ConflictAnalysis, ImplicationChainPinsTheMinimalNogood) {
     options.val_heuristic = ValHeuristic::kMin;
     options.nogoods = true;
     options.nogood_shrink = shrink;
+    // Chronological baseline: backjumping would assert (b != 0) at the root
+    // after this conflict and fail again without consuming a node, so the
+    // "exactly one failure" pin below only holds for the classic retry.
+    options.backjump = false;
     options.max_nodes = 2;  // stop right after the first conflict
     return solver.solve(options).stats;
   };

@@ -225,13 +225,62 @@ TEST(Uip, FixOnlyStoreImportsBoundRootUnitsButNotBoundClauses) {
   EXPECT_EQ(outcome.stats.nogoods_imported, 1);
 }
 
+// ------------------------------------- non-chronological backjumping (§15)
+
+// The uip_chain model behind a decoy decision: lex search decides a=0,
+// u=0, x=0; propagation implies y=1 and collapses the {y,c,d} pigeonhole
+// at depth 3.  The 1-UIP clause is the unit (y >= 1), so its assertion
+// level is the root: one backjump must discard BOTH standing decision
+// levels above it ((3-1) - 0 = 2 levels saved, where chronological retry
+// would have unwound one) and assert y = 0 there, which the final
+// solution then carries.
+TEST(Backjump, UnitClauseJumpsToTheRootAndAssertsTheNegatedUip) {
+  auto run = [](bool backjump) {
+    Solver solver;
+    static_cast<void>(solver.add_variable(0, 1));  // a: the decoy decision
+    const VarId u = solver.add_variable(0, 1);
+    const VarId x = solver.add_variable(0, 1);
+    const VarId y = solver.add_variable(0, 1);
+    const VarId c = solver.add_variable(1, 2);
+    const VarId d = solver.add_variable(1, 2);
+    solver.add(make_count_eq({u, x, y}, /*value=*/0, /*target=*/2));
+    solver.add(make_all_different_except({y, c, d}, /*except=*/-9));
+    SearchOptions options;
+    options.var_heuristic = VarHeuristic::kLex;
+    options.val_heuristic = ValHeuristic::kMin;
+    options.nogoods = true;
+    options.backjump = backjump;
+    const SolveOutcome outcome = solver.solve(options);
+    EXPECT_EQ(outcome.status, SolveStatus::kSat);
+    return outcome;
+  };
+
+  const SolveOutcome jumped = run(true);
+  EXPECT_EQ(jumped.stats.backjumps, 1);
+  EXPECT_EQ(jumped.stats.backjump_levels_saved, 2);
+  // The asserted literal ¬(y >= 1) pruned y to 0 at the root, so the
+  // solution must carry it (and CountEq then forbids a second zero).
+  EXPECT_EQ(jumped.assignment[3], 0);  // y
+  EXPECT_NE(jumped.assignment[1], jumped.assignment[2]);  // u != x
+
+  const SolveOutcome chrono = run(false);
+  EXPECT_EQ(chrono.stats.backjumps, 0);
+  EXPECT_EQ(chrono.stats.backjump_levels_saved, 0);
+  EXPECT_EQ(chrono.status, jumped.status);
+}
+
 // ------------------------------------------------- randomized differential
 
 /// Random pigeonhole-flavored models: alldifferent blocks over shared
 /// variables plus a counting rule — conflict-rich, restart-heavy, and
 /// fully decidable at this size.
 SolveOutcome random_model_run(std::uint64_t seed, NogoodLearn learn,
-                              std::int32_t ds_sample = 16) {
+                              std::int32_t ds_sample = 16,
+                              bool backjump = true,
+                              PropagationMode mode =
+                                  PropagationMode::kIncremental,
+                              PropagationLevel alldiff =
+                                  PropagationLevel::kForwardCheck) {
   support::Rng model_rng(seed);
   Solver solver;
   const int nv = 9;
@@ -246,7 +295,7 @@ SolveOutcome random_model_run(std::uint64_t seed, NogoodLearn learn,
       if (model_rng.uniform(0, 2) != 0) scope.push_back(v);
     }
     if (scope.size() >= 2) {
-      solver.add(make_all_different_except(scope, /*except=*/-9));
+      solver.add(make_all_different_except(scope, /*except=*/-9, alldiff));
     }
   }
   solver.add(make_count_eq(vars, /*value=*/0,
@@ -259,6 +308,8 @@ SolveOutcome random_model_run(std::uint64_t seed, NogoodLearn learn,
   options.nogoods = true;
   options.nogood_learn = learn;
   options.nogood_ds_sample = ds_sample;
+  options.backjump = backjump;
+  options.propagation = mode;
   options.seed = seed * 77 + 13;
   return solver.solve(options);
 }
@@ -360,6 +411,105 @@ TEST(UipDifferential, ResidueLanesAreVerdictEqual) {
   EXPECT_LE(lits_uip, lits_ds);
   EXPECT_GT(lits_ds, 0) << "the residue race must actually analyze "
                            "conflicts";
+}
+
+// Backjumping re-routes the search tree, so node counts are not expected
+// to match the chronological run seed-by-seed — but both searches stay
+// complete (verdict-equal), every jump must actually skip levels, and over
+// the family the asserting-clause-driven search must not cost more nodes
+// than pure chronological retry.
+TEST(BackjumpDifferential, VerdictEqualAndNoCostlierOverTheFamily) {
+  std::int64_t nodes_jumped = 0;
+  std::int64_t nodes_chrono = 0;
+  std::int64_t backjumps = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const SolveOutcome jumped =
+        random_model_run(seed, NogoodLearn::kUip1, 16, /*backjump=*/true);
+    const SolveOutcome chrono =
+        random_model_run(seed, NogoodLearn::kUip1, 16, /*backjump=*/false);
+    EXPECT_EQ(jumped.status, chrono.status) << "seed " << seed;
+    EXPECT_EQ(chrono.stats.backjumps, 0) << "seed " << seed;
+    // A jump to level (conflict_depth - 1) lands on the chronological
+    // retry's trail prefix (asserting instead of re-deciding) and saves 0
+    // levels, so levels_saved only bounds the multi-level jumps.
+    EXPECT_GE(jumped.stats.backjump_levels_saved, 0) << "seed " << seed;
+    nodes_jumped += jumped.stats.nodes;
+    nodes_chrono += chrono.stats.nodes;
+    backjumps += jumped.stats.backjumps;
+  }
+  EXPECT_GT(backjumps, 0) << "the family must actually exercise the jump";
+  EXPECT_LE(nodes_jumped, nodes_chrono);
+}
+
+/// A denser sibling of random_model_run: wider domains and overlapping
+/// blocks so matching GAC can neither refute at the root nor settle
+/// without thousands of backjump unwinds (the smaller family it would
+/// refute without ever searching).
+SolveOutcome random_dense_model_run(std::uint64_t seed, PropagationMode mode,
+                                    PropagationLevel alldiff) {
+  support::Rng model_rng(seed);
+  Solver solver;
+  const int nv = 12;
+  std::vector<VarId> vars;
+  for (int k = 0; k < nv; ++k) {
+    vars.push_back(solver.add_variable(0, 6 + static_cast<Value>(
+                                                  model_rng.uniform(0, 2))));
+  }
+  for (int block = 0; block < 4; ++block) {
+    std::vector<VarId> scope;
+    for (const VarId v : vars) {
+      if (model_rng.uniform(0, 3) != 0) scope.push_back(v);
+    }
+    if (scope.size() >= 2) {
+      solver.add(make_all_different_except(scope, /*except=*/-9, alldiff));
+    }
+  }
+  solver.add(make_count_eq(vars, /*value=*/0,
+                           /*target=*/1 + model_rng.uniform(0, 2)));
+  solver.add(make_count_eq(vars, /*value=*/1,
+                           /*target=*/1 + model_rng.uniform(0, 2)));
+  SearchOptions options;
+  options.val_heuristic = ValHeuristic::kRandom;
+  options.random_var_ties = true;
+  options.restart = RestartPolicy::kLuby;
+  options.restart_scale = 3;
+  options.nogoods = true;
+  options.nogood_learn = NogoodLearn::kUip1;
+  options.propagation = mode;
+  options.seed = seed * 77 + 13;
+  return solver.solve(options);
+}
+
+// Multi-level unwinds stress the propagator restore disciplines
+// (propagators.hpp: trailed counter slots, stale-tolerant pending buffers,
+// matching repair).  Scratch propagation recomputes every propagator from
+// its full scope and is tree-identical to incremental by construction, so
+// any trailed state left inconsistent by a jump shows up as a node or
+// verdict divergence here — with forward-checking and with matching GAC,
+// whose cached matching must survive jumps of arbitrary depth.
+TEST(BackjumpDifferential, IncrementalMatchesScratchAcrossMultiLevelUnwinds) {
+  for (const PropagationLevel alldiff :
+       {PropagationLevel::kForwardCheck, PropagationLevel::kMatching}) {
+    std::int64_t backjumps = 0;
+    for (const std::uint64_t seed : {9u, 41u, 61u, 67u}) {
+      const SolveOutcome fast = random_dense_model_run(
+          seed, PropagationMode::kIncremental, alldiff);
+      const SolveOutcome reference =
+          random_dense_model_run(seed, PropagationMode::kScratch, alldiff);
+      EXPECT_EQ(fast.status, reference.status) << "seed " << seed;
+      EXPECT_EQ(fast.stats.nodes, reference.stats.nodes) << "seed " << seed;
+      EXPECT_EQ(fast.stats.failures, reference.stats.failures)
+          << "seed " << seed;
+      EXPECT_EQ(fast.stats.backjumps, reference.stats.backjumps)
+          << "seed " << seed;
+      EXPECT_EQ(fast.stats.backjump_levels_saved,
+                reference.stats.backjump_levels_saved)
+          << "seed " << seed;
+      EXPECT_GT(fast.stats.backjumps, 0) << "seed " << seed;
+      backjumps += fast.stats.backjumps;
+    }
+    EXPECT_GT(backjumps, 1000) << "the family must jump in bulk";
+  }
 }
 
 }  // namespace

@@ -3,7 +3,14 @@
 
 Compares a freshly produced BENCH_micro.json against the committed baseline
 and fails (exit 1) when any gated metric regresses by more than the
-threshold.  Gated metrics are throughput rates (useful_propagations_per_sec,
+threshold.  The baseline file carries a cross-PR "history" array (one
+flattened {sha, metrics} row per committed run, appended by the bench
+writer); when present, the gate compares against the LAST committed history
+row — the most recent like-for-like run — and falls back to the flat
+"entries" array for pre-history baselines.  The fresh side always reads its
+current "entries".
+
+Gated metrics are throughput rates (useful_propagations_per_sec,
 nodes_per_sec, residue_nodes_per_sec) plus the headline ratios: the fraction
 of the Table-I workload the presolve stages settle before search
 (presolve_decided_fraction), the diversified portfolio's wall-time ratio
@@ -12,7 +19,10 @@ conflict-analysis nogood shrink ratio on the pipeline residue
 (nogood_shrink_ratio), the 1-UIP vs decision-set clause-length ratio
 for the same conflicts (uip_clause_len_ratio), the forward-check vs
 matching-GAC nodes-to-verdict ratio of the AllDifferent columns
-(alldiff_prune_strength, higher is better), the fault-injection
+(alldiff_prune_strength, higher is better), the backjump-lane vs
+decision-set nodes-to-verdict ratio (backjump_nodes_per_verdict_ratio,
+lower is better — non-chronological backjumping must keep beating the
+decision-set baseline per decisive answer), the fault-injection
 hardening tax on a fault-free run (residue_faultfree_overhead), and the
 serving layer's repeat-mix throughput, cache hit ratio, and latency
 percentiles (serve_requests_per_sec, serve_cache_hit_ratio,
@@ -48,6 +58,7 @@ GATED_METRICS = (
     "nogood_shrink_ratio",
     "uip_clause_len_ratio",
     "alldiff_prune_strength",
+    "backjump_nodes_per_verdict_ratio",
     "residue_faultfree_overhead",
     "serve_requests_per_sec",
     "serve_cache_hit_ratio",
@@ -59,6 +70,7 @@ GATED_METRICS = (
 LOWER_IS_BETTER = frozenset({
     "nogood_shrink_ratio",
     "uip_clause_len_ratio",
+    "backjump_nodes_per_verdict_ratio",
     "residue_faultfree_overhead",
     "serve_p50_us",
     "serve_p99_us",
@@ -83,12 +95,28 @@ def load_entries(path):
     return {entry["name"]: entry for entry in data.get("entries", [])}
 
 
+def load_baseline(path):
+    """Baseline entries: the last committed history row when the file has
+    one (keys are flattened "<entry>.<metric>"; neither part contains a
+    dot, so rsplit is unambiguous), else the flat entries array."""
+    with open(path) as fh:
+        data = json.load(fh)
+    history = data.get("history")
+    if not history:
+        return {entry["name"]: entry for entry in data.get("entries", [])}
+    entries = {}
+    for key, value in history[-1].get("metrics", {}).items():
+        name, metric = key.rsplit(".", 1)
+        entries.setdefault(name, {"name": name})[metric] = value
+    return entries
+
+
 def main(argv):
     if len(argv) not in (3, 4):
         print(__doc__)
         return 2
     fresh = load_entries(argv[1])
-    baseline = load_entries(argv[2])
+    baseline = load_baseline(argv[2])
     threshold = float(argv[3]) if len(argv) == 4 else 0.30
 
     failures = []
