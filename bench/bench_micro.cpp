@@ -10,9 +10,12 @@
 // tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -22,7 +25,10 @@
 #include "csp/propagators.hpp"
 #include "csp/solver.hpp"
 #include "csp2/csp2.hpp"
+#include "dist/coord.hpp"
+#include "dist/worker.hpp"
 #include "encodings/csp1.hpp"
+#include "exp/sharded.hpp"
 #include "encodings/csp2_generic.hpp"
 #include "flow/oracle.hpp"
 #include "gen/generator.hpp"
@@ -860,6 +866,110 @@ void report_serve(bench::BenchJson& json, std::uint64_t seed) {
               static_cast<long long>(lat.p99_us));
 }
 
+// ------------------------------------------------ distributed shard scaling
+//
+// The tentpole ledger of the coordinator/worker fleet: the same overrun-
+// dominated index list run single-box (workerless run_batch_sharded — the
+// serialized reference path) and across two in-process worker daemons.
+// Overrun runs burn their *wall* budget, not a core, so two workers
+// overlap them even on one CPU — that overlap is shard_scaling_2w, gated
+// with an absolute floor of 1.6 in check_bench_regression.py.
+//
+// Calibration keeps the comparison honest on any box: the workload is
+// only indices whose CSP1 run still overruns at DOUBLE the measured
+// budget, so no run sits near the decide/overrun boundary and the two
+// paths must agree on every verdict (dist_record_mismatches pins it).
+void report_dist(bench::BenchJson& json, std::uint64_t seed) {
+  // The budget must dwarf the deadline-poll overshoot: an overrun run
+  // stops at its next poll AFTER the budget expires, and under 2-way CPU
+  // timesharing the polls come ~2x further apart in wall time.  At 500ms
+  // the overshoot is a small fraction on both paths, so the measured
+  // overlap sits well clear of the 1.6x gate floor (250ms left it
+  // straddling the line run to run).
+  constexpr std::int64_t kBudgetMs = 500;
+  constexpr std::int64_t kScreenMs = 2 * kBudgetMs;
+  constexpr std::size_t kWanted = 12;
+  constexpr std::uint64_t kScanCap = 64;
+
+  exp::BatchOptions batch;
+  batch.generator.tasks = 10;  // the Table-I workload
+  batch.generator.processors = 5;
+  batch.generator.t_max = 7;
+  batch.seed = seed;
+
+  const exp::SolverSpec screen = *exp::spec_from_name("csp1", kScreenMs, seed);
+  std::vector<std::uint64_t> hard;
+  for (std::uint64_t idx = 0; idx < kScanCap && hard.size() < kWanted; ++idx) {
+    const gen::Instance inst =
+        gen::generate_indexed(batch.generator, seed, idx);
+    core::SolveConfig config = screen.config;
+    exp::reseed_for_index(config, idx);
+    const core::SolveReport report = core::solve_instance(
+        inst.tasks, rt::Platform::identical(inst.processors), config);
+    if (!core::decisive(report.verdict, report.complete)) hard.push_back(idx);
+  }
+  batch.indices = hard;
+  if (hard.size() < 2) {
+    std::printf("dist_shard_scaling: only %zu overrun instances in the "
+                "first %llu draws; skipping the lane\n",
+                hard.size(), static_cast<unsigned long long>(kScanCap));
+    return;
+  }
+
+  const std::vector<std::string> lineup = {"csp1"};
+
+  dist::FleetStats single_stats;
+  support::Stopwatch single_watch;
+  const exp::BatchResult single = exp::run_batch_sharded(
+      batch, lineup, kBudgetMs, dist::FleetOptions{}, &single_stats);
+  const double wall_single = single_watch.seconds();
+
+  std::vector<std::unique_ptr<dist::WorkerServer>> workers;
+  dist::FleetOptions fleet;
+  for (int w = 0; w < 2; ++w) {
+    dist::WorkerOptions options;
+    options.socket_path = "/tmp/mgrts_bench_dist_" + std::to_string(w) + "_" +
+                          std::to_string(::getpid()) + ".sock";
+    workers.push_back(std::make_unique<dist::WorkerServer>(options));
+    workers.back()->start();
+    fleet.workers.push_back(options.socket_path);
+  }
+  fleet.shards = 2;  // one slice per worker: pure overlap, no churn
+
+  dist::FleetStats stats;
+  support::Stopwatch fleet_watch;
+  const exp::BatchResult sharded =
+      exp::run_batch_sharded(batch, lineup, kBudgetMs, fleet, &stats);
+  const double wall_2w = fleet_watch.seconds();
+  for (auto& worker : workers) worker->stop();
+
+  std::int64_t mismatches = 0;
+  for (std::size_t k = 0; k < single.instances.size(); ++k) {
+    const exp::RunRecord& a = single.instances[k].runs[0];
+    const exp::RunRecord& b = sharded.instances[k].runs[0];
+    if (a.verdict != b.verdict || a.complete != b.complete ||
+        a.failure_cause != b.failure_cause) {
+      ++mismatches;
+    }
+  }
+
+  const double scaling = wall_2w > 0.0 ? wall_single / wall_2w : 0.0;
+  json.record("dist_shard_scaling")
+      .metric("instances", static_cast<double>(hard.size()))
+      .metric("wall_single_seconds", wall_single)
+      .metric("wall_2w_seconds", wall_2w)
+      .metric("shard_scaling_2w", scaling)
+      .metric("dist_record_mismatches", static_cast<double>(mismatches))
+      .metric("dist_redispatched", static_cast<double>(stats.redispatched))
+      .metric("dist_duplicate_rows",
+              static_cast<double>(stats.duplicate_rows));
+  std::printf("%-32s %2zu overruns  single %.3fs  2w %.3fs  -> %.2fx "
+              "(mismatches %lld, redispatched %d)\n",
+              "dist_shard_scaling", hard.size(), wall_single, wall_2w,
+              scaling, static_cast<long long>(mismatches),
+              stats.redispatched);
+}
+
 int main(int argc, char** argv) {
   // --seed N / --seed=N pins the residue workload's generator stream (so
   // the residue set is reproducible across PRs); strip it before handing
@@ -944,6 +1054,9 @@ int main(int argc, char** argv) {
 
   std::printf("\n== serving latency on a repeat-heavy mix ==\n");
   report_serve(json, seed);
+
+  std::printf("\n== distributed shard scaling (2 workers, 1 box) ==\n");
+  report_dist(json, seed);
 
   json.write();
   return 0;

@@ -12,14 +12,23 @@
 //     BatchHealth counters,
 //   * serve the same instance through the in-process serving layer
 //     (serve::Service) and watch the canonicalized verdict cache answer a
-//     permuted duplicate with provenance.
+//     permuted duplicate with provenance,
+//   * fan a generated batch across a one-worker shard fleet
+//     (exp::run_batch_sharded over a dist::WorkerServer) and check the
+//     merged records against the workerless reference run.
 //
 // Build & run:  ./quickstart   (also wired into ctest as a smoke test; the
 // exit code asserts the printed provenance)
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/instance_io.hpp"
 #include "core/solve.hpp"
+#include "dist/worker.hpp"
+#include "exp/sharded.hpp"
 #include "rt/gantt.hpp"
 #include "rt/validate.hpp"
 #include "serve/service.hpp"
@@ -168,6 +177,57 @@ int main() {
               second.get("verdict").value_or("?").c_str(),
               second.get("decided-by").value_or("?").c_str());
 
+  // Distributed shard route (DESIGN.md §16): a generated batch fanned
+  // across a fleet — here one in-process worker on an AF_UNIX socket.
+  // Shards name their specs through the registry and carry per-index
+  // seeds, so the merged result is record-identical to the workerless
+  // reference run of the same options (the single-box truth).
+  exp::BatchOptions batch_options;
+  batch_options.generator.tasks = 6;
+  batch_options.generator.processors = 3;
+  batch_options.generator.t_max = 5;
+  batch_options.instances = 6;
+  const std::vector<std::string> lineup = {"csp2-dmc"};
+  const exp::BatchResult reference =
+      exp::run_batch_sharded(batch_options, lineup, /*time_limit_ms=*/5000);
+
+  dist::WorkerOptions worker_options;
+  worker_options.socket_path =
+      "/tmp/mgrts_quickstart_" + std::to_string(::getpid()) + ".sock";
+  dist::WorkerServer worker(worker_options);
+  worker.start();
+  dist::FleetOptions fleet;
+  fleet.workers = {worker_options.socket_path};
+  fleet.shards = 2;
+  dist::FleetStats fleet_stats;
+  const exp::BatchResult sharded = exp::run_batch_sharded(
+      batch_options, lineup, /*time_limit_ms=*/5000, fleet, &fleet_stats);
+  worker.stop();
+
+  bool sharded_ok = sharded.instances.size() == reference.instances.size() &&
+                    fleet_stats.duplicate_rows == 0;
+  std::size_t sharded_feasible = 0;
+  for (std::size_t k = 0; sharded_ok && k < sharded.instances.size(); ++k) {
+    const exp::InstanceRecord& got = sharded.instances[k];
+    const exp::InstanceRecord& want = reference.instances[k];
+    sharded_ok = got.index == want.index &&
+                 got.runs.size() == want.runs.size();
+    for (std::size_t s = 0; sharded_ok && s < got.runs.size(); ++s) {
+      sharded_ok = got.runs[s].verdict == want.runs[s].verdict &&
+                   got.runs[s].nodes == want.runs[s].nodes &&
+                   got.runs[s].decided_by == want.runs[s].decided_by;
+      if (got.runs[s].verdict == core::Verdict::kFeasible) ++sharded_feasible;
+    }
+  }
+  std::printf("== distributed shard route (exp::run_batch_sharded) ==\n");
+  std::printf("%zu instances over 1 worker / %d shards: %zu feasible, "
+              "%lld rows redispatched, %lld duplicates; records %s the "
+              "single-box run\n",
+              sharded.instances.size(), fleet.shards, sharded_feasible,
+              static_cast<long long>(fleet_stats.redispatched),
+              static_cast<long long>(fleet_stats.duplicate_rows),
+              sharded_ok ? "match" : "DIVERGE from");
+
   // Smoke assertions: the pipeline's provenance must name the flow oracle
   // (the first decisive stage here), and the paper's route must agree with
   // a validated witness of its own.
@@ -187,5 +247,8 @@ int main() {
   if (!paper_ok) std::printf("FAIL: dedicated CSP2 route unexpected\n");
   if (!health_ok) std::printf("FAIL: batch health not clean\n");
   if (!serving_ok) std::printf("FAIL: serving cache route unexpected\n");
-  return provenance_ok && paper_ok && health_ok && serving_ok ? 0 : 1;
+  if (!sharded_ok) std::printf("FAIL: sharded batch diverged\n");
+  return provenance_ok && paper_ok && health_ok && serving_ok && sharded_ok
+             ? 0
+             : 1;
 }

@@ -74,6 +74,96 @@ SolverSpec presolve_probe_spec(std::int64_t time_limit_ms, bool flow_oracle,
   return spec;
 }
 
+std::vector<std::string> known_spec_names() {
+  return {"csp1",           "csp2-input",
+          "csp2-rm",        "csp2-dm",
+          "csp2-tmc",       "csp2-dmc",
+          "csp2-dmc-pruned", "csp2g-learn",
+          "pipeline",       "portfolio",
+          "portfolio-raw",  "presolve-probe",
+          "presolve-probe-noflow"};
+}
+
+std::optional<SolverSpec> spec_from_name(const std::string& name,
+                                         std::int64_t time_limit_ms,
+                                         std::uint64_t seed) {
+  if (name == "csp1") {
+    // paper_lineup's first entry, without materializing the other five.
+    SolverSpec spec;
+    spec.label = "CSP1";
+    spec.config.method = core::Method::kCsp1Generic;
+    spec.config.time_limit_ms = time_limit_ms;
+    spec.config.generic = core::choco_like_defaults(seed);
+    spec.config.pipeline = core::PipelineOptions::none();
+    return spec;
+  }
+  if (name == "csp2-input") {
+    return csp2_spec(csp2::ValueOrder::kInput, time_limit_ms);
+  }
+  if (name == "csp2-rm") {
+    return csp2_spec(csp2::ValueOrder::kRateMonotonic, time_limit_ms);
+  }
+  if (name == "csp2-dm") {
+    return csp2_spec(csp2::ValueOrder::kDeadlineMonotonic, time_limit_ms);
+  }
+  if (name == "csp2-tmc") {
+    return csp2_spec(csp2::ValueOrder::kTMinusC, time_limit_ms);
+  }
+  if (name == "csp2-dmc") {
+    return csp2_spec(csp2::ValueOrder::kDMinusC, time_limit_ms);
+  }
+  if (name == "csp2-dmc-pruned") {
+    SolverSpec spec = csp2_spec(csp2::ValueOrder::kDMinusC, time_limit_ms,
+                                /*paper_faithful=*/false);
+    spec.label = "(D-C)-pruned";
+    return spec;
+  }
+  if (name == "csp2g-learn") {
+    // The production generic-engine configuration the residue benches race:
+    // CSP2 encoding, Choco-like strategy, 1-UIP learning with backjumping
+    // and minimization at their defaults — the lane whose NogoodStats a
+    // shard row must carry intact.
+    SolverSpec spec;
+    spec.label = "CSP2-generic-learn";
+    spec.config.method = core::Method::kCsp2Generic;
+    spec.config.time_limit_ms = time_limit_ms;
+    spec.config.pipeline = core::PipelineOptions::none();
+    spec.config.generic = core::choco_like_defaults(seed);
+    spec.config.generic.nogoods = true;
+    return spec;
+  }
+  if (name == "pipeline") return pipeline_spec(time_limit_ms);
+  if (name == "portfolio") return portfolio_spec(time_limit_ms);
+  if (name == "portfolio-raw") {
+    return portfolio_spec(time_limit_ms, 1, false, false);
+  }
+  if (name == "presolve-probe") return presolve_probe_spec(time_limit_ms);
+  if (name == "presolve-probe-noflow") {
+    return presolve_probe_spec(time_limit_ms, /*flow_oracle=*/false,
+                               /*presolve_max_nodes=*/500);
+  }
+  return std::nullopt;
+}
+
+RunRecord record_from_report(core::SolveReport report) {
+  RunRecord run;
+  run.verdict = report.verdict;
+  run.seconds = report.seconds;
+  run.witness_ok = report.witness_valid;
+  run.complete = report.complete;
+  run.nodes = report.nodes;
+  run.decided_by = std::move(report.decided_by);
+  run.failure_cause = report.cause;
+  run.nogoods = report.nogoods;
+  run.propagators = std::move(report.propagators);
+  return run;
+}
+
+void reseed_for_index(core::SolveConfig& config, std::uint64_t index) {
+  config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
+  config.localsearch.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
+}
+
 ResidueSpec residue_spec(const BatchOptions& options,
                          const SolverSpec& probe) {
   const BatchResult probed = run_batch(options, {probe});
@@ -187,13 +277,9 @@ BatchResult run_batch(const BatchOptions& options,
     const gen::Instance& inst = instances[k];
 
     core::SolveConfig config = specs[s].config;
-    // Give randomized generic searches (and local-search restarts) a
-    // per-instance stream, like independent Choco invocations (§VII-B).
-    // Keyed by the generator index (== k for plain batches), so a residue
+    // Per-generator-index seed stream (see reseed_for_index) — a residue
     // or shard run replays the exact seeds of the full-stream run.
-    const std::uint64_t index = result.instances[k].index;
-    config.generic.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
-    config.localsearch.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
+    reseed_for_index(config, result.instances[k].index);
 
     // Containment: a run that throws (an injected fault, a resource wall,
     // an internal error) still yields its RunRecord slot — one crashed
@@ -220,16 +306,7 @@ BatchResult run_batch(const BatchOptions& options,
       note_failure(e.what());
     }
 
-    RunRecord& run = result.instances[k].runs[s];
-    run.verdict = report.verdict;
-    run.seconds = report.seconds;
-    run.witness_ok = report.witness_valid;
-    run.complete = report.complete;
-    run.nodes = report.nodes;
-    run.decided_by = report.decided_by;
-    run.failure_cause = report.cause;
-    run.nogoods = report.nogoods;
-    run.propagators = std::move(report.propagators);
+    result.instances[k].runs[s] = record_from_report(std::move(report));
   });
 
   return result;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,26 @@ struct SolverSpec {
     std::int64_t time_limit_ms, bool flow_oracle = true,
     std::int64_t presolve_max_nodes = 20'000);
 
+// ------------------------------------------------------- spec registry
+//
+// Stable wire names for the line-up entries above, so a remote shard
+// request (serve/shard.hpp) can name its solver line-up without
+// serializing a SolveConfig: a name plus (time limit, seed) fully
+// determines the spec on any build of this repo, which is exactly the
+// determinism contract distributed merge relies on.
+
+/// Every name spec_from_name resolves, in a stable order.
+[[nodiscard]] std::vector<std::string> known_spec_names();
+
+/// Resolves a registry name ("csp1", "csp2-dmc", "csp2-dmc-pruned",
+/// "csp2g-learn", "pipeline", "portfolio", "portfolio-raw",
+/// "presolve-probe", "presolve-probe-noflow", ...) into the same spec the
+/// local constructors build.  nullopt for unknown names — callers must
+/// refuse, not guess.
+[[nodiscard]] std::optional<SolverSpec> spec_from_name(
+    const std::string& name, std::int64_t time_limit_ms,
+    std::uint64_t seed = 20090911);
+
 struct RunRecord {
   core::Verdict verdict = core::Verdict::kInfeasible;
   double seconds = 0.0;
@@ -115,6 +136,20 @@ struct RunRecord {
     return verdict == core::Verdict::kInfeasible && complete;
   }
 };
+
+/// The one sanctioned SolveReport -> RunRecord projection, shared by the
+/// in-process harness (run_batch) and the distributed shard executor
+/// (dist::execute_shard) so both paths produce bytewise-identical records
+/// from the same report.
+[[nodiscard]] RunRecord record_from_report(core::SolveReport report);
+
+/// The per-generator-index seed perturbation run_batch applies before a
+/// run: randomized generic searches (and local-search restarts) get a
+/// per-instance stream, like independent Choco invocations (§VII-B).
+/// Keyed by the generator index, so a residue or shard run replays the
+/// exact seeds of the full-stream run.  Exposed so the shard executor is
+/// seed-identical by construction rather than by copy-paste.
+void reseed_for_index(core::SolveConfig& config, std::uint64_t index);
 
 struct InstanceRecord {
   /// Generator-stream index this instance was drawn from (== its position

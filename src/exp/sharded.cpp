@@ -1,0 +1,13 @@
+#include "exp/sharded.hpp"
+
+namespace mgrts::exp {
+
+BatchResult run_batch_sharded(const BatchOptions& options,
+                              const std::vector<std::string>& spec_names,
+                              std::int64_t time_limit_ms,
+                              const dist::FleetOptions& fleet,
+                              dist::FleetStats* stats) {
+  return dist::run_fleet(options, spec_names, time_limit_ms, fleet, stats);
+}
+
+}  // namespace mgrts::exp

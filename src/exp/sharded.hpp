@@ -1,0 +1,29 @@
+// Sharded batch entry point: exp::run_batch's distributed twin.
+//
+// Same inputs as run_batch except the line-up is named through the spec
+// registry (exp::spec_from_name) — a wire-serializable description — and
+// the work fans out across the dist:: coordinator/worker fleet instead of
+// the in-process thread pool.  With an empty fleet (no worker sockets) the
+// batch runs in-process through the identical shard executor, which is the
+// reference side of the record-identity tests and of mgrts_coordd's
+// --verify-local mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/coord.hpp"
+#include "exp/harness.hpp"
+
+namespace mgrts::exp {
+
+/// Runs the batch across `fleet` and merges the rows into a BatchResult
+/// whose per-index records match a single-box run_batch over the same
+/// options.  See dist::run_fleet for the failure/straggler contract.
+[[nodiscard]] BatchResult run_batch_sharded(
+    const BatchOptions& options, const std::vector<std::string>& spec_names,
+    std::int64_t time_limit_ms, const dist::FleetOptions& fleet = {},
+    dist::FleetStats* stats = nullptr);
+
+}  // namespace mgrts::exp

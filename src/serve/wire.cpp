@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -119,9 +120,25 @@ bool recv_frame(const support::Fd& fd, std::string& payload,
                         "-byte cap");
   }
   payload.resize(size);
-  if (size > 0 &&
-      !support::read_exact(fd, payload.data(), size, timeout_ms)) {
-    throw support::SocketError("peer closed between frame length and body");
+  if (size == 0) return true;
+  // The length prefix is a promise the body follows promptly.  Bound the
+  // body read even for callers with no timeout of their own, and report
+  // any shortfall — EOF right after the prefix, a reset mid-body, or a
+  // dribbling/stalled peer — as a protocol violation naming the declared
+  // length, never as an indefinite block.
+  const std::int64_t body_timeout_ms =
+      timeout_ms < 0 ? kIntraFrameTimeoutMs
+                     : std::min(timeout_ms, kIntraFrameTimeoutMs);
+  try {
+    if (!support::read_exact(fd, payload.data(), size, body_timeout_ms)) {
+      throw ProtocolError("truncated frame: declared " +
+                          std::to_string(size) +
+                          " payload bytes, peer closed before any arrived");
+    }
+  } catch (const support::SocketError& e) {
+    throw ProtocolError("truncated frame: declared " + std::to_string(size) +
+                        " payload bytes, peer delivered fewer (" + e.what() +
+                        ")");
   }
   return true;
 }

@@ -12,11 +12,17 @@
 //     \n
 //     <body ...>               (instance_io text, error detail, free text)
 //
-// Request kinds: "solve", "health", "ping", "shutdown".
+// Request kinds: "solve", "health", "ping", "shutdown", and "shard" (the
+//                distributed batch layer, serve/shard.hpp: generator
+//                options + an index list in).
 // Response kinds: "ok" (solve result), "health", "pong", "bye",
 //                 "error" (tagged degradation — the daemon NEVER answers a
 //                 malformed or poisoned request with silence or a closed
-//                 connection; it answers with one of these).
+//                 connection; it answers with one of these), plus the
+//                 shard stream: "shard-row" (one merged-record row per
+//                 generator index), "shard-beat" (per-shard progress
+//                 heartbeat), "shard-done" (shard trailer with health
+//                 counters).
 //
 // Every solve response carries the canonical core::Verdict, the
 // core::FailureCause taxonomy, and `decided-by` provenance, so the daemon
@@ -49,6 +55,14 @@ inline constexpr char kProtoTag[] = "mgrts/1";
 /// any buffer is sized from it.  Generous for instances (a 100k-task
 /// instance serializes to ~2 MiB) yet far below anything allocation-risky.
 inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+/// Upper bound on the gap between a frame's length prefix and the arrival
+/// of its payload bytes.  A declared length is a promise that the body
+/// follows promptly; a peer that announces N bytes and then dribbles (or
+/// goes silent) is a protocol violation, not a reason to park a reader
+/// forever — recv_frame applies this bound even when the caller passed no
+/// timeout of its own.
+inline constexpr std::int64_t kIntraFrameTimeoutMs = 10'000;
 
 /// One parsed payload: kind line, headers in arrival order, body.
 struct Message {
@@ -83,8 +97,11 @@ void send_frame(const support::Fd& fd, const std::string& payload);
 
 /// Receives one frame into `payload`.  Returns false on clean EOF before a
 /// frame started; throws ProtocolError for an oversized announced length
-/// and support::SocketError on transport failure / mid-frame EOF.
-/// `timeout_ms` bounds each blocking read (-1 = none).
+/// and for a truncated frame — a declared length the peer never delivers
+/// (short read, mid-frame EOF, or a stall longer than kIntraFrameTimeoutMs)
+/// — and support::SocketError on transport failure before the length is
+/// known.  `timeout_ms` bounds each blocking read (-1 = no bound on the
+/// wait for a frame to start; the body read is always bounded).
 [[nodiscard]] bool recv_frame(const support::Fd& fd, std::string& payload,
                               std::int64_t timeout_ms = -1);
 

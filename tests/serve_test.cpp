@@ -6,6 +6,7 @@
 // from a fresh one except for its "cache:" provenance prefix.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,6 +24,8 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
+#include "support/deadline.hpp"
+#include "support/socket.hpp"
 #include "testing.hpp"
 
 namespace mgrts::serve {
@@ -71,6 +74,117 @@ TEST(Wire, GetIntRejectsNonNumericHeader) {
   msg.set("timeout-ms", "soon");
   EXPECT_THROW((void)msg.get_int("timeout-ms"), ProtocolError);
   EXPECT_EQ(msg.get_int("absent"), std::nullopt);
+}
+
+// --------------------------------------------- wire: hostile short frames
+//
+// A frame header may declare more payload than the peer ever delivers —
+// by malice, by a crashed sender, or by a version-skewed encoder.  The
+// contract (wire.hpp): a truncated frame is a ProtocolError, promptly;
+// recv_frame never parks forever on a declared-but-absent body.
+
+namespace {
+
+/// A connected AF_UNIX socketpair; `ours` is the attacker end the test
+/// writes raw bytes to, `theirs` is the end recv_frame reads from.
+struct WirePair {
+  support::Fd ours;
+  support::Fd theirs;
+  WirePair() {
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw support::SocketError("socketpair failed");
+    }
+    ours = support::Fd(fds[0]);
+    theirs = support::Fd(fds[1]);
+  }
+  /// Writes a big-endian length prefix declaring `declared` payload bytes.
+  void write_prefix(std::uint32_t declared) {
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>((declared >> 24) & 0xff),
+        static_cast<unsigned char>((declared >> 16) & 0xff),
+        static_cast<unsigned char>((declared >> 8) & 0xff),
+        static_cast<unsigned char>(declared & 0xff)};
+    support::write_all(ours, prefix, 4);
+  }
+};
+
+}  // namespace
+
+TEST(Wire, TruncatedFrameNoBodyAtAllIsProtocolError) {
+  WirePair pair;
+  pair.write_prefix(64);  // declare 64 bytes, deliver zero, hang up
+  pair.ours.close();
+  std::string payload;
+  EXPECT_THROW((void)recv_frame(pair.theirs, payload, 5'000), ProtocolError);
+}
+
+TEST(Wire, TruncatedFramePartialBodyIsProtocolError) {
+  WirePair pair;
+  pair.write_prefix(64);
+  support::write_all(pair.ours, "mgrts/1 ping\n", 13);  // 13 of 64, then EOF
+  pair.ours.close();
+  std::string payload;
+  EXPECT_THROW((void)recv_frame(pair.theirs, payload, 5'000), ProtocolError);
+}
+
+TEST(Wire, SilentPeerAfterPrefixTimesOutAsProtocolError) {
+  // The peer declares a body and then goes silent without closing.  The
+  // caller's timeout bounds the body read (capped by kIntraFrameTimeoutMs),
+  // so this surfaces promptly instead of blocking the handler forever.
+  WirePair pair;
+  pair.write_prefix(64);
+  std::string payload;
+  support::Stopwatch watch;
+  EXPECT_THROW((void)recv_frame(pair.theirs, payload, 200), ProtocolError);
+  EXPECT_LT(watch.seconds(), 5.0);
+}
+
+TEST(Wire, EveryPrefixOfARealFrameTruncatesCleanly) {
+  // Cut a genuine formatted frame at every interesting boundary: inside
+  // the prefix region is a frame-size truth test already (prefix short
+  // reads return false as clean EOF); here we cut inside the declared
+  // body at several offsets, including just-one-byte-short.
+  Message msg;
+  msg.kind = "solve";
+  msg.set("id", "req-cut");
+  msg.body = "tasks 1\n0 1 2 2\nprocessors 1\n";
+  const std::string wire = format_message(msg);
+
+  for (const std::size_t keep :
+       {std::size_t{1}, wire.size() / 2, wire.size() - 1}) {
+    WirePair pair;
+    pair.write_prefix(static_cast<std::uint32_t>(wire.size()));
+    support::write_all(pair.ours, wire.data(), keep);
+    pair.ours.close();
+    std::string payload;
+    EXPECT_THROW((void)recv_frame(pair.theirs, payload, 5'000), ProtocolError)
+        << "cut at " << keep << "/" << wire.size();
+  }
+}
+
+TEST(Wire, TruncatedPrefixIsCleanEofNotAnError) {
+  // A peer that closes between messages — even mid-prefix with zero bytes
+  // sent — is the normal end-of-stream, not an attack.
+  WirePair pair;
+  pair.ours.close();
+  std::string payload;
+  EXPECT_FALSE(recv_frame(pair.theirs, payload, 5'000));
+}
+
+TEST(Wire, ZeroLengthAndValidFramesStillFlow) {
+  // The hardening must not break the good path: an empty frame and a real
+  // frame back to back, over the same pair.
+  WirePair pair;
+  pair.write_prefix(0);
+  Message msg;
+  msg.kind = "ping";
+  send_frame(pair.ours, format_message(msg));
+  std::string payload;
+  ASSERT_TRUE(recv_frame(pair.theirs, payload, 5'000));
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(recv_frame(pair.theirs, payload, 5'000));
+  EXPECT_EQ(parse_message(payload).kind, "ping");
 }
 
 TEST(Wire, VerdictAndCauseStringsRoundTrip) {

@@ -26,7 +26,11 @@ decision-set baseline per decisive answer), the fault-injection
 hardening tax on a fault-free run (residue_faultfree_overhead), and the
 serving layer's repeat-mix throughput, cache hit ratio, and latency
 percentiles (serve_requests_per_sec, serve_cache_hit_ratio,
-serve_p50_us/serve_p99_us — the percentiles gate lower-is-better).  The
+serve_p50_us/serve_p99_us — the percentiles gate lower-is-better), and
+the distributed fleet's two-worker wall-clock speedup on an
+overrun-dominated shard workload (shard_scaling_2w, which additionally
+carries an ABSOLUTE floor of 1.6x: the fleet must overlap overruns, not
+merely avoid regressing a committed number).  The
 ratio metrics gate in the LOWER-is-better direction: they may shrink
 freely but must not creep back towards (or past) 1.0.  Plain wall-clock
 totals stay advisory because they are budget- and machine-shaped rather
@@ -64,6 +68,7 @@ GATED_METRICS = (
     "serve_cache_hit_ratio",
     "serve_p50_us",
     "serve_p99_us",
+    "shard_scaling_2w",
 )
 
 # Metrics where smaller values are better; their regression test inverts.
@@ -88,6 +93,14 @@ THRESHOLD_OVERRIDES = {
     "serve_p99_us": 0.50,
 }
 
+# Metrics that must clear a fixed bar in the FRESH output regardless of
+# what any baseline says — a drifting baseline must not be able to ratchet
+# these down.  shard_scaling_2w is the distributed layer's reason to
+# exist: two workers must overlap an overrun-dominated workload by >=1.6x.
+ABSOLUTE_FLOORS = {
+    "shard_scaling_2w": 1.6,
+}
+
 
 def load_entries(path):
     with open(path) as fh:
@@ -97,15 +110,30 @@ def load_entries(path):
 
 def load_baseline(path):
     """Baseline entries: the last committed history row when the file has
-    one (keys are flattened "<entry>.<metric>"; neither part contains a
-    dot, so rsplit is unambiguous), else the flat entries array."""
+    a usable one (keys are flattened "<entry>.<metric>"; neither part
+    contains a dot, so rsplit is unambiguous), else the flat entries
+    array.  A missing or empty "history", or a malformed last row, is a
+    stated fallback — never a stack trace: pre-history baselines and
+    hand-edited files still gate against their entries."""
     with open(path) as fh:
         data = json.load(fh)
     history = data.get("history")
     if not history:
+        print(f"note: baseline {path} has no history rows; "
+              "comparing against its flat entries")
+        return {entry["name"]: entry for entry in data.get("entries", [])}
+    last = history[-1]
+    metrics = last.get("metrics") if isinstance(last, dict) else None
+    if not isinstance(metrics, dict) or not metrics:
+        print(f"note: baseline {path} last history row has no metrics; "
+              "comparing against its flat entries")
         return {entry["name"]: entry for entry in data.get("entries", [])}
     entries = {}
-    for key, value in history[-1].get("metrics", {}).items():
+    for key, value in metrics.items():
+        if "." not in key:
+            print(f"note: skipping malformed history key {key!r} "
+                  "(expected '<entry>.<metric>')")
+            continue
         name, metric = key.rsplit(".", 1)
         entries.setdefault(name, {"name": name})[metric] = value
     return entries
@@ -116,10 +144,30 @@ def main(argv):
         print(__doc__)
         return 2
     fresh = load_entries(argv[1])
-    baseline = load_baseline(argv[2])
+    try:
+        baseline = load_baseline(argv[2])
+    except FileNotFoundError:
+        print(f"note: baseline {argv[2]} does not exist; nothing committed "
+              "to gate against — only absolute floors apply")
+        baseline = {}
     threshold = float(argv[3]) if len(argv) == 4 else 0.30
 
     failures = []
+
+    # Absolute floors judge the fresh output alone, baseline or not.
+    for name, entry in sorted(fresh.items()):
+        for metric, floor in ABSOLUTE_FLOORS.items():
+            if metric not in entry:
+                continue
+            value = float(entry[metric])
+            failed = value < floor
+            status = "FAIL" if failed else "ok"
+            print(f"{status:4s} {name}.{metric}: {value:.3g} vs absolute "
+                  f"floor {floor:.3g}")
+            if failed:
+                failures.append(
+                    f"{name}.{metric}: {value:.3g} is below the absolute "
+                    f"floor {floor:.3g}")
     for name, base in sorted(baseline.items()):
         new = fresh.get(name)
         if new is None:

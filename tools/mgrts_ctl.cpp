@@ -155,7 +155,9 @@ int main(int argc, char** argv) {
   if (pos >= args.size()) {
     std::fprintf(stderr,
                  "usage: mgrts_ctl [--socket PATH] "
-                 "ping|solve|health|shutdown|smoke ...\n");
+                 "ping|solve|health|shutdown|smoke ...\n"
+                 "  ping/health/shutdown also drive mgrts_workerd sockets\n"
+                 "  (the shard workers speak the same control kinds)\n");
     return 2;
   }
   const std::string command = args[pos++];

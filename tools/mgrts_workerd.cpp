@@ -1,0 +1,186 @@
+// mgrts_workerd — a shard worker daemon of the distributed batch layer
+// (DESIGN.md §16).
+//
+// Serves shard/health/ping/shutdown requests on an AF_UNIX socket:
+// a "shard" request (generator options + index list, serve/shard.hpp)
+// runs through dist::execute_shard and streams its rows and progress
+// beats back to the coordinator.  mgrts_ctl drives a worker like the
+// solve daemon (ping/health/shutdown use the same wire kinds).
+//
+// The --fault-* flags arm the deterministic process-wide FaultInjector,
+// which is how the CI chaos smoke builds a straggling worker: stalls fire
+// inside this process's solves, the coordinator culls the frozen shard by
+// heartbeat and re-dispatches it to a healthy worker, and the merged batch
+// still matches the single-box run.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "dist/worker.hpp"
+#include "support/fault.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "  --socket PATH            AF_UNIX socket path (default "
+      "/tmp/mgrts_worker.sock)\n"
+      "  --handlers N             connection-handler threads (default 2)\n"
+      "  --beat-interval-ms MS    shard progress-beat cadence (default 100)\n"
+      "\n"
+      "chaos (deterministic fault injection, for the CI smoke):\n"
+      "  --fault-seed S           arm the injector with this seed\n"
+      "  --fault-rate R           per-evaluation firing probability [0,1]\n"
+      "  --fault-sites LIST       comma list: flow-network,job-table,\n"
+      "                           schedule-table,csp-var-budget,deadline,\n"
+      "                           propagator,stall (kCancel is sticky and\n"
+      "                           not servable; it is rejected here)\n"
+      "  --fault-max N            total fault cap (-1 unlimited)\n"
+      "  --fault-stall-cap-ms MS  upper bound on one injected stall\n",
+      argv0);
+}
+
+std::int64_t parse_int(const char* flag, const char* text) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mgrts_workerd: %s expects an integer, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+}
+
+unsigned parse_sites(const std::string& list) {
+  using mgrts::support::FaultSite;
+  unsigned mask = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    if (name.empty()) continue;
+    bool found = false;
+    for (int s = 0; s < mgrts::support::kFaultSiteCount; ++s) {
+      const auto site = static_cast<FaultSite>(s);
+      if (name == mgrts::support::to_string(site)) {
+        if (site == FaultSite::kCancel) {
+          // Sticky on its target token, like in the solve daemon: one
+          // fired kCancel would degrade every later shard sharing the
+          // plan's target.  The in-process dist chaos test covers it.
+          std::fprintf(stderr,
+                       "mgrts_workerd: fault site 'cancel' is not servable "
+                       "in a resident worker\n");
+          std::exit(2);
+        }
+        mask |= mgrts::support::FaultPlan::mask(site);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "mgrts_workerd: unknown fault site '%s'\n",
+                   name.c_str());
+      std::exit(2);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mgrts::dist::WorkerOptions options;
+  mgrts::support::FaultPlan plan;
+  bool arm = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mgrts_workerd: %s needs a value\n",
+                     flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (flag == "--socket") {
+      options.socket_path = value();
+    } else if (flag == "--handlers") {
+      options.handlers = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, parse_int("--handlers", value())));
+    } else if (flag == "--beat-interval-ms") {
+      options.beat_interval_ms = std::max<std::int64_t>(
+          1, parse_int("--beat-interval-ms", value()));
+    } else if (flag == "--fault-seed") {
+      plan.seed =
+          static_cast<std::uint64_t>(parse_int("--fault-seed", value()));
+      arm = true;
+    } else if (flag == "--fault-rate") {
+      plan.rate = std::atof(value());
+      arm = true;
+    } else if (flag == "--fault-sites") {
+      plan.sites = parse_sites(value());
+      arm = true;
+    } else if (flag == "--fault-max") {
+      plan.max_faults = parse_int("--fault-max", value());
+    } else if (flag == "--fault-stall-cap-ms") {
+      plan.stall_cap_ms = parse_int("--fault-stall-cap-ms", value());
+    } else {
+      std::fprintf(stderr, "mgrts_workerd: unknown flag '%s'\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // A coordinator that vanishes mid-stream must be a SocketError on the
+  // handler thread, not a process kill.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (arm) {
+    if (plan.sites == 0 || plan.rate <= 0.0) {
+      std::fprintf(stderr,
+                   "mgrts_workerd: --fault-seed/--fault-rate/--fault-sites "
+                   "must be given together\n");
+      return 2;
+    }
+    mgrts::support::FaultInjector::arm(plan);
+    std::printf("mgrts_workerd: fault injector armed (seed=%llu rate=%g "
+                "sites=0x%x)\n",
+                static_cast<unsigned long long>(plan.seed), plan.rate,
+                plan.sites);
+  }
+
+  try {
+    mgrts::dist::WorkerServer worker(options);
+    std::printf("mgrts_workerd: serving on %s (%zu handlers)\n",
+                worker.socket_path().c_str(), options.handlers);
+    std::fflush(stdout);
+    worker.run();
+    const auto counters = worker.counters();
+    std::printf(
+        "mgrts_workerd: shutdown after %lld shards (%lld rows, %lld aborted, "
+        "%lld refused)\n",
+        static_cast<long long>(counters.shards),
+        static_cast<long long>(counters.rows),
+        static_cast<long long>(counters.aborted),
+        static_cast<long long>(counters.refused));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mgrts_workerd: fatal: %s\n", e.what());
+    return 1;
+  }
+}
